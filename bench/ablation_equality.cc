@@ -1,0 +1,70 @@
+// Ablation (paper Section 3.1): extending the k-ary search with an
+// equality comparison per level so a hit can terminate above the lowest
+// level. The paper argues the extra comparison and branch should not pay
+// off on flat k-ary search trees; this bench verifies that expectation.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "kary/kary_search.h"
+#include "kary/linearize.h"
+#include "util/table_printer.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+using Key = int32_t;
+using bench::kProbeCount;
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Ablation: equality-termination extension of k-ary search (32-bit "
+      "keys, breadth-first)");
+  TablePrinter table({"keys", "levels", "standard cyc", "with-equality cyc",
+                      "ratio"});
+  Rng rng(5);
+  for (int64_t n : {int64_t{16}, int64_t{256}, int64_t{4096}, int64_t{65536},
+                    int64_t{1} << 20}) {
+    std::vector<Key> sorted = UniformDistinctKeys<Key>(
+        static_cast<size_t>(n), rng);
+    const kary::KaryShape shape =
+        kary::KaryShape::For(simd::LaneTraits<Key>::kArity, n);
+    const kary::KaryLayout layout(shape, kary::Layout::kBreadthFirst);
+    const int64_t stored = layout.StoredSlots(n, kary::Storage::kTruncated);
+    std::vector<Key> lin(static_cast<size_t>(stored));
+    layout.Linearize(sorted.data(), n, lin.data(), stored,
+                     kary::PadValue<Key>());
+    const std::vector<Key> probes =
+        SamplePresentProbes(sorted, kProbeCount, rng);
+
+    const double standard = bench::CyclesPerOp(probes, [&](Key v) {
+      return kary::UpperBoundBf<Key>(lin.data(), stored, n, v);
+    });
+    const double with_eq = bench::CyclesPerOp(probes, [&](Key v) {
+      return kary::UpperBoundBfWithEquality<Key>(lin.data(), shape, stored,
+                                                 n, v);
+    });
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)),
+                  TablePrinter::Fmt(int64_t{shape.r}),
+                  TablePrinter::Fmt(standard, 1),
+                  TablePrinter::Fmt(with_eq, 1),
+                  TablePrinter::Fmt(with_eq / standard, 2)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\npaper expectation (Section 3.1): no improvement for flat k-ary "
+      "search trees —\nthe extra comparison and conditional branch per "
+      "level costs more than the\noccasional early exit saves.\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main() {
+  simdtree::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation (paper Section 3.2): the cost of keeping keys linearized under
+// inserts.
+//
+// "Inserting a new key into a linearized node that falls in between two
+// existing keys requires a reordering of all existing keys. [...] we can
+// leverage a particular property in case of continuous filling with
+// ascending key values. [...] Therefore, the Seg-Tree is advantageous for
+// workloads with few inserts."
+//
+// This bench quantifies exactly that: insert throughput of the baseline
+// B+-Tree vs the Seg-Tree under (a) ascending inserts (the no-reordering
+// append fast path) and (b) uniformly random inserts (every insert
+// relinearizes one node), plus the read payoff afterwards.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "segtree/segtree.h"
+#include "util/cycle_timer.h"
+#include "util/table_printer.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+constexpr size_t kInserts = 400000;
+
+template <typename TreeT>
+double InsertCycles(const std::vector<uint32_t>& keys) {
+  TreeT tree;
+  const uint64_t t0 = CycleTimer::Now();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<uint64_t>(i));
+  }
+  const uint64_t cycles = CycleTimer::Now() - t0;
+  if (tree.size() != keys.size()) std::abort();
+  return static_cast<double>(cycles) / static_cast<double>(keys.size());
+}
+
+template <typename TreeT>
+double FindCyclesAfterInserts(const std::vector<uint32_t>& keys) {
+  TreeT tree;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<uint64_t>(i));
+  }
+  Rng rng(3);
+  const auto probes = SamplePresentProbes(keys, bench::kProbeCount, rng);
+  return bench::CyclesPerOp(
+      probes, [&tree](uint32_t v) { return tree.Contains(v) ? 1u : 0u; });
+}
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Ablation: insert reordering overhead (32-bit keys, 400k inserts)");
+
+  const std::vector<uint32_t> ascending =
+      AscendingKeys<uint32_t>(kInserts, 0);
+  Rng rng(1);
+  std::vector<uint32_t> random(kInserts);
+  for (auto& k : random) k = rng.Next() & 0xFFFFFFFFu;
+
+  using BT = btree::BPlusTree<uint32_t, uint64_t>;
+  using ST = segtree::SegTree<uint32_t, uint64_t>;
+
+  TablePrinter table({"workload", "B+Tree ins cyc", "Seg-Tree ins cyc",
+                      "insert overhead", "B+Tree find cyc",
+                      "Seg-Tree find cyc", "find speedup"});
+  {
+    const double bt_ins = InsertCycles<BT>(ascending);
+    const double st_ins = InsertCycles<ST>(ascending);
+    const double bt_find = FindCyclesAfterInserts<BT>(ascending);
+    const double st_find = FindCyclesAfterInserts<ST>(ascending);
+    table.AddRow({"ascending (append path)", TablePrinter::Fmt(bt_ins, 0),
+                  TablePrinter::Fmt(st_ins, 0),
+                  TablePrinter::Fmt(st_ins / bt_ins, 2),
+                  TablePrinter::Fmt(bt_find, 0),
+                  TablePrinter::Fmt(st_find, 0),
+                  TablePrinter::Fmt(bt_find / st_find, 2)});
+  }
+  {
+    const double bt_ins = InsertCycles<BT>(random);
+    const double st_ins = InsertCycles<ST>(random);
+    const double bt_find = FindCyclesAfterInserts<BT>(random);
+    const double st_find = FindCyclesAfterInserts<ST>(random);
+    table.AddRow({"uniform random (reorder)", TablePrinter::Fmt(bt_ins, 0),
+                  TablePrinter::Fmt(st_ins, 0),
+                  TablePrinter::Fmt(st_ins / bt_ins, 2),
+                  TablePrinter::Fmt(bt_find, 0),
+                  TablePrinter::Fmt(st_find, 0),
+                  TablePrinter::Fmt(bt_find / st_find, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper expectation (Section 3.2): ascending inserts avoid "
+      "reordering entirely\n(small overhead vs the baseline), random "
+      "inserts pay an O(node) relinearization\nper insert — 'for "
+      "workloads with high insert rates the reordering overhead\nprobably "
+      "eliminates the speedup of an accelerated search'.\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main() {
+  simdtree::Run();
+  return 0;
+}

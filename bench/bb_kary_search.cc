@@ -1,0 +1,88 @@
+// google-benchmark microbench: the in-node search kernels head-to-head on
+// flat sorted arrays — SIMD k-ary search (BF and DF layouts) vs scalar
+// binary and sequential search — across array sizes and key widths.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kary/kary_array.h"
+#include "kary/scalar_search.h"
+#include "util/rng.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+constexpr size_t kProbes = 4096;
+
+template <typename T>
+struct FlatData {
+  std::vector<T> sorted;
+  std::vector<T> probes;
+
+  explicit FlatData(int64_t n) {
+    Rng rng(77);
+    sorted = UniformDistinctKeys<T>(static_cast<size_t>(n), rng);
+    probes = SamplePresentProbes(sorted, kProbes, rng);
+  }
+};
+
+template <typename T, kary::Layout L>
+void BM_KarySearch(benchmark::State& state) {
+  const FlatData<T> data(state.range(0));
+  kary::KaryArray<T> arr(data.sorted, L);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.UpperBound(data.probes[i]));
+    i = (i + 1) % data.probes.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+template <typename T>
+void BM_BinarySearch(benchmark::State& state) {
+  const FlatData<T> data(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kary::BinaryUpperBound(
+        data.sorted.data(), static_cast<int64_t>(data.sorted.size()),
+        data.probes[i]));
+    i = (i + 1) % data.probes.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+template <typename T>
+void BM_SequentialSearch(benchmark::State& state) {
+  const FlatData<T> data(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kary::SequentialUpperBound(
+        data.sorted.data(), static_cast<int64_t>(data.sorted.size()),
+        data.probes[i]));
+    i = (i + 1) % data.probes.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+#define SIZE_ARGS RangeMultiplier(4)->Range(16, 1 << 18)
+
+BENCHMARK(BM_KarySearch<int8_t, kary::Layout::kBreadthFirst>)
+    ->RangeMultiplier(4)
+    ->Range(16, 200);  // 8-bit domain caps distinct keys
+BENCHMARK(BM_KarySearch<int16_t, kary::Layout::kBreadthFirst>)->SIZE_ARGS;
+BENCHMARK(BM_KarySearch<int32_t, kary::Layout::kBreadthFirst>)->SIZE_ARGS;
+BENCHMARK(BM_KarySearch<int32_t, kary::Layout::kDepthFirst>)->SIZE_ARGS;
+BENCHMARK(BM_KarySearch<int64_t, kary::Layout::kBreadthFirst>)->SIZE_ARGS;
+BENCHMARK(BM_BinarySearch<int8_t>)->RangeMultiplier(4)->Range(16, 200);
+BENCHMARK(BM_BinarySearch<int16_t>)->SIZE_ARGS;
+BENCHMARK(BM_BinarySearch<int32_t>)->SIZE_ARGS;
+BENCHMARK(BM_BinarySearch<int64_t>)->SIZE_ARGS;
+BENCHMARK(BM_SequentialSearch<int32_t>)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace simdtree
+
+BENCHMARK_MAIN();

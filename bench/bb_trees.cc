@@ -1,0 +1,128 @@
+// google-benchmark microbench: end-to-end point lookups across all four
+// index structures on one million distinct 64-bit keys, plus insert and
+// range-scan throughput for the tree structures.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "segtree/segtree.h"
+#include "segtrie/compressed_segtrie.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+constexpr size_t kKeys = 1u << 20;
+constexpr size_t kProbes = 4096;
+
+struct Data {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;
+  std::vector<uint64_t> probes;
+
+  Data() {
+    Rng rng(99);
+    keys = UniformDistinctKeys<uint64_t>(kKeys, rng);
+    values.assign(keys.begin(), keys.end());
+    probes = SamplePresentProbes(keys, kProbes, rng);
+  }
+};
+
+const Data& SharedData() {
+  static const Data* data = new Data();
+  return *data;
+}
+
+template <typename TreeT>
+void BM_TreeFind(benchmark::State& state) {
+  const Data& d = SharedData();
+  TreeT tree = TreeT::BulkLoad(d.keys.data(), d.values.data(), d.keys.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(d.probes[i]));
+    i = (i + 1) % d.probes.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+template <typename TrieT>
+void BM_TrieFind(benchmark::State& state) {
+  const Data& d = SharedData();
+  auto trie = std::make_unique<TrieT>();
+  for (size_t i = 0; i < d.keys.size(); ++i) {
+    trie->Insert(d.keys[i], d.values[i]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie->Contains(d.probes[i]));
+    i = (i + 1) % d.probes.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+template <typename TreeT>
+void BM_TreeInsertAscending(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    TreeT tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(static_cast<uint64_t>(i), static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+template <typename TreeT>
+void BM_TreeRangeScan1000(benchmark::State& state) {
+  const Data& d = SharedData();
+  TreeT tree = TreeT::BulkLoad(d.keys.data(), d.values.data(), d.keys.size());
+  Rng rng(5);
+  for (auto _ : state) {
+    const size_t start = rng.NextBounded(d.keys.size() - 1001);
+    const uint64_t lo = d.keys[start];
+    const uint64_t hi = d.keys[start + 1000];
+    uint64_t sum = 0;
+    tree.ScanRange(lo, hi, [&](uint64_t k, uint64_t) { sum += k; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+
+using BTree = btree::BPlusTree<uint64_t, uint64_t>;
+using BTreeSeq =
+    btree::BPlusTree<uint64_t, uint64_t, btree::SequentialSearchTag>;
+using SegBF = segtree::SegTree<uint64_t, uint64_t,
+                               kary::Layout::kBreadthFirst>;
+using SegDF = segtree::SegTree<uint64_t, uint64_t,
+                               kary::Layout::kDepthFirst>;
+
+BENCHMARK(BM_TreeFind<BTree>)->Name("Find/BPlusTree_binary");
+BENCHMARK(BM_TreeFind<BTreeSeq>)->Name("Find/BPlusTree_sequential");
+BENCHMARK(BM_TreeFind<SegBF>)->Name("Find/SegTree_bf");
+BENCHMARK(BM_TreeFind<SegDF>)->Name("Find/SegTree_df");
+BENCHMARK(BM_TrieFind<segtrie::SegTrie<uint64_t, uint64_t>>)
+    ->Name("Find/SegTrie");
+BENCHMARK(BM_TrieFind<segtrie::OptimizedSegTrie<uint64_t, uint64_t>>)
+    ->Name("Find/OptimizedSegTrie");
+BENCHMARK(BM_TrieFind<segtrie::CompressedSegTrie<uint64_t, uint64_t>>)
+    ->Name("Find/CompressedSegTrie");
+BENCHMARK(BM_TreeInsertAscending<BTree>)
+    ->Name("InsertAscending/BPlusTree")
+    ->Arg(100000);
+BENCHMARK(BM_TreeInsertAscending<SegBF>)
+    ->Name("InsertAscending/SegTree_bf")
+    ->Arg(100000);
+BENCHMARK(BM_TreeRangeScan1000<BTree>)->Name("RangeScan1000/BPlusTree");
+BENCHMARK(BM_TreeRangeScan1000<SegBF>)->Name("RangeScan1000/SegTree_bf");
+
+}  // namespace
+}  // namespace simdtree
+
+BENCHMARK_MAIN();

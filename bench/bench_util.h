@@ -1,0 +1,60 @@
+// Shared support for the paper-reproduction bench binaries.
+//
+// Measurement follows paper Section 5.1: build the structure with
+// completely filled nodes, then search x = 10,000 keys drawn in random
+// order from the data set and report the average cycles per search
+// (RDTSC). A warm-up pass touches the probed paths before timing.
+
+#ifndef SIMDTREE_BENCH_BENCH_UTIL_H_
+#define SIMDTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "simd/cpu_features.h"
+#include "util/cycle_timer.h"
+#include "util/rng.h"
+
+namespace simdtree::bench {
+
+inline constexpr size_t kProbeCount = 10000;  // the paper's x
+
+// The paper's data-set size categories (Section 5.2): one node, ~5 MB,
+// ~100 MB. Sizes here are byte budgets for the whole tree.
+struct SizeCategory {
+  const char* name;
+  size_t bytes;  // 0 = single node
+};
+
+inline constexpr SizeCategory kSingle{"Single", 0};
+inline constexpr SizeCategory k5MB{"5MB", 5u * 1000 * 1000};
+inline constexpr SizeCategory k100MB{"100MB", 100u * 1000 * 1000};
+
+// Average cycles for one call of `fn(probe)` over all probes, after one
+// untimed warm-up pass. The accumulated return values are folded into a
+// sink to keep the optimizer honest; the sink is returned via *checksum.
+template <typename T, typename Fn>
+double CyclesPerOp(const std::vector<T>& probes, Fn&& fn,
+                   uint64_t* checksum = nullptr) {
+  uint64_t sink = 0;
+  for (const T& p : probes) sink += static_cast<uint64_t>(fn(p));
+  const uint64_t start = CycleTimer::Now();
+  for (const T& p : probes) sink += static_cast<uint64_t>(fn(p));
+  const uint64_t cycles = CycleTimer::Now() - start;
+  if (checksum != nullptr) *checksum = sink;
+  // Defeat dead-code elimination without perturbing the timing.
+  if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
+  return static_cast<double>(cycles) / static_cast<double>(probes.size());
+}
+
+inline void PrintBenchHeader(const char* title) {
+  std::printf("== %s ==\n", title);
+  std::printf("cpu features: %s | tsc: %.2f GHz | probes per point: %zu\n\n",
+              simd::CpuFeatureString().c_str(),
+              CycleTimer::CyclesPerSecond() / 1e9, kProbeCount);
+}
+
+}  // namespace simdtree::bench
+
+#endif  // SIMDTREE_BENCH_BENCH_UTIL_H_

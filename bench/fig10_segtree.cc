@@ -1,0 +1,118 @@
+// Regenerates paper Figure 10: average search runtime (cycles) of the
+// B+-Tree with binary search vs. the Seg-Tree with SIMD search on
+// breadth-first and depth-first linearized keys, for 8/16/32/64-bit keys
+// and Single / 5 MB / 100 MB data sets.
+//
+// Workload (paper Section 5.1): full-domain key sequences for 8-/16-bit
+// types (with duplicates for the larger data sets), ascending sequences
+// from zero for 32-/64-bit types; completely filled nodes; x = 10,000
+// probes drawn in random order from the data set.
+//
+// Expected shape (paper Section 5.3): the Seg-Tree wins everywhere, the
+// advantage grows as the key type shrinks (up to ~8x for 8-bit), the
+// depth-first layout is at least as fast as breadth-first (clearly faster
+// for small data sets), and cache misses erode all differences as the
+// data set outgrows the caches.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "kary/layout.h"
+#include "segtree/segtree.h"
+#include "util/table_printer.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+using bench::kProbeCount;
+
+template <typename T>
+std::vector<T> DatasetKeys(const bench::SizeCategory& size) {
+  const int64_t n_l = btree::PaperNodeCapacity(sizeof(T));
+  size_t n;
+  if (size.bytes == 0) {
+    n = static_cast<size_t>(n_l);
+  } else {
+    // Node size per paper Table 3: pointers + keys.
+    using Traits = simd::LaneTraits<T>;
+    const kary::KaryShape shape = kary::KaryShape::For(Traits::kArity, n_l);
+    const kary::KaryLayout layout(shape, kary::Layout::kBreadthFirst);
+    const int64_t n_s = layout.StoredSlots(n_l, kary::Storage::kTruncated);
+    const size_t node_bytes = static_cast<size_t>((n_l + 1) * 8) +
+                              static_cast<size_t>(n_s) * sizeof(T);
+    const size_t nodes = size.bytes / node_bytes;
+    n = nodes * static_cast<size_t>(n_l);
+  }
+  if constexpr (sizeof(T) <= 2) {
+    return CycledDomainKeys<T>(n);  // whole domain, duplicated as needed
+  } else {
+    return AscendingKeys<T>(n, T{0});
+  }
+}
+
+template <typename TreeT, typename T>
+double MeasureTree(const std::vector<T>& keys,
+                   const std::vector<uint64_t>& values,
+                   const std::vector<T>& probes) {
+  TreeT tree = TreeT::BulkLoad(keys.data(), values.data(), keys.size());
+  return bench::CyclesPerOp(probes, [&tree](T probe) {
+    return tree.Contains(probe) ? 1u : 0u;
+  });
+}
+
+template <typename T>
+void RunType(const char* type_name, TablePrinter* table) {
+  for (const bench::SizeCategory& size :
+       {bench::kSingle, bench::k5MB, bench::k100MB}) {
+    const std::vector<T> keys = DatasetKeys<T>(size);
+    const std::vector<uint64_t> values(keys.size(), 1);
+    Rng rng(42);
+    const std::vector<T> probes =
+        SamplePresentProbes(keys, kProbeCount, rng);
+
+    const double binary =
+        MeasureTree<btree::BPlusTree<T, uint64_t>>(keys, values, probes);
+    const double seg_bf = MeasureTree<
+        segtree::SegTree<T, uint64_t, kary::Layout::kBreadthFirst>>(
+        keys, values, probes);
+    const double seg_df = MeasureTree<
+        segtree::SegTree<T, uint64_t, kary::Layout::kDepthFirst>>(
+        keys, values, probes);
+
+    table->AddRow({type_name, size.name, TablePrinter::Fmt(keys.size()),
+                   TablePrinter::Fmt(binary, 0), TablePrinter::Fmt(seg_bf, 0),
+                   TablePrinter::Fmt(seg_df, 0),
+                   TablePrinter::Fmt(binary / seg_bf, 2),
+                   TablePrinter::Fmt(binary / seg_df, 2)});
+    std::fflush(stdout);
+  }
+}
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Figure 10: Seg-Tree vs B+-Tree(binary), avg cycles per search");
+  TablePrinter table({"type", "data", "keys", "binary", "SIMD-BF", "SIMD-DF",
+                      "speedup BF", "speedup DF"});
+  RunType<int8_t>("8-bit", &table);
+  RunType<int16_t>("16-bit", &table);
+  RunType<int32_t>("32-bit", &table);
+  RunType<int64_t>("64-bit", &table);
+  table.Print();
+  std::printf(
+      "\npaper Figure 10 shape: SIMD search beats binary search for every "
+      "type and size;\nthe speedup grows toward ~8x for 8-bit keys; "
+      "depth-first >= breadth-first (clearest\non Single); all variants "
+      "converge as cache misses dominate at 100 MB.\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main() {
+  simdtree::Run();
+  return 0;
+}

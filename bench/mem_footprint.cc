@@ -1,0 +1,137 @@
+// Regenerates the paper's headline Section 5.4/7 claim: the optimized
+// Seg-Trie's speedup and memory reduction against the original B+-Tree
+// for consecutive 64-bit keys (tuple ids).
+//
+// Workload: 1,638,400 consecutive keys starting at zero (the paper's
+// "100 MB data set containing nearly 1.6M keys in consecutive order"),
+// 8-byte values. We report both an insert-built baseline (nodes at their
+// natural post-split fill) and a bulk-loaded one (completely filled),
+// since the paper does not state which build produced its memory number.
+//
+// Expected shape: the optimized Seg-Trie is the fastest and smallest
+// structure by a wide margin (paper: 14x speedup, 8x memory reduction;
+// our byte-accurate accounting of both structures yields a smaller but
+// still large memory factor — see EXPERIMENTS.md).
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "util/table_printer.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+using bench::kProbeCount;
+constexpr size_t kN = 1638400;
+
+struct Row {
+  const char* name;
+  double cycles;
+  size_t bytes;
+};
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Headline: optimized Seg-Trie vs B+-Tree, 1.6M consecutive 64-bit "
+      "keys");
+  const std::vector<uint64_t> keys = AscendingKeys<uint64_t>(kN, 0);
+  const std::vector<uint64_t> values = keys;
+  Rng rng(23);
+  const std::vector<uint64_t> probes =
+      SamplePresentProbes(keys, kProbeCount, rng);
+
+  std::vector<Row> rows;
+
+  {
+    btree::BPlusTree<uint64_t, uint64_t> bt;
+    for (size_t i = 0; i < kN; ++i) bt.Insert(keys[i], values[i]);
+    rows.push_back({"B+Tree binary (insert-built)",
+                    bench::CyclesPerOp(probes,
+                                       [&bt](uint64_t p) {
+                                         return bt.Contains(p) ? 1u : 0u;
+                                       }),
+                    bt.MemoryBytes()});
+  }
+  {
+    auto bt = btree::BPlusTree<uint64_t, uint64_t>::BulkLoad(
+        keys.data(), values.data(), kN);
+    rows.push_back({"B+Tree binary (bulk, 100% fill)",
+                    bench::CyclesPerOp(probes,
+                                       [&bt](uint64_t p) {
+                                         return bt.Contains(p) ? 1u : 0u;
+                                       }),
+                    bt.MemoryBytes()});
+  }
+  {
+    auto st =
+        segtree::SegTree<uint64_t, uint64_t>::BulkLoad(keys.data(),
+                                                       values.data(), kN);
+    rows.push_back({"Seg-Tree BF (bulk)",
+                    bench::CyclesPerOp(probes,
+                                       [&st](uint64_t p) {
+                                         return st.Contains(p) ? 1u : 0u;
+                                       }),
+                    st.MemoryBytes()});
+  }
+  {
+    auto trie = std::make_unique<segtrie::SegTrie<uint64_t, uint64_t>>();
+    for (size_t i = 0; i < kN; ++i) trie->Insert(keys[i], values[i]);
+    rows.push_back({"Seg-Trie (8 levels)",
+                    bench::CyclesPerOp(probes,
+                                       [&trie](uint64_t p) {
+                                         return trie->Contains(p) ? 1u : 0u;
+                                       }),
+                    trie->MemoryBytes()});
+  }
+  {
+    auto opt =
+        std::make_unique<segtrie::OptimizedSegTrie<uint64_t, uint64_t>>();
+    for (size_t i = 0; i < kN; ++i) opt->Insert(keys[i], values[i]);
+    rows.push_back({"optimized Seg-Trie",
+                    bench::CyclesPerOp(probes,
+                                       [&opt](uint64_t p) {
+                                         return opt->Contains(p) ? 1u : 0u;
+                                       }),
+                    opt->MemoryBytes()});
+    std::printf("optimized Seg-Trie active levels: %d of %d\n\n",
+                opt->active_levels(),
+                segtrie::OptimizedSegTrie<uint64_t, uint64_t>::max_levels());
+  }
+
+  const double base_cycles = rows[0].cycles;
+  const double base_bytes = static_cast<double>(rows[0].bytes);
+  TablePrinter table({"structure", "cycles/find", "speedup", "MB",
+                      "bytes/key", "mem reduction"});
+  for (const Row& r : rows) {
+    table.AddRow({r.name, TablePrinter::Fmt(r.cycles, 0),
+                  TablePrinter::Fmt(base_cycles / r.cycles, 2),
+                  TablePrinter::Fmt(static_cast<double>(r.bytes) / 1e6, 1),
+                  TablePrinter::Fmt(static_cast<double>(r.bytes) /
+                                        static_cast<double>(kN),
+                                    1),
+                  TablePrinter::Fmt(base_bytes /
+                                        static_cast<double>(r.bytes),
+                                    2)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper: optimized Seg-Trie = 14x speedup and 8x memory reduction "
+      "vs the original\nB+-Tree. Both key/value arrays are counted for "
+      "every structure here; the paper's\nmemory factor likely excludes "
+      "value storage (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main() {
+  simdtree::Run();
+  return 0;
+}

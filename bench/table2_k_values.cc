@@ -1,0 +1,44 @@
+// Regenerates paper Table 2: k values for a 128-bit SIMD register.
+//
+//   Data type | k value | Parallel comparisons
+//   8-bit     | 17      | 16
+//   16-bit    | 9       | 8
+//   32-bit    | 5       | 4
+//   64-bit    | 3       | 2
+
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simd/simd128.h"
+#include "util/table_printer.h"
+
+namespace simdtree {
+namespace {
+
+template <typename T>
+void AddRow(TablePrinter* table, const char* name) {
+  using Traits = simd::LaneTraits<T>;
+  table->AddRow({name, TablePrinter::Fmt(int64_t{Traits::kArity}),
+                 TablePrinter::Fmt(int64_t{Traits::kLanes})});
+}
+
+void Run() {
+  bench::PrintBenchHeader("Table 2: k values for a 128-bit SIMD register");
+  TablePrinter table({"Data type", "k value", "Parallel comparisons"});
+  AddRow<int8_t>(&table, "8-bit");
+  AddRow<int16_t>(&table, "16-bit");
+  AddRow<int32_t>(&table, "32-bit");
+  AddRow<int64_t>(&table, "64-bit");
+  table.Print();
+  std::printf("\npaper Table 2: k = 17 / 9 / 5 / 3 with 16 / 8 / 4 / 2 "
+              "parallel comparisons.\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main() {
+  simdtree::Run();
+  return 0;
+}

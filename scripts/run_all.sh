@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every bench binary, and
+# records the outputs at the repository root (test_output.txt,
+# bench_output.txt) — the reproduction record referenced by EXPERIMENTS.md.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+
+echo "done: test_output.txt, bench_output.txt"

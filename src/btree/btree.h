@@ -1,0 +1,65 @@
+// Public baseline B+-Tree: GenericBPlusTree with plain sorted-array nodes
+// and scalar in-node search. This is the paper's baseline ("the original
+// B+-Tree using binary search serves as the baseline for our performance
+// measurements", Section 5).
+
+#ifndef SIMDTREE_BTREE_BTREE_H_
+#define SIMDTREE_BTREE_BTREE_H_
+
+#include <cstdint>
+
+#include "btree/generic_btree.h"
+#include "btree/plain_key_store.h"
+
+namespace simdtree::btree {
+
+// Paper Table 3 node capacities (N_L keys per node), chosen so that one
+// node stays under the 4 KB hardware-prefetch boundary. The baseline uses
+// the same capacities as the Seg-Tree so that both trees have identical
+// fanout and height and only the in-node search differs.
+constexpr int64_t PaperNodeCapacity(size_t key_size) {
+  switch (key_size) {
+    case 1: return 254;
+    case 2: return 404;
+    case 4: return 338;
+    default: return 242;  // 8-byte keys
+  }
+}
+
+template <typename Key, typename Value, typename SearchTag = BinarySearchTag>
+class BPlusTree
+    : public GenericBPlusTree<Key, Value, PlainKeyStore<Key, SearchTag>> {
+ public:
+  using Base = GenericBPlusTree<Key, Value, PlainKeyStore<Key, SearchTag>>;
+  using Config = typename Base::Config;
+
+  // Same capacity for branching and leaf nodes, like the paper's setup.
+  static Config MakeConfig(int64_t capacity) {
+    return Config{
+        typename PlainKeyStore<Key, SearchTag>::Context(capacity),
+        typename PlainKeyStore<Key, SearchTag>::Context(capacity)};
+  }
+
+  static Config DefaultConfig() {
+    return MakeConfig(PaperNodeCapacity(sizeof(Key)));
+  }
+
+  BPlusTree() : Base(DefaultConfig()) {}
+  explicit BPlusTree(int64_t capacity) : Base(MakeConfig(capacity)) {}
+  explicit BPlusTree(Config config) : Base(std::move(config)) {}
+
+  // Bulk load with completely filled nodes (paper Section 5.1).
+  static BPlusTree BulkLoad(const Key* keys, const Value* values, size_t n,
+                            double fill = 1.0,
+                            int64_t capacity = PaperNodeCapacity(
+                                sizeof(Key))) {
+    BPlusTree tree(capacity);
+    Base loaded = Base::BulkLoad(MakeConfig(capacity), keys, values, n, fill);
+    static_cast<Base&>(tree) = std::move(loaded);
+    return tree;
+  }
+};
+
+}  // namespace simdtree::btree
+
+#endif  // SIMDTREE_BTREE_BTREE_H_

@@ -1,0 +1,860 @@
+// Generic main-memory B+-Tree, parameterized on the in-node key store.
+//
+// The paper's Seg-Tree "changes the search method inside the nodes from
+// commonly binary search to k-ary search" while "the traversal across the
+// nodes from the root to the leaves keeps unchanged compared to B+-Trees"
+// (Section 3.1). This file is that shared, unchanged structure: branching
+// nodes hold separator keys and child pointers, leaves hold keys and
+// values and are chained for range scans. The key-store policy decides how
+// a node's keys are stored and searched:
+//
+//   * btree::PlainKeyStore    — sorted array + scalar search (baseline),
+//   * segtree::SegKeyStore    — linearized k-ary order + SIMD search.
+//
+// KeyStore policy contract (duck-typed, see plain_key_store.h):
+//   struct Context;                    // shared per-tree, per-node-kind
+//   explicit KeyStore(const Context&);
+//   int64_t count() / capacity();
+//   Key At(int64_t logical_pos);       // logical == sorted position
+//   int64_t UpperBound(Key) / LowerBound(Key);
+//   void InsertAt(pos, Key) / RemoveAt(pos);
+//   void AssignSorted(const Key*, n) / Clear();
+//   void MoveSuffixTo(KeyStore& dst, from) / AppendFrom(KeyStore& src);
+//   size_t MemoryBytes();
+//
+// Child pointers and values stay in logical (sorted) order regardless of
+// the key store's physical layout — the paper's locality property that
+// keeps updates node-local.
+//
+// Semantics: a multimap. Insert allows duplicate keys; Find returns some
+// occurrence's value; Erase removes one occurrence. Separator invariant is
+// the closed interval: every key in subtree i lies in [sep[i-1], sep[i]].
+//
+// Thread compatibility: concurrent reads are safe with the plain store;
+// any mutation requires external synchronization (the paper's evaluation
+// is single-threaded; multi-threading is its future work).
+
+#ifndef SIMDTREE_BTREE_GENERIC_BTREE_H_
+#define SIMDTREE_BTREE_GENERIC_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/counters.h"
+
+namespace simdtree::btree {
+
+// Aggregate statistics for reporting (EXPERIMENTS.md tables).
+struct TreeStats {
+  int height = 0;  // levels including leaf level; 0 for an empty tree
+  size_t inner_nodes = 0;
+  size_t leaf_nodes = 0;
+  size_t keys = 0;
+  size_t memory_bytes = 0;
+  double avg_leaf_fill = 0.0;
+};
+
+template <typename Key, typename Value, typename KeyStore>
+class GenericBPlusTree {
+ public:
+  using KeyType = Key;
+  using ValueType = Value;
+  using Context = typename KeyStore::Context;
+
+  struct Config {
+    Context leaf_ctx;
+    Context inner_ctx;
+  };
+
+  // Contexts are heap-allocated because nodes keep stable pointers to
+  // them; moving the tree must not move the contexts.
+  explicit GenericBPlusTree(Config config)
+      : leaf_ctx_(std::make_unique<Context>(std::move(config.leaf_ctx))),
+        inner_ctx_(std::make_unique<Context>(std::move(config.inner_ctx))) {
+    assert(leaf_ctx_->capacity >= 3);
+    assert(inner_ctx_->capacity >= 3);
+  }
+
+  ~GenericBPlusTree() { Clear(); }
+
+  GenericBPlusTree(GenericBPlusTree&& other) noexcept
+      : leaf_ctx_(std::move(other.leaf_ctx_)),
+        inner_ctx_(std::move(other.inner_ctx_)),
+        root_(other.root_),
+        first_leaf_(other.first_leaf_),
+        size_(other.size_) {
+    other.root_ = nullptr;
+    other.first_leaf_ = nullptr;
+    other.size_ = 0;
+  }
+  GenericBPlusTree& operator=(GenericBPlusTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      leaf_ctx_ = std::move(other.leaf_ctx_);
+      inner_ctx_ = std::move(other.inner_ctx_);
+      root_ = other.root_;
+      first_leaf_ = other.first_leaf_;
+      size_ = other.size_;
+      other.root_ = nullptr;
+      other.first_leaf_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  GenericBPlusTree(const GenericBPlusTree&) = delete;
+  GenericBPlusTree& operator=(const GenericBPlusTree&) = delete;
+
+  // --- modification ------------------------------------------------------
+
+  // Inserts a key/value pair; duplicate keys are allowed and keep
+  // insertion order among equals.
+  void Insert(Key key, Value value) {
+    if (root_ == nullptr) {
+      LeafNode* leaf = NewLeaf();
+      leaf->keys.InsertAt(0, key);
+      leaf->values.insert(leaf->values.begin(), std::move(value));
+      root_ = leaf;
+      first_leaf_ = leaf;
+      size_ = 1;
+      return;
+    }
+    if (IsFull(root_)) {
+      InnerNode* new_root = NewInner();
+      new_root->children.push_back(root_);
+      SplitChild(new_root, 0);
+      root_ = new_root;
+    }
+    InsertNonFull(root_, key, std::move(value));
+    ++size_;
+  }
+
+  // Removes one occurrence of `key`. Returns true if a pair was removed.
+  bool Erase(Key key) {
+    if (root_ == nullptr) return false;
+    if (!EraseRec(root_, key)) return false;
+    --size_;
+    ShrinkRoot();
+    return true;
+  }
+
+  void Clear() {
+    if (root_ != nullptr) DeleteSubtree(root_);
+    root_ = nullptr;
+    first_leaf_ = nullptr;
+    size_ = 0;
+  }
+
+  // --- lookup -------------------------------------------------------------
+
+  // Value of some occurrence of `key`, or nullopt.
+  std::optional<Value> Find(Key key) const {
+    const LeafPos pos = FindLeafPos(key);
+    if (pos.leaf == nullptr) return std::nullopt;
+    return pos.leaf->values[static_cast<size_t>(pos.index)];
+  }
+
+  bool Contains(Key key) const { return FindLeafPos(key).leaf != nullptr; }
+
+  // Instrumented lookup: same result as Find, additionally counting the
+  // nodes visited on the root-to-leaf descent (paper: one node search per
+  // tree level).
+  std::optional<Value> FindCounted(Key key, SearchCounters* counters) const {
+    if (root_ == nullptr) return std::nullopt;
+    const NodeBase* node = root_;
+    while (!node->is_leaf) {
+      ++counters->nodes_visited;
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      node = inner->children[static_cast<size_t>(inner->keys.UpperBound(key))];
+    }
+    ++counters->nodes_visited;
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    int64_t pos = leaf->keys.UpperBound(key);
+    if (pos == 0) {
+      leaf = leaf->prev;
+      if (leaf == nullptr) return std::nullopt;
+      ++counters->nodes_visited;
+      pos = leaf->keys.count();
+    }
+    if (leaf->keys.At(pos - 1) != key) return std::nullopt;
+    return leaf->values[static_cast<size_t>(pos - 1)];
+  }
+
+  // Number of stored occurrences of `key`.
+  size_t Count(Key key) const {
+    size_t n = 0;
+    ScanRange(key, key, [&n](Key, const Value&) { ++n; },
+              /*hi_inclusive=*/true);
+    return n;
+  }
+
+  // Applies fn(key, value) to every pair with lo <= key < hi (or <= hi if
+  // hi_inclusive), in ascending key order.
+  template <typename Fn>
+  void ScanRange(Key lo, Key hi, Fn fn, bool hi_inclusive = false) const {
+    ConstIterator it = LowerBoundIter(lo);
+    for (; it.valid(); ++it) {
+      const Key k = it.key();
+      if (hi_inclusive ? (k > hi) : (k >= hi)) break;
+      fn(k, it.value());
+    }
+  }
+
+  // --- iteration ----------------------------------------------------------
+
+  class ConstIterator {
+   public:
+    ConstIterator() = default;
+    bool valid() const { return leaf_ != nullptr; }
+    Key key() const { return leaf_->keys.At(index_); }
+    const Value& value() const {
+      return leaf_->values[static_cast<size_t>(index_)];
+    }
+    ConstIterator& operator++() {
+      if (++index_ >= leaf_->keys.count()) {
+        leaf_ = leaf_->next;
+        index_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const ConstIterator&) const = default;
+
+   private:
+    friend class GenericBPlusTree;
+    ConstIterator(const typename GenericBPlusTree::LeafNode* leaf,
+                  int64_t index)
+        : leaf_(leaf), index_(index) {}
+    const typename GenericBPlusTree::LeafNode* leaf_ = nullptr;
+    int64_t index_ = 0;
+  };
+
+  ConstIterator begin() const {
+    return (first_leaf_ != nullptr && first_leaf_->keys.count() > 0)
+               ? ConstIterator(first_leaf_, 0)
+               : ConstIterator();
+  }
+
+  // Iterator at the first pair with key >= lo.
+  ConstIterator LowerBoundIter(Key lo) const {
+    if (root_ == nullptr) return ConstIterator();
+    const NodeBase* node = root_;
+    while (!node->is_leaf) {
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      const int64_t idx = inner->keys.LowerBound(lo);
+      node = inner->children[static_cast<size_t>(idx)];
+    }
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    int64_t pos = leaf->keys.LowerBound(lo);
+    if (pos >= leaf->keys.count()) {  // answer starts in the next leaf
+      leaf = leaf->next;
+      pos = 0;
+    }
+    return leaf != nullptr ? ConstIterator(leaf, pos) : ConstIterator();
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int height() const {
+    int h = 0;
+    for (const NodeBase* n = root_; n != nullptr;
+         n = n->is_leaf ? nullptr
+                        : static_cast<const InnerNode*>(n)->children[0]) {
+      ++h;
+    }
+    return h;
+  }
+
+  TreeStats Stats() const {
+    TreeStats s;
+    s.height = height();
+    s.keys = size_;
+    s.memory_bytes = sizeof(*this);
+    double fill_sum = 0.0;
+    ForEachNode([&](const NodeBase* node) {
+      if (node->is_leaf) {
+        const LeafNode* leaf = static_cast<const LeafNode*>(node);
+        ++s.leaf_nodes;
+        s.memory_bytes += sizeof(LeafNode) + leaf->keys.MemoryBytes() +
+                          leaf->values.capacity() * sizeof(Value);
+        fill_sum += static_cast<double>(leaf->keys.count()) /
+                    static_cast<double>(leaf->keys.capacity());
+      } else {
+        const InnerNode* inner = static_cast<const InnerNode*>(node);
+        ++s.inner_nodes;
+        s.memory_bytes += sizeof(InnerNode) + inner->keys.MemoryBytes() +
+                          inner->children.capacity() * sizeof(NodeBase*);
+      }
+    });
+    s.avg_leaf_fill =
+        s.leaf_nodes > 0 ? fill_sum / static_cast<double>(s.leaf_nodes) : 0.0;
+    return s;
+  }
+
+  size_t MemoryBytes() const { return Stats().memory_bytes; }
+
+  // Checks every structural invariant; returns false (and stops) on the
+  // first violation. Used heavily by the randomized model tests.
+  bool Validate() const {
+    if (root_ == nullptr) return size_ == 0 && first_leaf_ == nullptr;
+    int leaf_depth = -1;
+    size_t counted = 0;
+    const LeafNode* prev_leaf = nullptr;
+    bool ok = ValidateRec(root_, /*depth=*/0, /*is_root=*/true, &leaf_depth,
+                          &counted, &prev_leaf, nullptr, nullptr);
+    ok = ok && counted == size_;
+    ok = ok && (prev_leaf == nullptr || prev_leaf->next == nullptr);
+    // The leaf chain must start at first_leaf_ and be globally sorted.
+    const LeafNode* leftmost = LeftmostLeaf();
+    ok = ok && leftmost == first_leaf_;
+    size_t chained = 0;
+    bool have_prev_key = false;
+    Key prev_key{};
+    const LeafNode* expected_prev = nullptr;
+    for (const LeafNode* l = first_leaf_; l != nullptr; l = l->next) {
+      ok = ok && l->prev == expected_prev;
+      expected_prev = l;
+      for (int64_t i = 0; i < l->keys.count(); ++i) {
+        const Key k = l->keys.At(i);
+        if (have_prev_key && prev_key > k) ok = false;
+        prev_key = k;
+        have_prev_key = true;
+        ++chained;
+      }
+    }
+    ok = ok && chained == size_;
+    return ok;
+  }
+
+  // Writes an indented structural dump (separators and leaf keys) to
+  // `out`; intended for debugging and small trees.
+  void DumpStructure(FILE* out) const {
+    if (root_ == nullptr) {
+      std::fprintf(out, "(empty)\n");
+      return;
+    }
+    DumpRec(root_, 0, out);
+  }
+
+  // --- bulk load ----------------------------------------------------------
+
+  // Builds a tree from parallel sorted key/value arrays with the given
+  // leaf/inner fill fraction (1.0 = completely filled nodes, the paper's
+  // evaluation setting). Keys must be ascending (duplicates allowed).
+  static GenericBPlusTree BulkLoad(Config config, const Key* keys,
+                                   const Value* values, size_t n,
+                                   double fill = 1.0) {
+    GenericBPlusTree tree(std::move(config));
+    tree.BulkLoadInto(keys, values, n, fill);
+    return tree;
+  }
+
+ private:
+  struct NodeBase {
+    explicit NodeBase(bool leaf) : is_leaf(leaf) {}
+    const bool is_leaf;
+  };
+
+  struct InnerNode : NodeBase {
+    explicit InnerNode(const Context& ctx) : NodeBase(false), keys(ctx) {
+      children.reserve(static_cast<size_t>(ctx.capacity) + 1);
+    }
+    KeyStore keys;
+    std::vector<NodeBase*> children;  // count() + 1 entries, logical order
+  };
+
+  struct LeafNode : NodeBase {
+    explicit LeafNode(const Context& ctx) : NodeBase(true), keys(ctx) {
+      values.reserve(static_cast<size_t>(ctx.capacity));
+    }
+    KeyStore keys;
+    std::vector<Value> values;  // parallel to logical key order
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+  };
+
+  friend class ConstIterator;
+
+  // --- node helpers -------------------------------------------------------
+
+  LeafNode* NewLeaf() { return new LeafNode(*leaf_ctx_); }
+  InnerNode* NewInner() { return new InnerNode(*inner_ctx_); }
+
+  int64_t CapacityOf(const NodeBase* n) const {
+    return n->is_leaf ? leaf_ctx_->capacity : inner_ctx_->capacity;
+  }
+  int64_t CountOf(const NodeBase* n) const {
+    return n->is_leaf ? static_cast<const LeafNode*>(n)->keys.count()
+                      : static_cast<const InnerNode*>(n)->keys.count();
+  }
+  bool IsFull(const NodeBase* n) const {
+    return CountOf(n) == CapacityOf(n);
+  }
+  // Minimum keys of a non-root node. (cap-1)/2 rather than cap/2 because
+  // splitting a full even-capacity branching node promotes the middle key
+  // and leaves ceil/floor halves of cap-1 keys.
+  int64_t MinKeys(const NodeBase* n) const { return (CapacityOf(n) - 1) / 2; }
+
+  void DeleteSubtree(NodeBase* node) {
+    if (node->is_leaf) {
+      delete static_cast<LeafNode*>(node);
+      return;
+    }
+    InnerNode* inner = static_cast<InnerNode*>(node);
+    for (NodeBase* child : inner->children) DeleteSubtree(child);
+    delete inner;
+  }
+
+  const LeafNode* LeftmostLeaf() const {
+    const NodeBase* n = root_;
+    if (n == nullptr) return nullptr;
+    while (!n->is_leaf) {
+      n = static_cast<const InnerNode*>(n)->children[0];
+    }
+    return static_cast<const LeafNode*>(n);
+  }
+
+  // --- insertion ----------------------------------------------------------
+
+  // Splits the full child at `idx` of `parent` (which has spare room).
+  void SplitChild(InnerNode* parent, int64_t idx) {
+    NodeBase* child = parent->children[static_cast<size_t>(idx)];
+    Key separator;
+    NodeBase* right_node = nullptr;
+    if (child->is_leaf) {
+      LeafNode* left = static_cast<LeafNode*>(child);
+      LeafNode* right = NewLeaf();
+      const int64_t mid = left->keys.count() / 2;
+      left->keys.MoveSuffixTo(right->keys, mid);
+      right->values.assign(
+          std::make_move_iterator(left->values.begin() +
+                                  static_cast<ptrdiff_t>(mid)),
+          std::make_move_iterator(left->values.end()));
+      left->values.resize(static_cast<size_t>(mid));
+      right->next = left->next;
+      if (right->next != nullptr) right->next->prev = right;
+      right->prev = left;
+      left->next = right;
+      separator = right->keys.At(0);  // first key of the right subtree
+      right_node = right;
+    } else {
+      InnerNode* left = static_cast<InnerNode*>(child);
+      InnerNode* right = NewInner();
+      const int64_t mid = left->keys.count() / 2;
+      // Promote the middle separator; keys right of it move to the new
+      // node together with their child pointers.
+      separator = left->keys.At(mid);
+      left->keys.MoveSuffixTo(right->keys, mid + 1);
+      right->children.assign(
+          left->children.begin() + static_cast<ptrdiff_t>(mid + 1),
+          left->children.end());
+      left->children.resize(static_cast<size_t>(mid + 1));
+      left->keys.RemoveAt(mid);
+      right_node = right;
+    }
+    parent->keys.InsertAt(idx, separator);
+    parent->children.insert(
+        parent->children.begin() + static_cast<ptrdiff_t>(idx + 1),
+        right_node);
+  }
+
+  void InsertNonFull(NodeBase* node, Key key, Value value) {
+    while (!node->is_leaf) {
+      InnerNode* inner = static_cast<InnerNode*>(node);
+      int64_t idx = inner->keys.UpperBound(key);
+      if (IsFull(inner->children[static_cast<size_t>(idx)])) {
+        SplitChild(inner, idx);
+        idx = inner->keys.UpperBound(key);
+      }
+      node = inner->children[static_cast<size_t>(idx)];
+    }
+    LeafNode* leaf = static_cast<LeafNode*>(node);
+    const int64_t pos = leaf->keys.UpperBound(key);
+    leaf->keys.InsertAt(pos, key);
+    leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(pos),
+                        std::move(value));
+  }
+
+  // --- lookup helpers -----------------------------------------------------
+
+  struct LeafPos {
+    const LeafNode* leaf = nullptr;
+    int64_t index = 0;
+  };
+
+  // Locates one occurrence of `key` via upper-bound descent (the paper's
+  // navigation): the descent lands in the leaf holding the global upper
+  // bound of `key`; the occurrence, if any, is the position before it —
+  // possibly the last key of the previous leaf.
+  LeafPos FindLeafPos(Key key) const {
+    if (root_ == nullptr) return {};
+    const NodeBase* node = root_;
+    while (!node->is_leaf) {
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      node = inner->children[static_cast<size_t>(inner->keys.UpperBound(key))];
+    }
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    int64_t pos = leaf->keys.UpperBound(key);
+    if (pos == 0) {
+      leaf = leaf->prev;
+      if (leaf == nullptr) return {};
+      pos = leaf->keys.count();
+    }
+    if (leaf->keys.At(pos - 1) != key) return {};
+    return {leaf, pos - 1};
+  }
+
+  // --- erase --------------------------------------------------------------
+
+  bool EraseRec(NodeBase* node, Key key) {
+    if (node->is_leaf) {
+      LeafNode* leaf = static_cast<LeafNode*>(node);
+      const int64_t pos = leaf->keys.LowerBound(key);
+      if (pos >= leaf->keys.count() || leaf->keys.At(pos) != key) {
+        return false;
+      }
+      leaf->keys.RemoveAt(pos);
+      leaf->values.erase(leaf->values.begin() +
+                         static_cast<ptrdiff_t>(pos));
+      return true;
+    }
+    InnerNode* inner = static_cast<InnerNode*>(node);
+    // With duplicate keys, `key` may live in any child between the
+    // lower-bound and upper-bound separators (a run of separators equal to
+    // `key`); probe them left to right. Failed probes modify nothing.
+    const int64_t lo = inner->keys.LowerBound(key);
+    const int64_t hi = inner->keys.UpperBound(key);
+    for (int64_t idx = lo; idx <= hi; ++idx) {
+      NodeBase* child = inner->children[static_cast<size_t>(idx)];
+      if (EraseRec(child, key)) {
+        if (CountOf(child) < MinKeys(child)) RepairChild(inner, idx);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Restores the minimum occupancy of children[idx] by borrowing from a
+  // sibling or merging with one. The parent may underflow as a result;
+  // its own parent repairs it on the unwind.
+  void RepairChild(InnerNode* parent, int64_t idx) {
+    NodeBase* child = parent->children[static_cast<size_t>(idx)];
+    const int64_t n_children = static_cast<int64_t>(parent->children.size());
+    NodeBase* left_sib =
+        idx > 0 ? parent->children[static_cast<size_t>(idx - 1)] : nullptr;
+    NodeBase* right_sib = idx + 1 < n_children
+                              ? parent->children[static_cast<size_t>(idx + 1)]
+                              : nullptr;
+    if (left_sib != nullptr && CountOf(left_sib) > MinKeys(left_sib)) {
+      BorrowFromLeft(parent, idx, left_sib, child);
+    } else if (right_sib != nullptr &&
+               CountOf(right_sib) > MinKeys(right_sib)) {
+      BorrowFromRight(parent, idx, child, right_sib);
+    } else if (left_sib != nullptr) {
+      MergeChildren(parent, idx - 1);
+    } else {
+      assert(right_sib != nullptr);
+      MergeChildren(parent, idx);
+    }
+  }
+
+  void BorrowFromLeft(InnerNode* parent, int64_t idx, NodeBase* left_base,
+                      NodeBase* child_base) {
+    if (child_base->is_leaf) {
+      LeafNode* left = static_cast<LeafNode*>(left_base);
+      LeafNode* child = static_cast<LeafNode*>(child_base);
+      const int64_t last = left->keys.count() - 1;
+      const Key moved = left->keys.At(last);
+      child->keys.InsertAt(0, moved);
+      child->values.insert(child->values.begin(),
+                           std::move(left->values.back()));
+      left->values.pop_back();
+      left->keys.RemoveAt(last);
+      // Separator between left and child = first key of child's subtree.
+      parent->keys.RemoveAt(idx - 1);
+      parent->keys.InsertAt(idx - 1, moved);
+    } else {
+      InnerNode* left = static_cast<InnerNode*>(left_base);
+      InnerNode* child = static_cast<InnerNode*>(child_base);
+      const int64_t last = left->keys.count() - 1;
+      // Rotate through the parent: parent separator drops into child,
+      // left's last separator replaces it.
+      const Key down = parent->keys.At(idx - 1);
+      const Key up = left->keys.At(last);
+      child->keys.InsertAt(0, down);
+      child->children.insert(child->children.begin(),
+                             left->children.back());
+      left->children.pop_back();
+      left->keys.RemoveAt(last);
+      parent->keys.RemoveAt(idx - 1);
+      parent->keys.InsertAt(idx - 1, up);
+    }
+  }
+
+  void BorrowFromRight(InnerNode* parent, int64_t idx, NodeBase* child_base,
+                       NodeBase* right_base) {
+    if (child_base->is_leaf) {
+      LeafNode* child = static_cast<LeafNode*>(child_base);
+      LeafNode* right = static_cast<LeafNode*>(right_base);
+      const Key moved = right->keys.At(0);
+      child->keys.InsertAt(child->keys.count(), moved);
+      child->values.push_back(std::move(right->values.front()));
+      right->values.erase(right->values.begin());
+      right->keys.RemoveAt(0);
+      parent->keys.RemoveAt(idx);
+      parent->keys.InsertAt(idx, right->keys.At(0));
+    } else {
+      InnerNode* child = static_cast<InnerNode*>(child_base);
+      InnerNode* right = static_cast<InnerNode*>(right_base);
+      const Key down = parent->keys.At(idx);
+      const Key up = right->keys.At(0);
+      child->keys.InsertAt(child->keys.count(), down);
+      child->children.push_back(right->children.front());
+      right->children.erase(right->children.begin());
+      right->keys.RemoveAt(0);
+      parent->keys.RemoveAt(idx);
+      parent->keys.InsertAt(idx, up);
+    }
+  }
+
+  // Merges children[idx] and children[idx+1]; the right node is freed.
+  void MergeChildren(InnerNode* parent, int64_t idx) {
+    NodeBase* left_base = parent->children[static_cast<size_t>(idx)];
+    NodeBase* right_base = parent->children[static_cast<size_t>(idx + 1)];
+    if (left_base->is_leaf) {
+      LeafNode* left = static_cast<LeafNode*>(left_base);
+      LeafNode* right = static_cast<LeafNode*>(right_base);
+      left->keys.AppendFrom(right->keys);
+      left->values.insert(left->values.end(),
+                          std::make_move_iterator(right->values.begin()),
+                          std::make_move_iterator(right->values.end()));
+      left->next = right->next;
+      if (left->next != nullptr) left->next->prev = left;
+      delete right;
+    } else {
+      InnerNode* left = static_cast<InnerNode*>(left_base);
+      InnerNode* right = static_cast<InnerNode*>(right_base);
+      // The parent separator drops down between the merged key runs.
+      left->keys.InsertAt(left->keys.count(), parent->keys.At(idx));
+      left->keys.AppendFrom(right->keys);
+      left->children.insert(left->children.end(), right->children.begin(),
+                            right->children.end());
+      delete right;
+    }
+    parent->keys.RemoveAt(idx);
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(idx + 1));
+  }
+
+  void ShrinkRoot() {
+    while (root_ != nullptr && !root_->is_leaf && CountOf(root_) == 0) {
+      InnerNode* old_root = static_cast<InnerNode*>(root_);
+      root_ = old_root->children[0];
+      old_root->children.clear();
+      delete old_root;
+    }
+    if (root_ != nullptr && root_->is_leaf && CountOf(root_) == 0) {
+      delete static_cast<LeafNode*>(root_);
+      root_ = nullptr;
+      first_leaf_ = nullptr;
+    }
+  }
+
+  // --- validation ---------------------------------------------------------
+
+  bool ValidateRec(const NodeBase* node, int depth, bool is_root,
+                   int* leaf_depth, size_t* counted,
+                   const LeafNode** prev_leaf, const Key* lo,
+                   const Key* hi) const {
+    const int64_t count = CountOf(node);
+    if (!is_root && count < MinKeys(node)) return false;
+    if (count > CapacityOf(node)) return false;
+    if (is_root && !node->is_leaf && count < 1) return false;
+    // Keys ascending and within the inherited closed bounds.
+    for (int64_t i = 0; i < count; ++i) {
+      const Key k = node->is_leaf
+                        ? static_cast<const LeafNode*>(node)->keys.At(i)
+                        : static_cast<const InnerNode*>(node)->keys.At(i);
+      if (i > 0) {
+        const Key prev =
+            node->is_leaf
+                ? static_cast<const LeafNode*>(node)->keys.At(i - 1)
+                : static_cast<const InnerNode*>(node)->keys.At(i - 1);
+        if (prev > k) return false;
+      }
+      if (lo != nullptr && k < *lo) return false;
+      if (hi != nullptr && k > *hi) return false;
+    }
+    if (node->is_leaf) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(node);
+      if (*leaf_depth == -1) *leaf_depth = depth;
+      if (*leaf_depth != depth) return false;
+      if (leaf->values.size() != static_cast<size_t>(count)) return false;
+      if (leaf->prev != *prev_leaf) return false;
+      if (*prev_leaf != nullptr && (*prev_leaf)->next != leaf) return false;
+      *prev_leaf = leaf;
+      *counted += static_cast<size_t>(count);
+      return true;
+    }
+    const InnerNode* inner = static_cast<const InnerNode*>(node);
+    if (inner->children.size() != static_cast<size_t>(count) + 1) {
+      return false;
+    }
+    for (int64_t i = 0; i <= count; ++i) {
+      Key child_lo{};
+      Key child_hi{};
+      const Key* lo_ptr = lo;
+      const Key* hi_ptr = hi;
+      if (i > 0) {
+        child_lo = inner->keys.At(i - 1);
+        lo_ptr = &child_lo;
+      }
+      if (i < count) {
+        child_hi = inner->keys.At(i);
+        hi_ptr = &child_hi;
+      }
+      if (!ValidateRec(inner->children[static_cast<size_t>(i)], depth + 1,
+                       false, leaf_depth, counted, prev_leaf, lo_ptr,
+                       hi_ptr)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void DumpRec(const NodeBase* node, int depth, FILE* out) const {
+    for (int i = 0; i < depth; ++i) std::fprintf(out, "  ");
+    if (node->is_leaf) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(node);
+      std::fprintf(out, "leaf(%lld):", static_cast<long long>(leaf->keys.count()));
+      for (int64_t i = 0; i < leaf->keys.count(); ++i) {
+        std::fprintf(out, " %lld", static_cast<long long>(leaf->keys.At(i)));
+      }
+      std::fprintf(out, "\n");
+      return;
+    }
+    const InnerNode* inner = static_cast<const InnerNode*>(node);
+    std::fprintf(out, "inner(%lld):", static_cast<long long>(inner->keys.count()));
+    for (int64_t i = 0; i < inner->keys.count(); ++i) {
+      std::fprintf(out, " %lld", static_cast<long long>(inner->keys.At(i)));
+    }
+    std::fprintf(out, "\n");
+    for (const NodeBase* c : inner->children) DumpRec(c, depth + 1, out);
+  }
+
+  template <typename Fn>
+  void ForEachNode(Fn fn) const {
+    if (root_ == nullptr) return;
+    std::vector<const NodeBase*> stack = {root_};
+    while (!stack.empty()) {
+      const NodeBase* node = stack.back();
+      stack.pop_back();
+      fn(node);
+      if (!node->is_leaf) {
+        const InnerNode* inner = static_cast<const InnerNode*>(node);
+        for (const NodeBase* c : inner->children) stack.push_back(c);
+      }
+    }
+  }
+
+  // --- bulk load ----------------------------------------------------------
+
+  // Size of the next chunk when packing `rest` items into nodes that
+  // prefer `pref` items and must hold between `min_items` and `max_items`
+  // (root-level exceptions handled by the callers). Guarantees the
+  // remainder never ends up below `min_items`.
+  static int64_t NextChunk(int64_t rest, int64_t pref, int64_t min_items,
+                           int64_t max_items) {
+    int64_t take = std::min(pref, rest);
+    const int64_t remaining = rest - take;
+    if (remaining > 0 && remaining < min_items) {
+      // Borrow from this chunk; if everything still fits in one node,
+      // take it all (slightly overfull vs. `pref`, never vs. capacity).
+      take = rest <= max_items ? rest : rest - min_items;
+    }
+    return take;
+  }
+
+  void BulkLoadInto(const Key* keys, const Value* values, size_t n,
+                    double fill) {
+    assert(root_ == nullptr);
+    if (n == 0) return;
+
+    const int64_t leaf_cap = leaf_ctx_->capacity;
+    const int64_t min_leaf = (leaf_cap - 1) / 2;
+    int64_t per_leaf =
+        static_cast<int64_t>(static_cast<double>(leaf_cap) * fill + 0.5);
+    per_leaf = std::clamp<int64_t>(per_leaf, std::max<int64_t>(min_leaf, 1),
+                                   leaf_cap);
+
+    // Build the leaf level.
+    struct Entry {
+      NodeBase* node;
+      Key min_key;  // smallest key in the subtree (future separator)
+    };
+    std::vector<Entry> level;
+    LeafNode* prev = nullptr;
+    size_t i = 0;
+    while (i < n) {
+      const int64_t take = NextChunk(static_cast<int64_t>(n - i), per_leaf,
+                                     min_leaf, leaf_cap);
+      LeafNode* leaf = NewLeaf();
+      leaf->keys.AssignSorted(keys + i, take);
+      leaf->values.assign(values + i, values + i + take);
+      leaf->prev = prev;
+      if (prev != nullptr) prev->next = leaf;
+      if (first_leaf_ == nullptr) first_leaf_ = leaf;
+      level.push_back({leaf, keys[i]});
+      prev = leaf;
+      i += static_cast<size_t>(take);
+    }
+    size_ = n;
+
+    // Build inner levels bottom-up until a single root remains. Counts
+    // below are child-pointer counts (keys + 1).
+    const int64_t max_children = inner_ctx_->capacity + 1;
+    const int64_t min_children = (inner_ctx_->capacity - 1) / 2 + 1;
+    int64_t per_inner = static_cast<int64_t>(
+        static_cast<double>(max_children) * fill + 0.5);
+    per_inner = std::clamp<int64_t>(per_inner, min_children, max_children);
+    while (level.size() > 1) {
+      std::vector<Entry> next_level;
+      size_t j = 0;
+      while (j < level.size()) {
+        int64_t take = NextChunk(static_cast<int64_t>(level.size() - j),
+                                 per_inner, min_children, max_children);
+        if (take < 2 && level.size() - j > 1) take = 2;
+        InnerNode* node = NewInner();
+        for (int64_t c = 0; c < take; ++c) {
+          const Entry& e = level[j + static_cast<size_t>(c)];
+          node->children.push_back(e.node);
+          if (c > 0) node->keys.InsertAt(node->keys.count(), e.min_key);
+        }
+        next_level.push_back({node, level[j].min_key});
+        j += static_cast<size_t>(take);
+      }
+      level = std::move(next_level);
+    }
+    root_ = level[0].node;
+  }
+
+  std::unique_ptr<Context> leaf_ctx_;
+  std::unique_ptr<Context> inner_ctx_;
+  NodeBase* root_ = nullptr;
+  LeafNode* first_leaf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace simdtree::btree
+
+#endif  // SIMDTREE_BTREE_GENERIC_BTREE_H_

@@ -1,0 +1,113 @@
+// Baseline in-node key storage: a plain sorted array searched with scalar
+// binary search (the paper's baseline) or sequential search (ablation).
+//
+// This is one of the two interchangeable key-store policies of
+// GenericBPlusTree (see generic_btree.h for the policy contract); the
+// other is the linearized SIMD store in src/segtree/seg_key_store.h.
+
+#ifndef SIMDTREE_BTREE_PLAIN_KEY_STORE_H_
+#define SIMDTREE_BTREE_PLAIN_KEY_STORE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kary/scalar_search.h"
+
+namespace simdtree::btree {
+
+// In-node scalar search algorithms (paper Section 1: "search strategies
+// range from sequential over binary to exploration search").
+struct BinarySearchTag {
+  static constexpr const char* kName = "binary";
+  template <typename Key>
+  static int64_t UpperBound(const Key* keys, int64_t n, Key v) {
+    return kary::BinaryUpperBound(keys, n, v);
+  }
+};
+
+struct SequentialSearchTag {
+  static constexpr const char* kName = "sequential";
+  template <typename Key>
+  static int64_t UpperBound(const Key* keys, int64_t n, Key v) {
+    return kary::SequentialUpperBound(keys, n, v);
+  }
+};
+
+template <typename Key, typename SearchTag = BinarySearchTag>
+class PlainKeyStore {
+ public:
+  // Shared per-tree state for one node kind. The plain store only needs
+  // the node capacity.
+  struct Context {
+    explicit Context(int64_t capacity_in) : capacity(capacity_in) {}
+    int64_t capacity;
+  };
+
+  explicit PlainKeyStore(const Context& ctx) : ctx_(&ctx) {
+    keys_.reserve(static_cast<size_t>(ctx.capacity));
+  }
+
+  int64_t count() const { return static_cast<int64_t>(keys_.size()); }
+  int64_t capacity() const { return ctx_->capacity; }
+
+  Key At(int64_t pos) const {
+    assert(pos >= 0 && pos < count());
+    return keys_[static_cast<size_t>(pos)];
+  }
+
+  // Index of the first key > v.
+  int64_t UpperBound(Key v) const {
+    return SearchTag::template UpperBound<Key>(keys_.data(), count(), v);
+  }
+
+  // Index of the first key >= v.
+  int64_t LowerBound(Key v) const {
+    if (v == std::numeric_limits<Key>::min()) return 0;
+    return UpperBound(static_cast<Key>(v - 1));
+  }
+
+  void InsertAt(int64_t pos, Key k) {
+    assert(pos >= 0 && pos <= count());
+    assert(count() < capacity());
+    keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(pos), k);
+  }
+
+  void RemoveAt(int64_t pos) {
+    assert(pos >= 0 && pos < count());
+    keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pos));
+  }
+
+  void AssignSorted(const Key* keys, int64_t n) {
+    assert(n <= capacity());
+    keys_.assign(keys, keys + n);
+  }
+
+  void Clear() { keys_.clear(); }
+
+  // Moves keys [from, count) into the empty store `dst` (node split).
+  void MoveSuffixTo(PlainKeyStore& dst, int64_t from) {
+    assert(dst.count() == 0);
+    dst.keys_.assign(keys_.begin() + static_cast<ptrdiff_t>(from),
+                     keys_.end());
+    keys_.resize(static_cast<size_t>(from));
+  }
+
+  // Appends all keys of `src` (node merge); src is left empty.
+  void AppendFrom(PlainKeyStore& src) {
+    assert(count() + src.count() <= capacity());
+    keys_.insert(keys_.end(), src.keys_.begin(), src.keys_.end());
+    src.keys_.clear();
+  }
+
+  size_t MemoryBytes() const { return keys_.capacity() * sizeof(Key); }
+
+ private:
+  const Context* ctx_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace simdtree::btree
+
+#endif  // SIMDTREE_BTREE_PLAIN_KEY_STORE_H_

@@ -1,0 +1,102 @@
+// Thread-safe wrapper for any simdtree index.
+//
+// The paper's evaluation is single-threaded and names concurrency as
+// future work ("the impact of SIMD instructions on concurrently used
+// index structures is an ongoing research task", Section 7). The
+// underlying structures are thread-compatible (concurrent reads are safe
+// for the trees; SegKeyStore mutation uses a shared scratch buffer, so
+// any write requires exclusion). SynchronizedIndex provides the coarse
+// reader/writer exclusion that makes them safely shareable: many
+// concurrent readers, single writer.
+//
+// This is deliberately the simplest correct design — finer-grained
+// schemes (lock coupling, optimistic lock versions as in ART/OLC) change
+// the structures themselves and are out of scope for this reproduction.
+
+#ifndef SIMDTREE_CORE_SYNCHRONIZED_H_
+#define SIMDTREE_CORE_SYNCHRONIZED_H_
+
+#include <optional>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+namespace simdtree {
+
+template <typename Index>
+class SynchronizedIndex {
+ public:
+  using KeyType = typename Index::KeyType;
+  using ValueType = typename Index::ValueType;
+
+  SynchronizedIndex() = default;
+  explicit SynchronizedIndex(Index index) : index_(std::move(index)) {}
+
+  SynchronizedIndex(const SynchronizedIndex&) = delete;
+  SynchronizedIndex& operator=(const SynchronizedIndex&) = delete;
+
+  // --- writers ----------------------------------------------------------
+
+  auto Insert(KeyType key, ValueType value) {
+    std::unique_lock lock(mutex_);
+    return index_.Insert(key, std::move(value));
+  }
+
+  bool Erase(KeyType key) {
+    std::unique_lock lock(mutex_);
+    return index_.Erase(key);
+  }
+
+  void Clear() {
+    std::unique_lock lock(mutex_);
+    index_.Clear();
+  }
+
+  // --- readers ----------------------------------------------------------
+
+  std::optional<ValueType> Find(KeyType key) const {
+    std::shared_lock lock(mutex_);
+    return index_.Find(key);
+  }
+
+  bool Contains(KeyType key) const {
+    std::shared_lock lock(mutex_);
+    return index_.Contains(key);
+  }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return index_.size();
+  }
+
+  // Runs fn(key, value) over [lo, hi) under the shared lock; fn must not
+  // call back into this index (lock is held).
+  template <typename Fn>
+  void ScanRange(KeyType lo, KeyType hi, Fn fn,
+                 bool hi_inclusive = false) const {
+    std::shared_lock lock(mutex_);
+    index_.ScanRange(lo, hi, std::move(fn), hi_inclusive);
+  }
+
+  // Arbitrary read-only access under the shared lock.
+  template <typename Fn>
+  auto WithRead(Fn fn) const {
+    std::shared_lock lock(mutex_);
+    return fn(static_cast<const Index&>(index_));
+  }
+
+  // Arbitrary mutating access under the exclusive lock.
+  template <typename Fn>
+  auto WithWrite(Fn fn) {
+    std::unique_lock lock(mutex_);
+    return fn(index_);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  Index index_;
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_CORE_SYNCHRONIZED_H_

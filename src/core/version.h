@@ -1,0 +1,13 @@
+#ifndef SIMDTREE_CORE_VERSION_H_
+#define SIMDTREE_CORE_VERSION_H_
+
+namespace simdtree {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_CORE_VERSION_H_

@@ -1,0 +1,78 @@
+// Shapes and layouts of linearized k-ary search trees (paper Section 2.2).
+//
+// A perfect k-ary search tree over N-1 = k^r - 1 keys has r levels; every
+// node holds exactly k-1 keys and internal nodes have k children. The tree
+// is a *logical* structure: it is stored as a flat array ("linearized") in
+// either breadth-first or depth-first node order, so that the k-1 separator
+// keys of a node are adjacent in memory and loadable with one SIMD
+// instruction.
+
+#ifndef SIMDTREE_KARY_LAYOUT_H_
+#define SIMDTREE_KARY_LAYOUT_H_
+
+#include <cstdint>
+
+namespace simdtree::kary {
+
+// Node order of the linearized array (paper Section 3.2).
+enum class Layout {
+  kBreadthFirst,
+  kDepthFirst,
+};
+
+inline const char* LayoutName(Layout layout) {
+  return layout == Layout::kBreadthFirst ? "breadth_first" : "depth_first";
+}
+
+// Storage policy for trees that are not perfectly full (paper Section 3.3).
+//
+//   kPerfect   — materialize all k^r - 1 slots; missing keys become padding.
+//                Required for the depth-first layout, whose offset
+//                arithmetic (Algorithm 4) assumes the full tree.
+//   kTruncated — store only the breadth-first prefix of nodes up to the
+//                last node holding a real key (this reproduces the paper's
+//                N_S column in Table 3). Breadth-first layout only.
+enum class Storage {
+  kPerfect,
+  kTruncated,
+};
+
+// Geometry of a perfect k-ary search tree.
+struct KaryShape {
+  int k = 0;        // arity: k-1 keys per node, k children
+  int r = 0;        // number of levels
+  int64_t slots = 0;  // k^r - 1 key slots in the perfect tree
+
+  // Smallest shape of arity k that can hold n keys (r >= 1 even for n <= 1,
+  // so an empty-but-allocated node still has a valid shape).
+  static KaryShape For(int k, int64_t n) {
+    KaryShape s;
+    s.k = k;
+    s.r = 1;
+    int64_t capacity = k - 1;  // k^1 - 1
+    while (capacity < n) {
+      ++s.r;
+      capacity = capacity * k + (k - 1);  // k^(r) - 1
+    }
+    s.slots = capacity;
+    return s;
+  }
+
+  // Shape with exactly r levels.
+  static KaryShape Exact(int k, int r) {
+    KaryShape s;
+    s.k = k;
+    s.r = r;
+    s.slots = 0;
+    int64_t level_keys = k - 1;
+    for (int i = 0; i < r; ++i) {
+      s.slots += level_keys;
+      level_keys *= k;
+    }
+    return s;
+  }
+};
+
+}  // namespace simdtree::kary
+
+#endif  // SIMDTREE_KARY_LAYOUT_H_

@@ -1,0 +1,132 @@
+#include "kary/linearize.h"
+
+#include <algorithm>
+
+namespace simdtree::kary {
+
+namespace {
+
+int64_t Pow(int64_t base, int exp) {
+  int64_t v = 1;
+  for (int i = 0; i < exp; ++i) v *= base;
+  return v;
+}
+
+// S(R) from the paper: the size of a subtree (keys + 1) rooted one level
+// below level R; S(R) = floor(N / k^(R+1)) with N = k^r, and S(-1) = N.
+int64_t SubtreeSize(const KaryShape& shape, int level) {
+  return Pow(shape.k, shape.r) / Pow(shape.k, level + 1);
+}
+
+int64_t BfSlotRecursive(int64_t p, int level, const KaryShape& shape) {
+  const int64_t k = shape.k;
+  const int64_t s_r = SubtreeSize(shape, level);
+  const int64_t s_rm1 = SubtreeSize(shape, level - 1);
+  if ((p + 1) % s_r == 0) {
+    return (p + 1) / s_rm1 * (k - 1) + ((p + 1) % (s_r * k)) / s_r - 1;
+  }
+  return BfSlotRecursive(p, level + 1, shape) + Pow(k, level) * (k - 1);
+}
+
+int64_t DfSlotRecursive(int64_t p, int level, const KaryShape& shape) {
+  const int64_t k = shape.k;
+  const int64_t s_r = SubtreeSize(shape, level);
+  const int64_t s_rm1 = SubtreeSize(shape, level - 1);
+  if ((p + 1) % s_r == 0) {
+    return ((p + 1) % s_rm1) / s_r - 1;
+  }
+  return DfSlotRecursive(p, level + 1, shape) + (k - 1) +
+         ((p + 1) % s_rm1) / s_r * (s_r - 1);
+}
+
+// Constructive breadth-first permutation: level by level, node by node.
+// The node with in-level index j on level l covers sorted positions
+// [j * k^(r-l), (j+1) * k^(r-l) - 2]; its separators are at
+// j * k^(r-l) + (i+1) * k^(r-l-1) - 1 for i = 0..k-2.
+void BuildBreadthFirst(const KaryShape& shape,
+                       std::vector<uint32_t>* slot_to_sorted) {
+  const int64_t k = shape.k;
+  int64_t base = 0;
+  for (int l = 0; l < shape.r; ++l) {
+    const int64_t nodes = Pow(k, l);
+    const int64_t span = Pow(k, shape.r - l);       // positions per node
+    const int64_t child_span = span / k;            // positions per child
+    for (int64_t j = 0; j < nodes; ++j) {
+      for (int64_t i = 0; i < k - 1; ++i) {
+        (*slot_to_sorted)[static_cast<size_t>(base + j * (k - 1) + i)] =
+            static_cast<uint32_t>(j * span + (i + 1) * child_span - 1);
+      }
+    }
+    base += nodes * (k - 1);
+  }
+}
+
+// Constructive depth-first permutation: a node's k-1 separators first,
+// then each child subtree in order.
+void BuildDepthFirstSubtree(const KaryShape& shape, int64_t lo,
+                            int64_t subtree_keys, int64_t slot_base,
+                            std::vector<uint32_t>* slot_to_sorted) {
+  if (subtree_keys == 0) return;
+  const int64_t k = shape.k;
+  const int64_t child_size = (subtree_keys + 1) / k;  // child keys + 1
+  for (int64_t i = 0; i < k - 1; ++i) {
+    (*slot_to_sorted)[static_cast<size_t>(slot_base + i)] =
+        static_cast<uint32_t>(lo + (i + 1) * child_size - 1);
+  }
+  const int64_t child_base = slot_base + (k - 1);
+  for (int64_t i = 0; i < k; ++i) {
+    BuildDepthFirstSubtree(shape, lo + i * child_size, child_size - 1,
+                           child_base + i * (child_size - 1), slot_to_sorted);
+  }
+}
+
+}  // namespace
+
+int64_t BfSlotClosedForm(int64_t p, const KaryShape& shape) {
+  assert(p >= 0 && p < shape.slots);
+  return BfSlotRecursive(p, 0, shape);
+}
+
+int64_t DfSlotClosedForm(int64_t p, const KaryShape& shape) {
+  assert(p >= 0 && p < shape.slots);
+  return DfSlotRecursive(p, 0, shape);
+}
+
+KaryLayout::KaryLayout(const KaryShape& shape, Layout layout)
+    : shape_(shape), layout_(layout) {
+  const size_t slots = static_cast<size_t>(shape_.slots);
+  slot_to_sorted_.resize(slots);
+  if (layout_ == Layout::kBreadthFirst) {
+    BuildBreadthFirst(shape_, &slot_to_sorted_);
+  } else {
+    BuildDepthFirstSubtree(shape_, 0, shape_.slots, 0, &slot_to_sorted_);
+  }
+
+  sorted_to_slot_.resize(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    sorted_to_slot_[slot_to_sorted_[s]] = static_cast<uint32_t>(s);
+  }
+
+  prefix_max_slot_.resize(slots + 1);
+  prefix_max_slot_[0] = 0;
+  uint32_t running = 0;
+  for (size_t p = 0; p < slots; ++p) {
+    running = std::max(running, sorted_to_slot_[p]);
+    prefix_max_slot_[p + 1] = running;
+  }
+}
+
+int64_t KaryLayout::StoredSlots(int64_t n, Storage storage) const {
+  assert(n >= 0 && n <= shape_.slots);
+  if (storage == Storage::kPerfect) return shape_.slots;
+  // Truncated storage relies on missing nodes being a breadth-first array
+  // suffix, which holds only for the breadth-first layout (see layout.h).
+  assert(layout_ == Layout::kBreadthFirst);
+  if (n == 0) return 0;
+  const int64_t last_slot = prefix_max_slot_[static_cast<size_t>(n)];
+  const int64_t keys_per_node = shape_.k - 1;
+  const int64_t nodes = last_slot / keys_per_node + 1;
+  return nodes * keys_per_node;
+}
+
+}  // namespace simdtree::kary

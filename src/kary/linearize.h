@@ -1,0 +1,108 @@
+// Linearization of a sorted key list into k-ary search tree order
+// (paper Section 3.2, Formulas 1 and 2).
+//
+// Two independent implementations are provided and cross-checked in tests:
+//
+//   * closed-form position transforms P_BF / P_DF exactly as printed in the
+//     paper (recursive over tree levels), and
+//   * a constructive builder that walks the logical tree once and emits the
+//     complete slot <-> sorted-position permutation.
+//
+// `KaryLayout` wraps the permutation with helpers the tree structures need:
+// linearizing a node's sorted keys (with padding / "replenishment", paper
+// Section 3.3), truncated storage sizes (Table 3's N_S), and incremental
+// slot lookups for the append fast path.
+
+#ifndef SIMDTREE_KARY_LINEARIZE_H_
+#define SIMDTREE_KARY_LINEARIZE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "kary/layout.h"
+
+namespace simdtree::kary {
+
+// Closed-form transforms: map the sorted position p (0-based) to its slot
+// in the linearized array of the *perfect* tree described by `shape`.
+// These follow the paper's Formula 1 (breadth-first) and Formula 2
+// (depth-first) literally and exist mainly as an executable specification;
+// the trees use the precomputed permutations below.
+int64_t BfSlotClosedForm(int64_t p, const KaryShape& shape);
+int64_t DfSlotClosedForm(int64_t p, const KaryShape& shape);
+
+// Precomputed bijection between linearized slots and sorted positions of a
+// perfect k-ary search tree, plus layout-aware helpers.
+class KaryLayout {
+ public:
+  KaryLayout(const KaryShape& shape, Layout layout);
+
+  const KaryShape& shape() const { return shape_; }
+  Layout layout() const { return layout_; }
+  int64_t slots() const { return shape_.slots; }
+
+  // Sorted position stored in linearized slot `s`.
+  int64_t SlotToSorted(int64_t s) const {
+    return slot_to_sorted_[static_cast<size_t>(s)];
+  }
+  // Linearized slot holding sorted position `p`.
+  int64_t SortedToSlot(int64_t p) const {
+    return sorted_to_slot_[static_cast<size_t>(p)];
+  }
+
+  // Number of slots that must be materialized for n real keys under the
+  // given storage policy. Truncated storage keeps the breadth-first prefix
+  // of nodes up to the last node containing a real key (node granularity,
+  // so the result is a multiple of k-1). Perfect storage is always the
+  // full slot count.
+  int64_t StoredSlots(int64_t n, Storage storage) const;
+
+  // Writes the linearized form of sorted[0..n) into out[0..out_slots).
+  // Slots whose sorted position is >= n receive `pad`. out_slots must be
+  // StoredSlots(n, ...) or anything between that and slots().
+  template <typename T>
+  void Linearize(const T* sorted, int64_t n, T* out, int64_t out_slots,
+                 T pad) const {
+    assert(n <= shape_.slots);
+    assert(out_slots <= shape_.slots);
+    for (int64_t s = 0; s < out_slots; ++s) {
+      const int64_t p = SlotToSorted(s);
+      out[s] = p < n ? sorted[p] : pad;
+    }
+  }
+
+  // Inverse: recovers the sorted order from a linearized array (pads at
+  // positions >= n are ignored).
+  template <typename T>
+  void Delinearize(const T* lin, int64_t n, T* sorted_out) const {
+    assert(n <= shape_.slots);
+    for (int64_t p = 0; p < n; ++p) {
+      sorted_out[p] = lin[SortedToSlot(p)];
+    }
+  }
+
+ private:
+  KaryShape shape_;
+  Layout layout_;
+  std::vector<uint32_t> slot_to_sorted_;
+  std::vector<uint32_t> sorted_to_slot_;
+  // prefix_max_slot_[n] = highest slot used by any of the sorted positions
+  // 0..n-1; drives StoredSlots for truncated storage in O(1).
+  std::vector<uint32_t> prefix_max_slot_;
+};
+
+// The padding key value ("replenishment", paper Section 3.3). The paper
+// pads with Smax + 1 (text) or Smax (Figure 7); we pad with the type
+// maximum, which is order-equivalent for every probe, never overflows, and
+// keeps padding stable under appends. See DESIGN.md.
+template <typename T>
+constexpr T PadValue() {
+  return std::numeric_limits<T>::max();
+}
+
+}  // namespace simdtree::kary
+
+#endif  // SIMDTREE_KARY_LINEARIZE_H_

@@ -1,0 +1,198 @@
+// Seg-Tree in-node key storage (paper Section 3): keys are kept in
+// linearized k-ary search tree order and searched with SIMD; the logical
+// (sorted) order used by the tree frame is recovered through the layout
+// permutation. Child pointers and values are NOT rearranged — the paper's
+// property that "only the keys in the k-ary search tree must be
+// linearized; pointers are left unchanged".
+//
+// Mutations:
+//   * appending the largest key ("continuous filling with ascending key
+//     values", Section 3.2) writes exactly one slot — no reordering;
+//   * removing the largest key likewise clears one slot;
+//   * any other insert/remove delinearizes into a per-context scratch
+//     buffer, edits, and relinearizes (the paper's reordering overhead).
+//
+// Padding slots hold PadValue<Key>() (see linearize.h), so appends never
+// need to refresh existing padding.
+
+#ifndef SIMDTREE_SEGTREE_SEG_KEY_STORE_H_
+#define SIMDTREE_SEGTREE_SEG_KEY_STORE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kary/kary_search.h"
+#include "kary/layout.h"
+#include "kary/linearize.h"
+#include "simd/bitmask_eval.h"
+#include "simd/simd128.h"
+
+namespace simdtree::segtree {
+
+template <typename Key, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+class SegKeyStore {
+ public:
+  static constexpr int kArity = simd::LaneTraits<Key, kBits>::kArity;
+
+  // Shared per-tree state for one node kind: the layout permutation for
+  // the node shape, the storage policy, and a scratch buffer for
+  // relinearization. The scratch buffer makes mutations non-reentrant:
+  // reads are safe concurrently, writes are single-threaded (matching the
+  // paper's single-threaded scope).
+  struct Context {
+    Context(int64_t capacity_in, kary::Layout layout_in,
+            kary::Storage storage_in)
+        : capacity(capacity_in),
+          layout_kind(layout_in),
+          // Depth-first offset arithmetic requires the perfect tree
+          // (see kary/layout.h).
+          storage(layout_in == kary::Layout::kDepthFirst
+                      ? kary::Storage::kPerfect
+                      : storage_in),
+          layout(kary::KaryShape::For(kArity, capacity_in), layout_in) {
+      scratch.reserve(static_cast<size_t>(layout.slots()));
+    }
+
+    int64_t capacity;
+    kary::Layout layout_kind;
+    kary::Storage storage;
+    kary::KaryLayout layout;
+    mutable std::vector<Key> scratch;
+  };
+
+  explicit SegKeyStore(const Context& ctx) : ctx_(&ctx) {}
+
+  int64_t count() const { return count_; }
+  int64_t capacity() const { return ctx_->capacity; }
+
+  Key At(int64_t pos) const {
+    assert(pos >= 0 && pos < count_);
+    return lin_[static_cast<size_t>(ctx_->layout.SortedToSlot(pos))];
+  }
+
+  // Index of the first key > v, via SIMD k-ary search (Algorithms 4/5).
+  int64_t UpperBound(Key v) const {
+    const int64_t stored = static_cast<int64_t>(lin_.size());
+    if (ctx_->layout_kind == kary::Layout::kBreadthFirst) {
+      return kary::UpperBoundBf<Key, Eval, B, kBits>(lin_.data(), stored,
+                                                     count_, v);
+    }
+    return kary::UpperBoundDf<Key, Eval, B, kBits>(lin_.data(), stored,
+                                                   count_, v);
+  }
+
+  // Index of the first key >= v.
+  int64_t LowerBound(Key v) const {
+    if (v == std::numeric_limits<Key>::min()) return 0;
+    return UpperBound(static_cast<Key>(v - 1));
+  }
+
+  void InsertAt(int64_t pos, Key k) {
+    assert(pos >= 0 && pos <= count_);
+    assert(count_ < capacity());
+    if (pos == count_) {  // append fast path: no reordering (Section 3.2)
+      const int64_t new_stored =
+          ctx_->layout.StoredSlots(count_ + 1, ctx_->storage);
+      GrowTo(new_stored);
+      lin_[static_cast<size_t>(ctx_->layout.SortedToSlot(count_))] = k;
+      ++count_;
+      return;
+    }
+    std::vector<Key>& scratch = ctx_->scratch;
+    scratch.resize(static_cast<size_t>(count_));
+    ctx_->layout.Delinearize(lin_.data(), count_, scratch.data());
+    scratch.insert(scratch.begin() + static_cast<ptrdiff_t>(pos), k);
+    Relinearize(count_ + 1);
+  }
+
+  void RemoveAt(int64_t pos) {
+    assert(pos >= 0 && pos < count_);
+    if (pos == count_ - 1) {  // remove-max fast path
+      lin_[static_cast<size_t>(ctx_->layout.SortedToSlot(pos))] =
+          kary::PadValue<Key>();
+      --count_;
+      ShrinkTo(ctx_->layout.StoredSlots(count_, ctx_->storage));
+      return;
+    }
+    std::vector<Key>& scratch = ctx_->scratch;
+    scratch.resize(static_cast<size_t>(count_));
+    ctx_->layout.Delinearize(lin_.data(), count_, scratch.data());
+    scratch.erase(scratch.begin() + static_cast<ptrdiff_t>(pos));
+    Relinearize(count_ - 1);
+  }
+
+  void AssignSorted(const Key* keys, int64_t n) {
+    assert(n <= capacity());
+    std::vector<Key>& scratch = ctx_->scratch;
+    scratch.assign(keys, keys + n);
+    Relinearize(n);
+  }
+
+  void Clear() {
+    lin_.clear();
+    count_ = 0;
+  }
+
+  void MoveSuffixTo(SegKeyStore& dst, int64_t from) {
+    assert(dst.count() == 0);
+    assert(dst.ctx_ == ctx_ || dst.ctx_->capacity >= count_ - from);
+    // Delinearize once; the suffix goes to dst, the prefix stays here.
+    std::vector<Key> sorted(static_cast<size_t>(count_));
+    ctx_->layout.Delinearize(lin_.data(), count_, sorted.data());
+    dst.AssignSorted(sorted.data() + from, count_ - from);
+    std::vector<Key>& scratch = ctx_->scratch;
+    scratch.assign(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(from));
+    Relinearize(from);
+  }
+
+  void AppendFrom(SegKeyStore& src) {
+    assert(count_ + src.count() <= capacity());
+    std::vector<Key> merged(static_cast<size_t>(count_ + src.count()));
+    ctx_->layout.Delinearize(lin_.data(), count_, merged.data());
+    src.ctx_->layout.Delinearize(src.lin_.data(), src.count_,
+                                 merged.data() + count_);
+    std::vector<Key>& scratch = ctx_->scratch;
+    scratch.assign(merged.begin(), merged.end());
+    Relinearize(static_cast<int64_t>(merged.size()));
+    src.Clear();
+  }
+
+  size_t MemoryBytes() const { return lin_.capacity() * sizeof(Key); }
+
+  // Materialized slot count (the paper's N_S for this node).
+  int64_t stored_slots() const { return static_cast<int64_t>(lin_.size()); }
+
+ private:
+  // Rebuilds lin_ from ctx_->scratch (sorted, n keys).
+  void Relinearize(int64_t n) {
+    const int64_t stored = ctx_->layout.StoredSlots(n, ctx_->storage);
+    lin_.resize(static_cast<size_t>(stored));
+    ctx_->layout.Linearize(ctx_->scratch.data(), n, lin_.data(), stored,
+                           kary::PadValue<Key>());
+    count_ = n;
+  }
+
+  void GrowTo(int64_t stored) {
+    const size_t old = lin_.size();
+    if (static_cast<size_t>(stored) > old) {
+      lin_.resize(static_cast<size_t>(stored), kary::PadValue<Key>());
+    }
+  }
+
+  void ShrinkTo(int64_t stored) {
+    if (static_cast<size_t>(stored) < lin_.size()) {
+      lin_.resize(static_cast<size_t>(stored));
+    }
+  }
+
+  const Context* ctx_;
+  std::vector<Key> lin_;  // linearized keys + padding
+  int64_t count_ = 0;     // real keys
+};
+
+}  // namespace simdtree::segtree
+
+#endif  // SIMDTREE_SEGTREE_SEG_KEY_STORE_H_

@@ -1,0 +1,63 @@
+// Public Seg-Tree (paper Section 3): a B+-Tree whose in-node search is the
+// SIMD k-ary search over linearized keys. Identical structure and API to
+// the baseline BPlusTree — only the key store differs.
+
+#ifndef SIMDTREE_SEGTREE_SEGTREE_H_
+#define SIMDTREE_SEGTREE_SEGTREE_H_
+
+#include <cstdint>
+
+#include "btree/btree.h"
+#include "btree/generic_btree.h"
+#include "kary/layout.h"
+#include "segtree/seg_key_store.h"
+
+namespace simdtree::segtree {
+
+template <typename Key, typename Value,
+          kary::Layout kLayout = kary::Layout::kBreadthFirst,
+          typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+class SegTree
+    : public btree::GenericBPlusTree<Key, Value,
+                                     SegKeyStore<Key, Eval, B, kBits>> {
+ public:
+  using Store = SegKeyStore<Key, Eval, B, kBits>;
+  using Base = btree::GenericBPlusTree<Key, Value, Store>;
+  using Config = typename Base::Config;
+
+  static Config MakeConfig(int64_t capacity,
+                           kary::Storage storage = kary::Storage::kTruncated) {
+    return Config{typename Store::Context(capacity, kLayout, storage),
+                  typename Store::Context(capacity, kLayout, storage)};
+  }
+
+  // Paper Table 3 capacity for this key width (same as the baseline, so
+  // both trees have the same fanout and height).
+  static Config DefaultConfig() {
+    return MakeConfig(btree::PaperNodeCapacity(sizeof(Key)));
+  }
+
+  SegTree() : Base(DefaultConfig()) {}
+  explicit SegTree(int64_t capacity,
+                   kary::Storage storage = kary::Storage::kTruncated)
+      : Base(MakeConfig(capacity, storage)) {}
+  explicit SegTree(Config config) : Base(std::move(config)) {}
+
+  // Bulk load with completely filled nodes (paper Section 5.1).
+  static SegTree BulkLoad(const Key* keys, const Value* values, size_t n,
+                          double fill = 1.0,
+                          int64_t capacity =
+                              btree::PaperNodeCapacity(sizeof(Key)),
+                          kary::Storage storage = kary::Storage::kTruncated) {
+    SegTree tree(capacity, storage);
+    Base loaded =
+        Base::BulkLoad(MakeConfig(capacity, storage), keys, values, n, fill);
+    static_cast<Base&>(tree) = std::move(loaded);
+    return tree;
+  }
+};
+
+}  // namespace simdtree::segtree
+
+#endif  // SIMDTREE_SEGTREE_SEGTREE_H_

@@ -1,0 +1,148 @@
+// Order-preserving key encodings for the Seg-Trie.
+//
+// A trie orders keys by their digital (bitwise) representation, which
+// matches the numeric order only for unsigned integers. These codecs map
+// other fixed-size key types onto unsigned integers so that
+// encode(a) < encode(b) iff a < b, enabling "indexing of arbitrary data
+// types" (paper Section 1, citing Boehm et al.):
+//
+//   * signed integers  — flip the sign bit (two's complement order fix);
+//   * float / double   — the IEEE-754 total-order transform: positive
+//     values get the sign bit set, negative values are bitwise inverted.
+//     The resulting order matches numeric < on all finite values and
+//     +/-inf; NaNs sort above +inf (positive NaN) or below -inf
+//     (negative NaN), and -0.0 orders just below +0.0 — i.e. IEEE
+//     totalOrder semantics.
+//
+// AdaptedSegTrie wraps a SegTrie with a codec, translating keys at the
+// API boundary (including range scans and traversal callbacks).
+
+#ifndef SIMDTREE_SEGTRIE_KEY_CODEC_H_
+#define SIMDTREE_SEGTRIE_KEY_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "segtrie/segtrie.h"
+
+namespace simdtree::segtrie {
+
+// --- codecs ------------------------------------------------------------------
+
+template <typename S>
+struct SignedCodec {
+  static_assert(std::is_integral_v<S> && std::is_signed_v<S>);
+  using Encoded = std::make_unsigned_t<S>;
+  static constexpr Encoded kBias = Encoded{1}
+                                   << (sizeof(S) * 8 - 1);
+
+  static constexpr Encoded Encode(S v) {
+    return static_cast<Encoded>(v) ^ kBias;
+  }
+  static constexpr S Decode(Encoded e) {
+    return static_cast<S>(e ^ kBias);
+  }
+};
+
+struct FloatCodec {
+  using Encoded = uint32_t;
+  static constexpr Encoded Encode(float v) {
+    const uint32_t bits = std::bit_cast<uint32_t>(v);
+    // Negative: invert everything (reverses order of negatives).
+    // Positive: set the sign bit (shifts above all negatives).
+    return (bits & 0x80000000u) != 0 ? ~bits : bits | 0x80000000u;
+  }
+  static constexpr float Decode(Encoded e) {
+    const uint32_t bits =
+        (e & 0x80000000u) != 0 ? e & ~0x80000000u : ~e;
+    return std::bit_cast<float>(bits);
+  }
+};
+
+struct DoubleCodec {
+  using Encoded = uint64_t;
+  static constexpr Encoded Encode(double v) {
+    const uint64_t bits = std::bit_cast<uint64_t>(v);
+    return (bits & 0x8000000000000000ull) != 0
+               ? ~bits
+               : bits | 0x8000000000000000ull;
+  }
+  static constexpr double Decode(Encoded e) {
+    const uint64_t bits = (e & 0x8000000000000000ull) != 0
+                              ? e & ~0x8000000000000000ull
+                              : ~e;
+    return std::bit_cast<double>(bits);
+  }
+};
+
+// Picks the natural codec for a key type.
+template <typename K>
+struct DefaultCodec;
+template <>
+struct DefaultCodec<float> : FloatCodec {};
+template <>
+struct DefaultCodec<double> : DoubleCodec {};
+template <>
+struct DefaultCodec<int8_t> : SignedCodec<int8_t> {};
+template <>
+struct DefaultCodec<int16_t> : SignedCodec<int16_t> {};
+template <>
+struct DefaultCodec<int32_t> : SignedCodec<int32_t> {};
+template <>
+struct DefaultCodec<int64_t> : SignedCodec<int64_t> {};
+
+// --- adapted trie -------------------------------------------------------------
+
+// Seg-Trie over any key type with an order-preserving codec. Same API
+// surface as SegTrie; keys are decoded before reaching user callbacks.
+template <typename K, typename V, typename Codec = DefaultCodec<K>,
+          int kSegmentBits = 8>
+class AdaptedSegTrie {
+ public:
+  using Encoded = typename Codec::Encoded;
+  using Base = SegTrie<Encoded, V, kSegmentBits>;
+  using Options = typename Base::Options;
+
+  explicit AdaptedSegTrie(Options options = {}) : trie_(options) {}
+
+  bool Insert(K key, V value) {
+    return trie_.Insert(Codec::Encode(key), std::move(value));
+  }
+  bool Erase(K key) { return trie_.Erase(Codec::Encode(key)); }
+  std::optional<V> Find(K key) const {
+    return trie_.Find(Codec::Encode(key));
+  }
+  bool Contains(K key) const { return trie_.Contains(Codec::Encode(key)); }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    trie_.ForEach([&fn](Encoded e, const V& v) { fn(Codec::Decode(e), v); });
+  }
+
+  // Range scan over the *decoded* order: lo <= key < hi (or <= hi).
+  template <typename Fn>
+  void ScanRange(K lo, K hi, Fn fn, bool hi_inclusive = false) const {
+    trie_.ScanRange(
+        Codec::Encode(lo), Codec::Encode(hi),
+        [&fn](Encoded e, const V& v) { fn(Codec::Decode(e), v); },
+        hi_inclusive);
+  }
+
+  size_t size() const { return trie_.size(); }
+  bool empty() const { return trie_.empty(); }
+  size_t MemoryBytes() const { return trie_.MemoryBytes(); }
+  bool Validate() const { return trie_.Validate(); }
+  int active_levels() const { return trie_.active_levels(); }
+
+  // The underlying encoded trie (e.g. for serialization).
+  const Base& base() const { return trie_; }
+
+ private:
+  Base trie_;
+};
+
+}  // namespace simdtree::segtrie
+
+#endif  // SIMDTREE_SEGTRIE_KEY_CODEC_H_

@@ -1,0 +1,208 @@
+// Bitmask-evaluation algorithms (paper Section 2.1, Algorithms 1-3).
+//
+// A greater-than comparison of a *sorted* lane register against a broadcast
+// search key yields a mask with a single switch point: lanes 0..p-1 hold
+// keys <= v (bits clear) and lanes p..c-1 hold keys > v (bits set). All
+// three algorithms decode the byte-granular movemask into that position p,
+// the index of the first key greater than the search key (p == c when no
+// key is greater). They differ only in how the decoding is done:
+//
+//   Algorithm 1 (BitShiftEval)   — loop over segments testing the lane LSB.
+//   Algorithm 2 (SwitchCaseEval) — a switch over the c+1 valid masks.
+//   Algorithm 3 (PopcountEval)   — popcnt(mask) / bytes-per-lane.
+//
+// Note: the paper's Algorithm 1 pseudocode shifts the mask by c (the
+// segment count); the shift that makes the algorithm correct is by the
+// number of mask bits per segment, which is what we implement.
+//
+// The evaluation policy is a template parameter of the k-ary search so the
+// Figure 9 experiment can swap algorithms without touching the search
+// code. All three support both register widths (128-bit SSE masks are 16
+// bits, 256-bit AVX2 masks are 32 bits).
+
+#ifndef SIMDTREE_SIMD_BITMASK_EVAL_H_
+#define SIMDTREE_SIMD_BITMASK_EVAL_H_
+
+#include <cstdint>
+
+#include "simd/simd128.h"
+
+namespace simdtree::simd {
+
+// Algorithm 1: Bit Shifting. Counts one bit per segment, shifting by the
+// per-segment stride, then converts the greater-count into a position.
+struct BitShiftEval {
+  static constexpr const char* kName = "bit_shift";
+
+  template <typename T, int kRegisterBits = 128>
+  static int Position(uint32_t mask) {
+    constexpr int c = LaneTraits<T, kRegisterBits>::kLanes;
+    constexpr int stride = LaneTraits<T, kRegisterBits>::kBytesPerLane;
+    int greater = 0;
+    for (int i = 0; i < c; ++i) {
+      greater += static_cast<int>(mask & 0x1u);
+      mask >>= stride;
+    }
+    return c - greater;
+  }
+};
+
+// Algorithm 2: Switch Case. One case per valid bitmask; the paper spells
+// out the 32-bit/128-bit variant, we provide all lane widths for both
+// register widths. An unexpected mask (impossible for sorted input) falls
+// through to the no-key-greater position like the paper's default.
+struct SwitchCaseEval {
+  static constexpr const char* kName = "switch_case";
+
+  template <typename T, int kRegisterBits = 128>
+  static int Position(uint32_t mask) {
+    constexpr int width = LaneTraits<T, kRegisterBits>::kBytesPerLane;
+    if constexpr (kRegisterBits == 128) {
+      if constexpr (width == 8) {
+        switch (mask) {
+          case 0xFFFFu: return 0;
+          case 0xFF00u: return 1;
+          default: return 2;  // 0x0000
+        }
+      } else if constexpr (width == 4) {
+        switch (mask) {
+          case 0xFFFFu: return 0;
+          case 0xFFF0u: return 1;
+          case 0xFF00u: return 2;
+          case 0xF000u: return 3;
+          default: return 4;  // 0x0000
+        }
+      } else if constexpr (width == 2) {
+        switch (mask) {
+          case 0xFFFFu: return 0;
+          case 0xFFFCu: return 1;
+          case 0xFFF0u: return 2;
+          case 0xFFC0u: return 3;
+          case 0xFF00u: return 4;
+          case 0xFC00u: return 5;
+          case 0xF000u: return 6;
+          case 0xC000u: return 7;
+          default: return 8;  // 0x0000
+        }
+      } else {
+        static_assert(width == 1);
+        switch (mask) {
+          case 0xFFFFu: return 0;
+          case 0xFFFEu: return 1;
+          case 0xFFFCu: return 2;
+          case 0xFFF8u: return 3;
+          case 0xFFF0u: return 4;
+          case 0xFFE0u: return 5;
+          case 0xFFC0u: return 6;
+          case 0xFF80u: return 7;
+          case 0xFF00u: return 8;
+          case 0xFE00u: return 9;
+          case 0xFC00u: return 10;
+          case 0xF800u: return 11;
+          case 0xF000u: return 12;
+          case 0xE000u: return 13;
+          case 0xC000u: return 14;
+          case 0x8000u: return 15;
+          default: return 16;  // 0x0000
+        }
+      }
+    } else {
+      static_assert(kRegisterBits == 256);
+      if constexpr (width == 8) {
+        switch (mask) {
+          case 0xFFFFFFFFu: return 0;
+          case 0xFFFFFF00u: return 1;
+          case 0xFFFF0000u: return 2;
+          case 0xFF000000u: return 3;
+          default: return 4;
+        }
+      } else if constexpr (width == 4) {
+        switch (mask) {
+          case 0xFFFFFFFFu: return 0;
+          case 0xFFFFFFF0u: return 1;
+          case 0xFFFFFF00u: return 2;
+          case 0xFFFFF000u: return 3;
+          case 0xFFFF0000u: return 4;
+          case 0xFFF00000u: return 5;
+          case 0xFF000000u: return 6;
+          case 0xF0000000u: return 7;
+          default: return 8;
+        }
+      } else if constexpr (width == 2) {
+        switch (mask) {
+          case 0xFFFFFFFFu: return 0;
+          case 0xFFFFFFFCu: return 1;
+          case 0xFFFFFFF0u: return 2;
+          case 0xFFFFFFC0u: return 3;
+          case 0xFFFFFF00u: return 4;
+          case 0xFFFFFC00u: return 5;
+          case 0xFFFFF000u: return 6;
+          case 0xFFFFC000u: return 7;
+          case 0xFFFF0000u: return 8;
+          case 0xFFFC0000u: return 9;
+          case 0xFFF00000u: return 10;
+          case 0xFFC00000u: return 11;
+          case 0xFF000000u: return 12;
+          case 0xFC000000u: return 13;
+          case 0xF0000000u: return 14;
+          case 0xC0000000u: return 15;
+          default: return 16;
+        }
+      } else {
+        static_assert(width == 1);
+        switch (mask) {
+          case 0xFFFFFFFFu: return 0;
+          case 0xFFFFFFFEu: return 1;
+          case 0xFFFFFFFCu: return 2;
+          case 0xFFFFFFF8u: return 3;
+          case 0xFFFFFFF0u: return 4;
+          case 0xFFFFFFE0u: return 5;
+          case 0xFFFFFFC0u: return 6;
+          case 0xFFFFFF80u: return 7;
+          case 0xFFFFFF00u: return 8;
+          case 0xFFFFFE00u: return 9;
+          case 0xFFFFFC00u: return 10;
+          case 0xFFFFF800u: return 11;
+          case 0xFFFFF000u: return 12;
+          case 0xFFFFE000u: return 13;
+          case 0xFFFFC000u: return 14;
+          case 0xFFFF8000u: return 15;
+          case 0xFFFF0000u: return 16;
+          case 0xFFFE0000u: return 17;
+          case 0xFFFC0000u: return 18;
+          case 0xFFF80000u: return 19;
+          case 0xFFF00000u: return 20;
+          case 0xFFE00000u: return 21;
+          case 0xFFC00000u: return 22;
+          case 0xFF800000u: return 23;
+          case 0xFF000000u: return 24;
+          case 0xFE000000u: return 25;
+          case 0xFC000000u: return 26;
+          case 0xF8000000u: return 27;
+          case 0xF0000000u: return 28;
+          case 0xE0000000u: return 29;
+          case 0xC0000000u: return 30;
+          case 0x80000000u: return 31;
+          default: return 32;
+        }
+      }
+    }
+  }
+};
+
+// Algorithm 3: Popcount. The paper's overall winner (Figure 9): no
+// conditional branches, so no pipeline flushes.
+struct PopcountEval {
+  static constexpr const char* kName = "popcount";
+
+  template <typename T, int kRegisterBits = 128>
+  static int Position(uint32_t mask) {
+    constexpr int c = LaneTraits<T, kRegisterBits>::kLanes;
+    constexpr int stride = LaneTraits<T, kRegisterBits>::kBytesPerLane;
+    return c - __builtin_popcount(mask) / stride;
+  }
+};
+
+}  // namespace simdtree::simd
+
+#endif  // SIMDTREE_SIMD_BITMASK_EVAL_H_

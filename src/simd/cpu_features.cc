@@ -1,0 +1,34 @@
+#include "simd/cpu_features.h"
+
+namespace simdtree::simd {
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.popcnt = __builtin_cpu_supports("popcnt");
+  f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+  return f;
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures f = DetectCpuFeatures();
+  std::string s;
+  auto add = [&s](bool have, const char* name) {
+    if (have) {
+      if (!s.empty()) s += ' ';
+      s += name;
+    }
+  };
+  add(f.sse2, "sse2");
+  add(f.sse42, "sse4.2");
+  add(f.popcnt, "popcnt");
+  add(f.avx2, "avx2");
+  if (s.empty()) s = "none";
+  return s;
+}
+
+}  // namespace simdtree::simd

@@ -1,0 +1,29 @@
+// Runtime CPU feature detection.
+//
+// The library is compiled for a fixed instruction set (SSE4.2 + popcnt by
+// default), but the bench and example binaries report the actually
+// available features so results are interpretable.
+
+#ifndef SIMDTREE_SIMD_CPU_FEATURES_H_
+#define SIMDTREE_SIMD_CPU_FEATURES_H_
+
+#include <string>
+
+namespace simdtree::simd {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse42 = false;
+  bool popcnt = false;
+  bool avx2 = false;
+};
+
+// Queries the running CPU (x86 cpuid; all-false elsewhere).
+CpuFeatures DetectCpuFeatures();
+
+// Human-readable one-line summary, e.g. "sse2 sse4.2 popcnt avx2".
+std::string CpuFeatureString();
+
+}  // namespace simdtree::simd
+
+#endif  // SIMDTREE_SIMD_CPU_FEATURES_H_

@@ -1,0 +1,118 @@
+// 256-bit SIMD comparison primitives (AVX2) — the paper's future-work
+// direction realized: doubling the SIMD bandwidth doubles the number of
+// parallel comparisons, raising k from 17/9/5/3 to 33/17/9/5 for
+// 8/16/32/64-bit keys.
+//
+// Same contract as the 128-bit backend in simd128.h; MoveMask yields a
+// 32-bit byte-granular mask (_mm256_movemask_epi8). The portable scalar
+// backend in simd128.h already covers kRegisterBits = 256 for testing
+// and non-AVX2 builds.
+
+#ifndef SIMDTREE_SIMD_SIMD256_H_
+#define SIMDTREE_SIMD_SIMD256_H_
+
+#include "simd/simd128.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace simdtree::simd {
+
+#if defined(__AVX2__)
+inline constexpr bool kHaveAvx2 = true;
+
+namespace internal256 {
+
+inline __m256i CmpGtSigned(__m256i a, __m256i b,
+                           std::integral_constant<int, 1>) {
+  return _mm256_cmpgt_epi8(a, b);
+}
+inline __m256i CmpGtSigned(__m256i a, __m256i b,
+                           std::integral_constant<int, 2>) {
+  return _mm256_cmpgt_epi16(a, b);
+}
+inline __m256i CmpGtSigned(__m256i a, __m256i b,
+                           std::integral_constant<int, 4>) {
+  return _mm256_cmpgt_epi32(a, b);
+}
+inline __m256i CmpGtSigned(__m256i a, __m256i b,
+                           std::integral_constant<int, 8>) {
+  return _mm256_cmpgt_epi64(a, b);
+}
+
+inline __m256i CmpEqWidth(__m256i a, __m256i b,
+                          std::integral_constant<int, 1>) {
+  return _mm256_cmpeq_epi8(a, b);
+}
+inline __m256i CmpEqWidth(__m256i a, __m256i b,
+                          std::integral_constant<int, 2>) {
+  return _mm256_cmpeq_epi16(a, b);
+}
+inline __m256i CmpEqWidth(__m256i a, __m256i b,
+                          std::integral_constant<int, 4>) {
+  return _mm256_cmpeq_epi32(a, b);
+}
+inline __m256i CmpEqWidth(__m256i a, __m256i b,
+                          std::integral_constant<int, 8>) {
+  return _mm256_cmpeq_epi64(a, b);
+}
+
+inline __m256i Set1Width(uint64_t v, std::integral_constant<int, 1>) {
+  return _mm256_set1_epi8(static_cast<char>(v));
+}
+inline __m256i Set1Width(uint64_t v, std::integral_constant<int, 2>) {
+  return _mm256_set1_epi16(static_cast<short>(v));
+}
+inline __m256i Set1Width(uint64_t v, std::integral_constant<int, 4>) {
+  return _mm256_set1_epi32(static_cast<int>(v));
+}
+inline __m256i Set1Width(uint64_t v, std::integral_constant<int, 8>) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+}  // namespace internal256
+
+template <typename T>
+struct Ops<T, Backend::kSse, 256> {
+  using Traits = LaneTraits<T, 256>;
+  using Reg = __m256i;
+  using CmpReg = __m256i;
+  using Width = std::integral_constant<int, Traits::kBytesPerLane>;
+
+  static Reg LoadUnaligned(const T* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+
+  static Reg Set1(T v) {
+    return internal256::Set1Width(
+        static_cast<uint64_t>(static_cast<typename Traits::Unsigned>(v)),
+        Width{});
+  }
+
+  static CmpReg CmpGt(Reg a, Reg b) {
+    if constexpr (std::is_signed_v<T>) {
+      return internal256::CmpGtSigned(a, b, Width{});
+    } else {
+      const Reg bias = internal256::Set1Width(
+          static_cast<uint64_t>(Traits::kSignBias), Width{});
+      return internal256::CmpGtSigned(_mm256_xor_si256(a, bias),
+                                      _mm256_xor_si256(b, bias), Width{});
+    }
+  }
+
+  static CmpReg CmpEq(Reg a, Reg b) {
+    return internal256::CmpEqWidth(a, b, Width{});
+  }
+
+  static uint32_t MoveMask(CmpReg c) {
+    return static_cast<uint32_t>(_mm256_movemask_epi8(c));
+  }
+};
+#else
+inline constexpr bool kHaveAvx2 = false;
+#endif  // __AVX2__
+
+}  // namespace simdtree::simd
+
+#endif  // SIMDTREE_SIMD_SIMD256_H_

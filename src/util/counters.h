@@ -1,0 +1,28 @@
+// Lightweight search instrumentation.
+//
+// The paper argues complexity in terms of node accesses and comparisons:
+// a B+-Tree search costs one node per level with log2(N_L) scalar
+// comparisons inside each node; a Seg-Tree node costs r SIMD comparisons
+// (one per k-ary level); a 64-bit Seg-Trie search costs at most
+// ceil(log17 2^64) = 16 SIMD comparisons and may terminate above leaf
+// level on a missing segment (Section 4). The *Counted search variants
+// fill this struct so tests can assert those counts exactly.
+
+#ifndef SIMDTREE_UTIL_COUNTERS_H_
+#define SIMDTREE_UTIL_COUNTERS_H_
+
+#include <cstdint>
+
+namespace simdtree {
+
+struct SearchCounters {
+  uint64_t nodes_visited = 0;      // tree/trie nodes touched
+  uint64_t simd_comparisons = 0;   // k-ary SIMD compare steps
+  uint64_t scalar_comparisons = 0; // binary/sequential compare steps
+
+  void Reset() { *this = SearchCounters{}; }
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_COUNTERS_H_

@@ -1,0 +1,50 @@
+#include "util/cycle_timer.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#define SIMDTREE_HAVE_RDTSC 1
+#endif
+
+namespace simdtree {
+
+uint64_t CycleTimer::Now() {
+#ifdef SIMDTREE_HAVE_RDTSC
+  // lfence serializes instruction execution around rdtsc without the cost
+  // of a full cpuid serialization.
+  _mm_lfence();
+  uint64_t tsc = __rdtsc();
+  _mm_lfence();
+  return tsc;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+double MeasureCyclesPerSecond() {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
+  const uint64_t tsc_start = CycleTimer::Now();
+  // ~20ms calibration window: long enough for <0.1% error, short enough to
+  // be unnoticeable at process start.
+  while (Clock::now() - wall_start < std::chrono::milliseconds(20)) {
+  }
+  const uint64_t tsc_end = CycleTimer::Now();
+  const auto wall_end = Clock::now();
+  const double seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return static_cast<double>(tsc_end - tsc_start) / seconds;
+}
+
+}  // namespace
+
+double CycleTimer::CyclesPerSecond() {
+  static const double cached = MeasureCyclesPerSecond();
+  return cached;
+}
+
+}  // namespace simdtree

@@ -1,0 +1,47 @@
+// Cycle-accurate timing for the benchmark harness.
+//
+// The paper measures search runtimes with RDTSC ("Read time-stamp counter",
+// Section 5.1). We expose the same measurement primitive plus a calibrated
+// conversion to nanoseconds. On non-x86 builds the class falls back to
+// std::chrono::steady_clock ticks.
+
+#ifndef SIMDTREE_UTIL_CYCLE_TIMER_H_
+#define SIMDTREE_UTIL_CYCLE_TIMER_H_
+
+#include <cstdint>
+
+namespace simdtree {
+
+class CycleTimer {
+ public:
+  // Serialized timestamp read: earlier instructions retire before the
+  // counter is sampled, so short measured regions are not reordered out.
+  static uint64_t Now();
+
+  // TSC increments per second, measured once against steady_clock and
+  // cached. Used to convert cycle counts into wall time for reporting.
+  static double CyclesPerSecond();
+
+  static double ToNanoseconds(uint64_t cycles) {
+    return static_cast<double>(cycles) / CyclesPerSecond() * 1e9;
+  }
+};
+
+// Convenience scope timer accumulating elapsed cycles into a sink.
+class ScopedCycleTimer {
+ public:
+  explicit ScopedCycleTimer(uint64_t* sink)
+      : sink_(sink), start_(CycleTimer::Now()) {}
+  ~ScopedCycleTimer() { *sink_ += CycleTimer::Now() - start_; }
+
+  ScopedCycleTimer(const ScopedCycleTimer&) = delete;
+  ScopedCycleTimer& operator=(const ScopedCycleTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_CYCLE_TIMER_H_

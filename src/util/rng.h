@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// We use xoshiro256** instead of std::mt19937_64 because it is faster,
+// has a tiny state, and gives identical sequences across standard library
+// implementations, which keeps benchmark workloads reproducible.
+
+#ifndef SIMDTREE_UTIL_RNG_H_
+#define SIMDTREE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace simdtree {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+// reimplemented here). Not cryptographically secure; do not use for secrets.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation, without the
+    // rejection step: the bias is < 2^-64 * bound, far below anything a
+    // benchmark or randomized test could observe.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_RNG_H_

@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simdtree {
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SampleSummary Summarize(std::vector<double> samples) {
+  SampleSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+
+  double sq = 0.0;
+  for (double v : samples) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = PercentileSorted(samples, 0.50);
+  s.p95 = PercentileSorted(samples, 0.95);
+  return s;
+}
+
+}  // namespace simdtree

@@ -1,0 +1,30 @@
+// Small descriptive-statistics helpers for the benchmark harness.
+
+#ifndef SIMDTREE_UTIL_STATS_H_
+#define SIMDTREE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace simdtree {
+
+struct SampleSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+// Summarizes a sample set. The input vector is copied because percentile
+// computation sorts it.
+SampleSummary Summarize(std::vector<double> samples);
+
+// Linear-interpolation percentile of a sorted sample, q in [0, 1].
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_STATS_H_

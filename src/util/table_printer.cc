@@ -1,0 +1,61 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+
+namespace simdtree {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::fprintf(out, "%s%s", c == 0 ? "|-" : "-|-",
+                 std::string(widths[c], '-').c_str());
+  }
+  std::fprintf(out, "-|\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+}  // namespace simdtree

@@ -1,0 +1,37 @@
+// Fixed-width console table output for the paper-reproduction benches.
+//
+// Every bench binary prints the rows/series of the table or figure it
+// regenerates; TablePrinter keeps that output aligned and script-friendly.
+
+#ifndef SIMDTREE_UTIL_TABLE_PRINTER_H_
+#define SIMDTREE_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simdtree {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) to `out`.
+  void Print(FILE* out = stdout) const;
+
+  // Formatting helpers used by the bench binaries.
+  static std::string Fmt(double value, int precision = 1);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,126 @@
+#include "util/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simdtree {
+
+namespace {
+
+// Draws n distinct uint64 samples from [0, 2^bits) and returns them sorted.
+std::vector<uint64_t> DistinctUniform64(size_t n, int bits, Rng& rng) {
+  const uint64_t mask =
+      bits >= 64 ? ~0ULL : ((uint64_t{1} << bits) - 1);
+  std::vector<uint64_t> out;
+  out.reserve(n + n / 8 + 16);
+  while (out.size() < n) {
+    const size_t need = n - out.size();
+    for (size_t i = 0; i < need + need / 8 + 16; ++i) {
+      out.push_back(rng.Next() & mask);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  // Drop random surplus elements to reach exactly n while staying uniform.
+  while (out.size() > n) {
+    out.erase(out.begin() + static_cast<ptrdiff_t>(
+                                rng.NextBounded(out.size())));
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> UniformDistinctKeys(size_t n, Rng& rng) {
+  const int bits = static_cast<int>(sizeof(T) * 8);
+  assert(bits >= 64 || n <= (uint64_t{1} << bits));
+  std::vector<uint64_t> raw = DistinctUniform64(n, bits, rng);
+  std::vector<T> keys(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) keys[i] = static_cast<T>(raw[i]);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+template std::vector<int8_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<uint8_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<int16_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<uint16_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<int32_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<uint32_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<int64_t> UniformDistinctKeys(size_t, Rng&);
+template std::vector<uint64_t> UniformDistinctKeys(size_t, Rng&);
+
+std::vector<uint64_t> MixedRadixKeys(int depth, int cardinality) {
+  assert(depth >= 1 && depth <= 8);
+  assert(cardinality >= 1 && cardinality <= 256);
+  size_t n = 1;
+  for (int i = 0; i < depth; ++i) n *= static_cast<size_t>(cardinality);
+
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  std::vector<int> digits(static_cast<size_t>(depth), 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    // digits[0] is the most significant of the low `depth` bytes, so the
+    // generated sequence is already ascending.
+    for (int d = 0; d < depth; ++d) {
+      key = (key << 8) | static_cast<uint64_t>(digits[static_cast<size_t>(d)]);
+    }
+    keys.push_back(key);
+    for (int d = depth - 1; d >= 0; --d) {
+      if (++digits[static_cast<size_t>(d)] < cardinality) break;
+      digits[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return keys;
+}
+
+template <typename T>
+std::vector<T> MixedProbes(const std::vector<T>& keys, size_t count,
+                           double hit_fraction, Rng& rng) {
+  assert(!keys.empty());
+  assert(std::is_sorted(keys.begin(), keys.end()));
+  std::vector<T> probes;
+  probes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.NextDouble() < hit_fraction) {
+      probes.push_back(keys[rng.NextBounded(keys.size())]);
+    } else {
+      // Re-draw until the value is absent. With dense domains (e.g. the
+      // full 8-bit domain) this could loop forever, so cap the retries and
+      // fall back to a present key.
+      T candidate = keys[0];
+      bool found_absent = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        candidate = static_cast<T>(rng.Next());
+        if (!std::binary_search(keys.begin(), keys.end(), candidate)) {
+          found_absent = true;
+          break;
+        }
+      }
+      probes.push_back(found_absent ? candidate
+                                    : keys[rng.NextBounded(keys.size())]);
+    }
+  }
+  return probes;
+}
+
+template std::vector<int8_t> MixedProbes(const std::vector<int8_t>&, size_t,
+                                         double, Rng&);
+template std::vector<uint8_t> MixedProbes(const std::vector<uint8_t>&, size_t,
+                                          double, Rng&);
+template std::vector<int16_t> MixedProbes(const std::vector<int16_t>&, size_t,
+                                          double, Rng&);
+template std::vector<uint16_t> MixedProbes(const std::vector<uint16_t>&,
+                                           size_t, double, Rng&);
+template std::vector<int32_t> MixedProbes(const std::vector<int32_t>&, size_t,
+                                          double, Rng&);
+template std::vector<uint32_t> MixedProbes(const std::vector<uint32_t>&,
+                                           size_t, double, Rng&);
+template std::vector<int64_t> MixedProbes(const std::vector<int64_t>&, size_t,
+                                          double, Rng&);
+template std::vector<uint64_t> MixedProbes(const std::vector<uint64_t>&,
+                                           size_t, double, Rng&);
+
+}  // namespace simdtree

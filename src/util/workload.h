@@ -1,0 +1,98 @@
+// Workload generators for the evaluation harness (paper Section 5.1).
+//
+// The paper uses synthetic key sequences: the full domain for 8- and 16-bit
+// key types, ascending sequences starting at zero for 32- and 64-bit types,
+// and skewed 64-bit keys for the trie-depth experiment (Figure 11). Probes
+// are x = 10,000 keys drawn in random order from the data set.
+
+#ifndef SIMDTREE_UTIL_WORKLOAD_H_
+#define SIMDTREE_UTIL_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace simdtree {
+
+// n keys start, start+1, ... (wraps modulo the type's domain if n exceeds
+// it; callers that need distinct keys must keep n within the domain).
+template <typename T>
+std::vector<T> AscendingKeys(size_t n, T start = 0) {
+  std::vector<T> keys(n);
+  T v = start;
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = v;
+    ++v;
+  }
+  return keys;
+}
+
+// Every value of the type's domain once, ascending. Only sensible for 8-
+// and 16-bit types (the paper's "entire domain" data sets).
+template <typename T>
+std::vector<T> FullDomainKeys() {
+  static_assert(sizeof(T) <= 2, "full domain only enumerable for <=16 bit");
+  using Wide = std::conditional_t<std::is_signed_v<T>, int64_t, uint64_t>;
+  std::vector<T> keys;
+  const Wide lo = std::numeric_limits<T>::min();
+  const Wide hi = std::numeric_limits<T>::max();
+  keys.reserve(static_cast<size_t>(hi - lo + 1));
+  for (Wide v = lo; v <= hi; ++v) keys.push_back(static_cast<T>(v));
+  return keys;
+}
+
+// n keys cycling through the full domain, returned sorted (each domain
+// value duplicated ~n/domain times). Models the paper's 5 MB / 100 MB data
+// sets for small key types, which necessarily contain duplicates.
+template <typename T>
+std::vector<T> CycledDomainKeys(size_t n) {
+  static_assert(sizeof(T) <= 2, "cycled domain only for <=16 bit");
+  using Wide = std::conditional_t<std::is_signed_v<T>, int64_t, uint64_t>;
+  const Wide lo = std::numeric_limits<T>::min();
+  const Wide hi = std::numeric_limits<T>::max();
+  const size_t domain = static_cast<size_t>(hi - lo + 1);
+  std::vector<T> keys;
+  keys.reserve(n);
+  const size_t reps = n / domain;
+  const size_t extra = n % domain;
+  for (Wide v = lo; v <= hi; ++v) {
+    size_t count = reps + (static_cast<size_t>(v - lo) < extra ? 1 : 0);
+    for (size_t i = 0; i < count; ++i) keys.push_back(static_cast<T>(v));
+  }
+  return keys;
+}
+
+// n distinct keys drawn uniformly from the type's full domain, sorted.
+template <typename T>
+std::vector<T> UniformDistinctKeys(size_t n, Rng& rng);
+
+// Keys for the Figure 11 trie-depth experiment: cardinality^depth distinct
+// 64-bit keys whose `depth` low-order bytes each take `cardinality` distinct
+// values (a mixed-radix counter), all higher bytes zero. An 8-bit Seg-Trie
+// over these keys fills exactly `depth` levels. Returned sorted.
+std::vector<uint64_t> MixedRadixKeys(int depth, int cardinality);
+
+// `count` probes sampled uniformly (with replacement) from `keys`.
+template <typename T>
+std::vector<T> SamplePresentProbes(const std::vector<T>& keys, size_t count,
+                                   Rng& rng) {
+  std::vector<T> probes(count);
+  for (size_t i = 0; i < count; ++i) {
+    probes[i] = keys[rng.NextBounded(keys.size())];
+  }
+  return probes;
+}
+
+// Probes with a given hit fraction: hits are sampled from `keys`, misses
+// are uniform random values re-drawn until absent (keys must be sorted).
+template <typename T>
+std::vector<T> MixedProbes(const std::vector<T>& keys, size_t count,
+                           double hit_fraction, Rng& rng);
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_UTIL_WORKLOAD_H_

@@ -1,0 +1,218 @@
+// Adversarial input patterns across all index structures: type-boundary
+// keys, massive duplication, sawtooth churn, organ-pipe and bit-reversal
+// orders, and values colliding with the padding sentinel. Each pattern is
+// run against every structure with an oracle.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/simdtree.h"
+#include "gtest/gtest.h"
+#include "segtrie/compressed_segtrie.h"
+#include "util/rng.h"
+
+namespace simdtree {
+namespace {
+
+// Key patterns designed to stress split/merge/linearization logic.
+std::vector<uint64_t> Pattern(int which, size_t n) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  switch (which) {
+    case 0:  // organ pipe: 0, max, 1, max-1, ...
+      for (size_t i = 0; i < n; ++i) {
+        keys.push_back(i % 2 == 0 ? i / 2 : ~0ULL - i / 2);
+      }
+      break;
+    case 1:  // bit-reversed counter (maximally shuffled dense set)
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t v = i;
+        uint64_t r = 0;
+        for (int b = 0; b < 20; ++b) {
+          r = (r << 1) | (v & 1);
+          v >>= 1;
+        }
+        keys.push_back(r);
+      }
+      break;
+    case 2:  // long shared prefixes with byte-aligned divergence
+      for (size_t i = 0; i < n; ++i) {
+        keys.push_back(0xAABBCCDD00000000ULL | ((i % 7) << 24) | (i / 7));
+      }
+      break;
+    case 3:  // powers of two and neighbours
+      for (size_t i = 0; i < n; ++i) {
+        const int bit = static_cast<int>(i % 63);
+        const uint64_t base = 1ULL << bit;
+        keys.push_back(base + (i % 3) - 1);
+      }
+      break;
+    default:  // dense low range
+      for (size_t i = 0; i < n; ++i) keys.push_back(i % 512);
+  }
+  return keys;
+}
+
+class AdversarialPatternTest : public testing::TestWithParam<int> {};
+
+TEST_P(AdversarialPatternTest, TreesMatchOracle) {
+  const auto keys = Pattern(GetParam(), 4000);
+  btree::BPlusTree<uint64_t, uint64_t> bt(16);
+  segtree::SegTree<uint64_t, uint64_t> st(16);
+  std::multimap<uint64_t, uint64_t> oracle;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bt.Insert(keys[i], i);
+    st.Insert(keys[i], i);
+    oracle.emplace(keys[i], i);
+    if (i % 3 == 2) {  // sawtooth: delete every third insert's key
+      const uint64_t k = keys[i / 2];
+      const bool a = bt.Erase(k);
+      const bool b = st.Erase(k);
+      auto it = oracle.find(k);
+      const bool m = it != oracle.end();
+      if (m) oracle.erase(it);
+      ASSERT_EQ(a, m);
+      ASSERT_EQ(b, m);
+    }
+  }
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st.Validate());
+  ASSERT_EQ(bt.size(), oracle.size());
+  ASSERT_EQ(st.size(), oracle.size());
+  for (uint64_t k : keys) {
+    ASSERT_EQ(bt.Count(k), oracle.count(k)) << k;
+    ASSERT_EQ(st.Count(k), oracle.count(k)) << k;
+  }
+}
+
+TEST_P(AdversarialPatternTest, TriesMatchOracle) {
+  const auto keys = Pattern(GetParam(), 4000);
+  segtrie::SegTrie<uint64_t, uint64_t> plain;
+  segtrie::OptimizedSegTrie<uint64_t, uint64_t> opt;
+  segtrie::CompressedSegTrie<uint64_t, uint64_t> comp;
+  std::map<uint64_t, uint64_t> oracle;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    plain.Insert(keys[i], i);
+    opt.Insert(keys[i], i);
+    comp.Insert(keys[i], i);
+    oracle[keys[i]] = i;
+    if (i % 3 == 2) {
+      const uint64_t k = keys[i / 2];
+      const bool m = oracle.erase(k) > 0;
+      ASSERT_EQ(plain.Erase(k), m);
+      ASSERT_EQ(opt.Erase(k), m);
+      ASSERT_EQ(comp.Erase(k), m);
+    }
+  }
+  ASSERT_TRUE(plain.Validate());
+  ASSERT_TRUE(opt.Validate());
+  ASSERT_TRUE(comp.Validate());
+  ASSERT_EQ(plain.size(), oracle.size());
+  ASSERT_EQ(opt.size(), oracle.size());
+  ASSERT_EQ(comp.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(plain.Find(k).value(), v);
+    ASSERT_EQ(opt.Find(k).value(), v);
+    ASSERT_EQ(comp.Find(k).value(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, AdversarialPatternTest,
+                         testing::Values(0, 1, 2, 3, 4),
+                         [](const testing::TestParamInfo<int>& info) {
+                           const char* names[] = {
+                               "organ_pipe", "bit_reversed",
+                               "shared_prefix", "powers_of_two",
+                               "dense_low"};
+                           return names[info.param];
+                         });
+
+TEST(AdversarialTest, TypeBoundaryKeysEverywhere) {
+  const std::vector<uint64_t> keys = {0, 1, 0x7FFFFFFFFFFFFFFFULL,
+                                      0x8000000000000000ULL,
+                                      ~0ULL - 1, ~0ULL};
+  btree::BPlusTree<uint64_t, uint64_t> bt(4);
+  segtree::SegTree<uint64_t, uint64_t> st(4);
+  segtrie::CompressedSegTrie<uint64_t, uint64_t> comp;
+  for (uint64_t k : keys) {
+    bt.Insert(k, k);
+    st.Insert(k, k);
+    comp.Insert(k, k);
+  }
+  for (uint64_t k : keys) {
+    ASSERT_EQ(bt.Find(k).value(), k);
+    ASSERT_EQ(st.Find(k).value(), k);
+    ASSERT_EQ(comp.Find(k).value(), k);
+  }
+  EXPECT_FALSE(st.Contains(2));
+  EXPECT_FALSE(comp.Contains(0x8000000000000001ULL));
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st.Validate());
+  ASSERT_TRUE(comp.Validate());
+}
+
+TEST(AdversarialTest, MassiveDuplicationThenDrain) {
+  // 10k copies of three keys: stresses duplicate routing, candidate
+  // probing in EraseRec, and chained-leaf boundary checks.
+  btree::BPlusTree<uint32_t, uint32_t> bt(8);
+  segtree::SegTree<uint32_t, uint32_t> st(8);
+  for (int rep = 0; rep < 10000; ++rep) {
+    for (uint32_t k : {100u, 200u, 300u}) {
+      bt.Insert(k, static_cast<uint32_t>(rep));
+      st.Insert(k, static_cast<uint32_t>(rep));
+    }
+  }
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st.Validate());
+  EXPECT_EQ(bt.Count(200), 10000u);
+  EXPECT_EQ(st.Count(200), 10000u);
+  EXPECT_EQ(bt.Count(150), 0u);
+  for (int rep = 0; rep < 10000; ++rep) {
+    ASSERT_TRUE(bt.Erase(200));
+    ASSERT_TRUE(st.Erase(200));
+  }
+  EXPECT_FALSE(bt.Erase(200));
+  EXPECT_EQ(st.Count(200), 0u);
+  EXPECT_EQ(bt.Count(100), 10000u);
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st.Validate());
+}
+
+TEST(AdversarialTest, SmallSignedKeysFullDomainChurn) {
+  // int8 keys: the whole domain fits in two nodes; churn the domain
+  // repeatedly to stress min-occupancy rebalancing at every boundary.
+  btree::BPlusTree<int8_t, int32_t> bt(6);
+  segtree::SegTree<int8_t, int32_t> st(6);
+  std::multimap<int8_t, int32_t> oracle;
+  Rng rng(13);
+  for (int round = 0; round < 20; ++round) {
+    for (int v = -128; v < 128; ++v) {
+      const int8_t k = static_cast<int8_t>(v);
+      bt.Insert(k, round);
+      st.Insert(k, round);
+      oracle.emplace(k, round);
+    }
+    for (int i = 0; i < 200; ++i) {
+      const int8_t k = static_cast<int8_t>(rng.Next());
+      const bool a = bt.Erase(k);
+      const bool b = st.Erase(k);
+      auto it = oracle.find(k);
+      const bool m = it != oracle.end();
+      if (m) oracle.erase(it);
+      ASSERT_EQ(a, m);
+      ASSERT_EQ(b, m);
+    }
+    ASSERT_TRUE(bt.Validate()) << "round " << round;
+    ASSERT_TRUE(st.Validate()) << "round " << round;
+  }
+  for (int v = -128; v < 128; ++v) {
+    const int8_t k = static_cast<int8_t>(v);
+    ASSERT_EQ(bt.Count(k), oracle.count(k));
+    ASSERT_EQ(st.Count(k), oracle.count(k));
+  }
+}
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,78 @@
+// The three bitmask-evaluation algorithms (paper Algorithms 1-3) must
+// agree with each other and with the definition "index of the first
+// greater key" on every mask a sorted-lane comparison can produce.
+
+#include "simd/bitmask_eval.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+
+namespace simdtree::simd {
+namespace {
+
+// Mask with lanes p..kLanes-1 set (the only masks a greater-than compare of
+// sorted lanes can yield).
+template <typename T>
+uint32_t SwitchPointMask(int p) {
+  constexpr int lanes = LaneTraits<T>::kLanes;
+  constexpr int stride = LaneTraits<T>::kBytesPerLane;
+  uint32_t mask = 0;
+  for (int i = p; i < lanes; ++i) {
+    mask |= ((1u << stride) - 1u) << (i * stride);
+  }
+  return mask;
+}
+
+template <typename T>
+void ExpectAllAlgorithmsDecodeEveryPosition() {
+  constexpr int lanes = LaneTraits<T>::kLanes;
+  for (int p = 0; p <= lanes; ++p) {
+    const uint32_t mask = SwitchPointMask<T>(p);
+    EXPECT_EQ(BitShiftEval::Position<T>(mask), p) << "mask=" << mask;
+    EXPECT_EQ(SwitchCaseEval::Position<T>(mask), p) << "mask=" << mask;
+    EXPECT_EQ(PopcountEval::Position<T>(mask), p) << "mask=" << mask;
+  }
+}
+
+TEST(BitmaskEvalTest, Decodes8BitMasks) {
+  ExpectAllAlgorithmsDecodeEveryPosition<int8_t>();
+  ExpectAllAlgorithmsDecodeEveryPosition<uint8_t>();
+}
+
+TEST(BitmaskEvalTest, Decodes16BitMasks) {
+  ExpectAllAlgorithmsDecodeEveryPosition<int16_t>();
+  ExpectAllAlgorithmsDecodeEveryPosition<uint16_t>();
+}
+
+TEST(BitmaskEvalTest, Decodes32BitMasks) {
+  ExpectAllAlgorithmsDecodeEveryPosition<int32_t>();
+  ExpectAllAlgorithmsDecodeEveryPosition<uint32_t>();
+}
+
+TEST(BitmaskEvalTest, Decodes64BitMasks) {
+  ExpectAllAlgorithmsDecodeEveryPosition<int64_t>();
+  ExpectAllAlgorithmsDecodeEveryPosition<uint64_t>();
+}
+
+TEST(BitmaskEvalTest, PaperExampleFigure1) {
+  // Figure 1: 32-bit keys, bitmask 0xF000 -> position 3.
+  EXPECT_EQ(BitShiftEval::Position<int32_t>(0xF000u), 3);
+  EXPECT_EQ(SwitchCaseEval::Position<int32_t>(0xF000u), 3);
+  EXPECT_EQ(PopcountEval::Position<int32_t>(0xF000u), 3);
+}
+
+TEST(BitmaskEvalTest, AllGreaterAndNoneGreaterExtremes) {
+  EXPECT_EQ(PopcountEval::Position<int32_t>(0xFFFFu), 0);
+  EXPECT_EQ(PopcountEval::Position<int32_t>(0x0000u), 4);
+  EXPECT_EQ(BitShiftEval::Position<int64_t>(0xFFFFu), 0);
+  EXPECT_EQ(SwitchCaseEval::Position<int8_t>(0x0000u), 16);
+}
+
+TEST(BitmaskEvalTest, NamesAreDistinct) {
+  EXPECT_STRNE(BitShiftEval::kName, SwitchCaseEval::kName);
+  EXPECT_STRNE(SwitchCaseEval::kName, PopcountEval::kName);
+}
+
+}  // namespace
+}  // namespace simdtree::simd

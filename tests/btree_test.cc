@@ -1,0 +1,307 @@
+// Baseline B+-Tree tests: model-based randomized workloads against
+// std::multimap with invariant validation, plus targeted edge cases for
+// splits, merges, borrows, duplicates, iteration, scans, and bulk load.
+
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree::btree {
+namespace {
+
+using Tree = BPlusTree<int64_t, int64_t>;
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_FALSE(t.Contains(1));
+  EXPECT_FALSE(t.Find(1).has_value());
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_TRUE(t.Validate());
+  EXPECT_FALSE(t.begin().valid());
+}
+
+TEST(BPlusTreeTest, SingleInsertFindErase) {
+  Tree t;
+  t.Insert(42, 4200);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.Find(42).value(), 4200);
+  EXPECT_FALSE(t.Find(41).has_value());
+  EXPECT_TRUE(t.Validate());
+  EXPECT_TRUE(t.Erase(42));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Validate());
+}
+
+TEST(BPlusTreeTest, AscendingInsertsSplitCorrectly) {
+  Tree t(4);  // tiny nodes force deep trees
+  for (int64_t i = 0; i < 1000; ++i) {
+    t.Insert(i, i * 10);
+    ASSERT_TRUE(t.Validate()) << "after insert " << i;
+  }
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_GT(t.height(), 3);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.Find(i).value(), i * 10);
+  }
+  EXPECT_FALSE(t.Contains(1000));
+}
+
+TEST(BPlusTreeTest, DescendingInserts) {
+  Tree t(4);
+  for (int64_t i = 999; i >= 0; --i) {
+    t.Insert(i, -i);
+    ASSERT_TRUE(t.Validate());
+  }
+  for (int64_t i = 0; i < 1000; ++i) ASSERT_EQ(t.Find(i).value(), -i);
+}
+
+TEST(BPlusTreeTest, IterationYieldsSortedOrder) {
+  Tree t(6);
+  Rng rng(5);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.NextBounded(10000));
+    keys.push_back(k);
+    t.Insert(k, k);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<int64_t> seen;
+  for (auto it = t.begin(); it.valid(); ++it) seen.push_back(it.key());
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllStored) {
+  Tree t(4);
+  for (int64_t v = 0; v < 100; ++v) t.Insert(7, v);
+  t.Insert(6, -1);
+  t.Insert(8, -2);
+  EXPECT_EQ(t.size(), 102u);
+  EXPECT_TRUE(t.Validate());
+  EXPECT_EQ(t.Count(7), 100u);
+  EXPECT_EQ(t.Count(6), 1u);
+  EXPECT_EQ(t.Count(9), 0u);
+  EXPECT_TRUE(t.Contains(7));
+  // Erase them all one by one.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Erase(7)) << i;
+    ASSERT_TRUE(t.Validate()) << i;
+  }
+  EXPECT_FALSE(t.Erase(7));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.Contains(6));
+  EXPECT_TRUE(t.Contains(8));
+}
+
+TEST(BPlusTreeTest, ScanRangeHalfOpen) {
+  Tree t(8);
+  for (int64_t i = 0; i < 100; ++i) t.Insert(i * 2, i);  // evens 0..198
+  std::vector<int64_t> keys;
+  t.ScanRange(10, 20, [&](int64_t k, const int64_t&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<int64_t>{10, 12, 14, 16, 18}));
+  keys.clear();
+  t.ScanRange(11, 20, [&](int64_t k, const int64_t&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<int64_t>{12, 14, 16, 18}));
+  keys.clear();
+  t.ScanRange(10, 18, [&](int64_t k, const int64_t&) { keys.push_back(k); },
+              /*hi_inclusive=*/true);
+  EXPECT_EQ(keys, (std::vector<int64_t>{10, 12, 14, 16, 18}));
+  keys.clear();
+  t.ScanRange(500, 600, [&](int64_t k, const int64_t&) { keys.push_back(k); });
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(BPlusTreeTest, LowerBoundIterAcrossLeaves) {
+  Tree t(4);
+  for (int64_t i = 0; i < 64; ++i) t.Insert(i * 10, i);
+  for (int64_t probe = 0; probe <= 640; ++probe) {
+    auto it = t.LowerBoundIter(probe);
+    const int64_t expected = (probe + 9) / 10 * 10;
+    if (expected <= 630) {
+      ASSERT_TRUE(it.valid()) << probe;
+      ASSERT_EQ(it.key(), expected) << probe;
+    } else {
+      ASSERT_FALSE(it.valid()) << probe;
+    }
+  }
+}
+
+TEST(BPlusTreeTest, BulkLoadFullFill) {
+  std::vector<int64_t> keys(10000);
+  std::vector<int64_t> values(10000);
+  for (int64_t i = 0; i < 10000; ++i) {
+    keys[static_cast<size_t>(i)] = i * 3;
+    values[static_cast<size_t>(i)] = i;
+  }
+  Tree t = Tree::BulkLoad(keys.data(), values.data(), keys.size(), 1.0, 64);
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_TRUE(t.Validate());
+  const TreeStats stats = t.Stats();
+  EXPECT_GT(stats.avg_leaf_fill, 0.95);
+  for (int64_t i = 0; i < 10000; i += 7) {
+    ASSERT_EQ(t.Find(i * 3).value(), i);
+    ASSERT_FALSE(t.Contains(i * 3 + 1));
+  }
+}
+
+TEST(BPlusTreeTest, BulkLoadThenMutate) {
+  std::vector<int64_t> keys, values;
+  for (int64_t i = 0; i < 1000; ++i) {
+    keys.push_back(i * 2);
+    values.push_back(i);
+  }
+  Tree t = Tree::BulkLoad(keys.data(), values.data(), keys.size(), 1.0, 16);
+  for (int64_t i = 0; i < 1000; ++i) {
+    t.Insert(i * 2 + 1, -i);
+    ASSERT_TRUE(t.Validate());
+  }
+  EXPECT_EQ(t.size(), 2000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Erase(i * 2));
+  }
+  EXPECT_TRUE(t.Validate());
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(BPlusTreeTest, BulkLoadTinyInputs) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{5}, size_t{17}}) {
+    std::vector<int64_t> keys(n), values(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<int64_t>(i);
+      values[i] = static_cast<int64_t>(i);
+    }
+    Tree t = Tree::BulkLoad(keys.data(), values.data(), n, 1.0, 4);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_TRUE(t.Validate()) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(t.Contains(static_cast<int64_t>(i)));
+    }
+  }
+}
+
+TEST(BPlusTreeTest, SequentialSearchPolicyBehavesIdentically) {
+  BPlusTree<int32_t, int32_t, SequentialSearchTag> t(8);
+  Rng rng(17);
+  std::multimap<int32_t, int32_t> model;
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(500));
+    t.Insert(k, i);
+    model.emplace(k, i);
+  }
+  ASSERT_TRUE(t.Validate());
+  for (int32_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(t.Contains(k), model.count(k) > 0);
+    ASSERT_EQ(t.Count(k), model.count(k));
+  }
+}
+
+// Randomized model test: mixed inserts/erases against std::multimap with
+// full validation, across several node capacities and seeds.
+struct ModelParam {
+  int64_t capacity;
+  uint64_t seed;
+  int key_range;
+};
+
+class BPlusTreeModelTest : public testing::TestWithParam<ModelParam> {};
+
+TEST_P(BPlusTreeModelTest, RandomOpsMatchMultimap) {
+  const ModelParam p = GetParam();
+  Tree t(p.capacity);
+  std::multimap<int64_t, int64_t> model;
+  Rng rng(p.seed);
+  for (int op = 0; op < 4000; ++op) {
+    const int64_t k =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(p.key_range)));
+    const uint64_t action = rng.NextBounded(100);
+    if (action < 60) {
+      t.Insert(k, op);
+      model.emplace(k, op);
+    } else {
+      const bool erased_tree = t.Erase(k);
+      auto it = model.find(k);
+      const bool erased_model = it != model.end();
+      if (erased_model) model.erase(it);
+      ASSERT_EQ(erased_tree, erased_model) << "op " << op << " key " << k;
+    }
+    if (op % 64 == 0) {
+      ASSERT_TRUE(t.Validate()) << "op " << op;
+      ASSERT_EQ(t.size(), model.size());
+    }
+  }
+  ASSERT_TRUE(t.Validate());
+  ASSERT_EQ(t.size(), model.size());
+  for (int64_t k = 0; k < p.key_range; ++k) {
+    ASSERT_EQ(t.Count(k), model.count(k)) << "key " << k;
+  }
+  // Drain everything.
+  for (int64_t k = 0; k < p.key_range; ++k) {
+    while (t.Erase(k)) {
+    }
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, BPlusTreeModelTest,
+    testing::Values(ModelParam{3, 1, 50}, ModelParam{3, 2, 50},
+                    ModelParam{4, 3, 200}, ModelParam{5, 4, 200},
+                    ModelParam{8, 5, 1000}, ModelParam{16, 6, 1000},
+                    ModelParam{64, 7, 5000}, ModelParam{4, 8, 10},
+                    ModelParam{7, 9, 3}),
+    [](const testing::TestParamInfo<ModelParam>& info) {
+      return "cap" + std::to_string(info.param.capacity) + "seed" +
+             std::to_string(info.param.seed) + "range" +
+             std::to_string(info.param.key_range);
+    });
+
+TEST(BPlusTreeTest, StatsReportPlausibleNumbers) {
+  Tree t(16);
+  for (int64_t i = 0; i < 5000; ++i) t.Insert(i, i);
+  const TreeStats s = t.Stats();
+  EXPECT_EQ(s.keys, 5000u);
+  EXPECT_GT(s.leaf_nodes, 300u);
+  EXPECT_GT(s.inner_nodes, 10u);
+  EXPECT_GT(s.memory_bytes, 5000u * 16);
+  EXPECT_EQ(s.height, t.height());
+}
+
+TEST(BPlusTreeTest, UnsignedKeysWithExtremes) {
+  BPlusTree<uint64_t, int64_t> t(8);
+  t.Insert(0, 1);
+  t.Insert(~0ULL, 2);
+  t.Insert(~0ULL - 1, 3);
+  t.Insert(1ULL << 63, 4);
+  EXPECT_TRUE(t.Validate());
+  EXPECT_EQ(t.Find(0).value(), 1);
+  EXPECT_EQ(t.Find(~0ULL).value(), 2);
+  EXPECT_EQ(t.Find(1ULL << 63).value(), 4);
+  EXPECT_FALSE(t.Contains(12345));
+}
+
+TEST(BPlusTreeTest, MoveConstructionAndAssignment) {
+  Tree a(8);
+  for (int64_t i = 0; i < 100; ++i) a.Insert(i, i);
+  Tree b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.Validate());
+  Tree c(4);
+  c.Insert(1, 1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_TRUE(c.Contains(50));
+}
+
+}  // namespace
+}  // namespace simdtree::btree

@@ -1,0 +1,173 @@
+// Unit tests for the compact single-allocation trie node: block layout,
+// relocation on growth, append/remove fast paths, SIMD search, and the
+// full-node direct-index fast path.
+
+#include "segtrie/compact_node.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree::segtrie {
+namespace {
+
+using Ctx = CompactNodeContext<uint8_t>;
+using Node = CompactTrieNode<uint8_t, uint64_t>;
+
+TEST(CompactNodeTest, MakeSingleHoldsOnePair) {
+  Ctx ctx(256);
+  Node* n = Node::MakeSingle(ctx, 42, 4200);
+  EXPECT_EQ(n->count(), 1);
+  EXPECT_EQ(n->PartialAt(ctx, 0), 42);
+  EXPECT_EQ(n->EntryAt(0), 4200u);
+  EXPECT_EQ(n->FindPartial(ctx, 42), 0);
+  EXPECT_EQ(n->FindPartial(ctx, 41), -1);
+  EXPECT_EQ(n->FindPartial(ctx, 43), -1);
+  Node::Free(n);
+}
+
+TEST(CompactNodeTest, AscendingInsertsGrowAndStaySorted) {
+  Ctx ctx(256);
+  Node* n = Node::MakeSingle(ctx, 0, 0);
+  for (int i = 1; i < 256; ++i) {
+    n = Node::Insert(n, ctx, i, static_cast<uint8_t>(i),
+                     static_cast<uint64_t>(i) * 10);
+  }
+  ASSERT_EQ(n->count(), 256);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(n->PartialAt(ctx, i), static_cast<uint8_t>(i));
+    ASSERT_EQ(n->EntryAt(i), static_cast<uint64_t>(i) * 10);
+  }
+  // Full node: FindPartial takes the hash-like direct-index path.
+  for (int p = 0; p < 256; ++p) {
+    ASSERT_EQ(n->FindPartial(ctx, static_cast<uint8_t>(p)), p);
+  }
+  Node::Free(n);
+}
+
+TEST(CompactNodeTest, RandomInsertRemoveMatchesModel) {
+  Ctx ctx(256);
+  Rng rng(7);
+  Node* n = nullptr;
+  std::vector<std::pair<uint8_t, uint64_t>> model;
+  for (int op = 0; op < 3000; ++op) {
+    const uint8_t p = static_cast<uint8_t>(rng.Next());
+    auto it = std::lower_bound(
+        model.begin(), model.end(), p,
+        [](const auto& a, uint8_t b) { return a.first < b; });
+    const bool present = it != model.end() && it->first == p;
+    if (rng.NextBounded(100) < 60) {
+      if (present) continue;  // node stores distinct partials
+      const int64_t pos = it - model.begin();
+      if (n == nullptr) {
+        n = Node::MakeSingle(ctx, p, op);
+      } else {
+        n = Node::Insert(n, ctx, pos, p, static_cast<uint64_t>(op));
+      }
+      model.insert(it, {p, static_cast<uint64_t>(op)});
+    } else if (present) {
+      const int64_t pos = it - model.begin();
+      Node::Remove(n, ctx, pos);
+      model.erase(it);
+    }
+    if (n != nullptr) {
+      ASSERT_EQ(n->count(), static_cast<int64_t>(model.size()));
+      for (size_t i = 0; i < model.size(); ++i) {
+        ASSERT_EQ(n->PartialAt(ctx, static_cast<int64_t>(i)),
+                  model[i].first);
+        ASSERT_EQ(n->EntryAt(static_cast<int64_t>(i)), model[i].second);
+      }
+    }
+  }
+  if (n != nullptr) Node::Free(n);
+}
+
+TEST(CompactNodeTest, UpperBoundMatchesStdUpperBound) {
+  Ctx ctx(256);
+  Rng rng(9);
+  std::vector<uint8_t> sorted;
+  Node* n = nullptr;
+  for (int i = 0; i < 100; ++i) {
+    const uint8_t p = static_cast<uint8_t>(rng.Next());
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), p);
+    if (it != sorted.end() && *it == p) continue;
+    const int64_t pos = it - sorted.begin();
+    n = n == nullptr ? Node::MakeSingle(ctx, p, 0)
+                     : Node::Insert(n, ctx, pos, p, 0);
+    sorted.insert(it, p);
+    for (int v = 0; v < 256; ++v) {
+      const uint8_t probe = static_cast<uint8_t>(v);
+      const int64_t expected =
+          std::upper_bound(sorted.begin(), sorted.end(), probe) -
+          sorted.begin();
+      ASSERT_EQ(n->UpperBound(ctx, probe), expected)
+          << "probe " << v << " count " << sorted.size();
+    }
+  }
+  Node::Free(n);
+}
+
+TEST(CompactNodeTest, MemoryGrowsGeometrically) {
+  Ctx ctx(256);
+  Node* n = Node::MakeSingle(ctx, 0, 0);
+  size_t last = n->MemoryBytes();
+  size_t growths = 0;
+  for (int i = 1; i < 256; ++i) {
+    n = Node::Insert(n, ctx, i, static_cast<uint8_t>(i), 0);
+    if (n->MemoryBytes() != last) {
+      ++growths;
+      last = n->MemoryBytes();
+    }
+  }
+  // Geometric growth: far fewer reallocations than inserts.
+  EXPECT_LE(growths, 10u);
+  Node::Free(n);
+}
+
+TEST(CompactNodeTest, OddSizedValueEntries) {
+  // 12-byte trivially-copyable entries exercise the alignment math.
+  struct Payload {
+    uint32_t a;
+    uint32_t b;
+    uint32_t c;
+  };
+  CompactNodeContext<uint8_t> ctx(256);
+  using PNode = CompactTrieNode<uint8_t, Payload>;
+  PNode* n = PNode::MakeSingle(ctx, 9, Payload{1, 2, 3});
+  for (int i = 0; i < 50; ++i) {
+    const uint8_t p = static_cast<uint8_t>(10 + i);
+    n = PNode::Insert(n, ctx, n->count(), p,
+                      Payload{static_cast<uint32_t>(i), 0, 7});
+  }
+  ASSERT_EQ(n->count(), 51);
+  EXPECT_EQ(n->EntryAt(0).c, 3u);
+  EXPECT_EQ(n->EntryAt(50).a, 49u);
+  EXPECT_EQ(n->EntryAt(50).c, 7u);
+  PNode::Free(n);
+}
+
+TEST(CompactNodeTest, SixteenBitPartials) {
+  // 4-bit-segment tries use uint8 partials with a 16-value domain; 16-bit
+  // segment tries use uint16 partials with a 65536-value domain.
+  CompactNodeContext<uint16_t> ctx(65536);
+  using WNode = CompactTrieNode<uint16_t, uint64_t>;
+  WNode* n = WNode::MakeSingle(ctx, 1000, 1);
+  for (int i = 0; i < 2000; ++i) {
+    n = WNode::Insert(n, ctx, n->count(),
+                      static_cast<uint16_t>(1001 + i * 3),
+                      static_cast<uint64_t>(i));
+  }
+  ASSERT_EQ(n->count(), 2001);
+  EXPECT_EQ(n->FindPartial(ctx, 1000), 0);
+  EXPECT_EQ(n->FindPartial(ctx, 1001), 1);
+  EXPECT_EQ(n->FindPartial(ctx, 1002), -1);
+  EXPECT_EQ(n->FindPartial(ctx, static_cast<uint16_t>(1001 + 1999 * 3)),
+            2000);
+  WNode::Free(n);
+}
+
+}  // namespace
+}  // namespace simdtree::segtrie

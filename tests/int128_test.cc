@@ -1,0 +1,122 @@
+// 128-bit keys in the Seg-Trie: 16 levels of 8-bit segments. Exercises
+// the trie's fixed-height machinery beyond the paper's 64-bit evaluation
+// (the trie definition in Section 4 is width-generic).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+
+#if defined(__SIZEOF_INT128__)
+
+namespace simdtree::segtrie {
+namespace {
+
+using U128 = unsigned __int128;
+using Trie128 = SegTrie<U128, uint64_t>;
+using OptTrie128 = OptimizedSegTrie<U128, uint64_t>;
+
+U128 Make128(uint64_t hi, uint64_t lo) {
+  return (static_cast<U128>(hi) << 64) | lo;
+}
+
+TEST(Int128TrieTest, SixteenLevels) {
+  EXPECT_EQ(Trie128::max_levels(), 16);
+  EXPECT_EQ(Trie128::kDomain, 256);
+}
+
+TEST(Int128TrieTest, BasicLifecycle) {
+  Trie128 trie;
+  const U128 a = Make128(0xDEADBEEF12345678ULL, 0x0123456789ABCDEFULL);
+  const U128 b = a + 1;
+  EXPECT_TRUE(trie.Insert(a, 1));
+  EXPECT_TRUE(trie.Insert(b, 2));
+  EXPECT_FALSE(trie.Insert(a, 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_TRUE(trie.Validate());
+  EXPECT_EQ(trie.Find(a).value(), 3u);
+  EXPECT_EQ(trie.Find(b).value(), 2u);
+  EXPECT_FALSE(trie.Contains(a - 1));
+  EXPECT_TRUE(trie.Erase(a));
+  EXPECT_FALSE(trie.Contains(a));
+  EXPECT_TRUE(trie.Contains(b));
+}
+
+TEST(Int128TrieTest, RandomModel) {
+  Trie128 trie;
+  std::map<U128, uint64_t> model;
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    // Keys spread across both halves.
+    const U128 k = Make128(rng.NextBounded(16), rng.Next() & 0xFFFF);
+    if (rng.NextBounded(100) < 70) {
+      trie.Insert(k, static_cast<uint64_t>(i));
+      model[k] = static_cast<uint64_t>(i);
+    } else {
+      ASSERT_EQ(trie.Erase(k), model.erase(k) > 0);
+    }
+  }
+  ASSERT_TRUE(trie.Validate());
+  ASSERT_EQ(trie.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(trie.Find(k).value(), v);
+  }
+  // Ordered traversal matches the map.
+  std::vector<U128> seen;
+  trie.ForEach([&](U128 k, const uint64_t&) { seen.push_back(k); });
+  auto it = model.begin();
+  for (U128 k : seen) {
+    ASSERT_TRUE(it != model.end());
+    ASSERT_TRUE(k == it->first);
+    ++it;
+  }
+}
+
+TEST(Int128TrieTest, LazyExpansionOverWideKeys) {
+  OptTrie128 trie;
+  trie.Insert(5, 1);
+  EXPECT_EQ(trie.active_levels(), 1);
+  trie.Insert(Make128(1, 0), 2);  // diverges at the 9th byte from the top
+  EXPECT_EQ(trie.active_levels(), 9);
+  EXPECT_TRUE(trie.Contains(5));
+  EXPECT_TRUE(trie.Contains(Make128(1, 0)));
+  EXPECT_FALSE(trie.Contains(Make128(1, 1)));
+  ASSERT_TRUE(trie.Validate());
+}
+
+TEST(Int128TrieTest, RangeScan) {
+  Trie128 trie;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    trie.Insert(Make128(1, i * 3), i);
+  }
+  size_t count = 0;
+  trie.ScanRange(Make128(1, 30), Make128(1, 60),
+                 [&](U128, const uint64_t&) { ++count; });
+  EXPECT_EQ(count, 10u);  // 30, 33, ..., 57
+  EXPECT_EQ(trie.CountRange(0, ~U128{0}, /*hi_inclusive=*/true), 1000u);
+}
+
+TEST(Int128TrieTest, BulkLoadMatchesInserts) {
+  std::vector<U128> keys;
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    keys.push_back(Make128(i / 100, i * 7));
+    values.push_back(i);
+  }
+  auto bulk = Trie128::BulkLoad(keys.data(), values.data(), keys.size());
+  ASSERT_TRUE(bulk.Validate());
+  ASSERT_EQ(bulk.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(bulk.Find(keys[i]).value(), values[i]);
+  }
+}
+
+}  // namespace
+}  // namespace simdtree::segtrie
+
+#else
+TEST(Int128TrieTest, Unsupported) { GTEST_SKIP() << "no __int128"; }
+#endif  // __SIZEOF_INT128__

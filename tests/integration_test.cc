@@ -1,0 +1,145 @@
+// Cross-structure integration tests: every index structure must give the
+// same answers to the same queries on the same workloads, matching a
+// std::map/std::multimap oracle — the end-to-end guarantee behind every
+// benchmark comparison in the paper.
+
+#include "core/simdtree.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+TEST(IntegrationTest, AllStructuresAgreeOnDistinctKeyWorkload) {
+  Rng rng(101);
+  std::vector<uint64_t> keys = UniformDistinctKeys<uint64_t>(20000, rng);
+
+  btree::BPlusTree<uint64_t, uint64_t> bt(64);
+  segtree::SegTree<uint64_t, uint64_t, kary::Layout::kBreadthFirst> st_bf(64);
+  segtree::SegTree<uint64_t, uint64_t, kary::Layout::kDepthFirst> st_df(64);
+  segtrie::SegTrie<uint64_t, uint64_t> trie;
+  segtrie::OptimizedSegTrie<uint64_t, uint64_t> opt_trie;
+  std::map<uint64_t, uint64_t> oracle;
+
+  // Shuffled insertion order.
+  std::vector<uint64_t> order = keys;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (uint64_t k : order) {
+    bt.Insert(k, k * 2);
+    st_bf.Insert(k, k * 2);
+    st_df.Insert(k, k * 2);
+    trie.Insert(k, k * 2);
+    opt_trie.Insert(k, k * 2);
+    oracle[k] = k * 2;
+  }
+
+  // Point probes: every present key plus random misses.
+  for (uint64_t k : keys) {
+    ASSERT_EQ(bt.Find(k).value(), k * 2);
+    ASSERT_EQ(st_bf.Find(k).value(), k * 2);
+    ASSERT_EQ(st_df.Find(k).value(), k * 2);
+    ASSERT_EQ(trie.Find(k).value(), k * 2);
+    ASSERT_EQ(opt_trie.Find(k).value(), k * 2);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t probe = rng.Next();
+    const bool expected = oracle.count(probe) > 0;
+    ASSERT_EQ(bt.Contains(probe), expected);
+    ASSERT_EQ(st_bf.Contains(probe), expected);
+    ASSERT_EQ(st_df.Contains(probe), expected);
+    ASSERT_EQ(trie.Contains(probe), expected);
+    ASSERT_EQ(opt_trie.Contains(probe), expected);
+  }
+
+  // Erase half the keys from every structure.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(bt.Erase(keys[i]));
+    ASSERT_TRUE(st_bf.Erase(keys[i]));
+    ASSERT_TRUE(st_df.Erase(keys[i]));
+    ASSERT_TRUE(trie.Erase(keys[i]));
+    ASSERT_TRUE(opt_trie.Erase(keys[i]));
+    oracle.erase(keys[i]);
+  }
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st_bf.Validate());
+  ASSERT_TRUE(st_df.Validate());
+  ASSERT_TRUE(trie.Validate());
+  ASSERT_TRUE(opt_trie.Validate());
+  for (uint64_t k : keys) {
+    const bool expected = oracle.count(k) > 0;
+    ASSERT_EQ(bt.Contains(k), expected);
+    ASSERT_EQ(st_bf.Contains(k), expected);
+    ASSERT_EQ(st_df.Contains(k), expected);
+    ASSERT_EQ(trie.Contains(k), expected);
+    ASSERT_EQ(opt_trie.Contains(k), expected);
+  }
+}
+
+TEST(IntegrationTest, RangeScansAgreeBetweenBaselineAndSegTree) {
+  Rng rng(202);
+  btree::BPlusTree<uint32_t, uint32_t> bt(32);
+  segtree::SegTree<uint32_t, uint32_t> st(32);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t k = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    bt.Insert(k, k);
+    st.Insert(k, k);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint32_t lo = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    const uint32_t hi = lo + static_cast<uint32_t>(rng.NextBounded(1u << 14));
+    uint64_t sum_a = 0, sum_b = 0;
+    size_t n_a = 0, n_b = 0;
+    bt.ScanRange(lo, hi, [&](uint32_t k, uint32_t) { sum_a += k; ++n_a; });
+    st.ScanRange(lo, hi, [&](uint32_t k, uint32_t) { sum_b += k; ++n_b; });
+    ASSERT_EQ(n_a, n_b);
+    ASSERT_EQ(sum_a, sum_b);
+  }
+}
+
+TEST(IntegrationTest, PaperWorkloadFullDomain16BitWithDuplicates) {
+  // The paper's 16-bit data sets span the whole domain with duplicates;
+  // baseline and Seg-Tree must agree on every probe.
+  const auto keys = CycledDomainKeys<uint16_t>(200000);
+  std::vector<uint32_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<uint32_t>(i);
+  }
+  auto bt = btree::BPlusTree<uint16_t, uint32_t>::BulkLoad(
+      keys.data(), values.data(), keys.size());
+  auto st = segtree::SegTree<uint16_t, uint32_t>::BulkLoad(
+      keys.data(), values.data(), keys.size());
+  ASSERT_TRUE(bt.Validate());
+  ASSERT_TRUE(st.Validate());
+  for (uint32_t v = 0; v < 65536; v += 7) {
+    const uint16_t k = static_cast<uint16_t>(v);
+    ASSERT_EQ(bt.Contains(k), st.Contains(k)) << v;
+    ASSERT_EQ(bt.Count(k), st.Count(k)) << v;
+  }
+}
+
+TEST(IntegrationTest, KaryArrayMatchesTreeAnswers) {
+  Rng rng(303);
+  const auto keys = UniformDistinctKeys<int32_t>(5000, rng);
+  kary::KaryArray<int32_t> arr(keys, kary::Layout::kBreadthFirst);
+  segtree::SegTree<int32_t, int32_t> tree(338);
+  for (int32_t k : keys) tree.Insert(k, k);
+  for (int i = 0; i < 3000; ++i) {
+    const int32_t probe = static_cast<int32_t>(rng.Next());
+    ASSERT_EQ(arr.Contains(probe), tree.Contains(probe));
+  }
+}
+
+TEST(IntegrationTest, VersionAndCpuInfoAvailable) {
+  EXPECT_STREQ(kVersionString, "1.0.0");
+  EXPECT_FALSE(simd::CpuFeatureString().empty());
+}
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,97 @@
+// KaryArray: the standalone linearized dictionary.
+
+#include "kary/kary_array.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree::kary {
+namespace {
+
+TEST(KaryArrayTest, EmptyArray) {
+  KaryArray<int32_t> arr({}, Layout::kBreadthFirst);
+  EXPECT_EQ(arr.size(), 0);
+  EXPECT_EQ(arr.UpperBound(5), 0);
+  EXPECT_FALSE(arr.Contains(5));
+}
+
+TEST(KaryArrayTest, SingleKey) {
+  KaryArray<int32_t> arr({7}, Layout::kBreadthFirst);
+  EXPECT_EQ(arr.UpperBound(6), 0);
+  EXPECT_EQ(arr.UpperBound(7), 1);
+  EXPECT_TRUE(arr.Contains(7));
+  EXPECT_FALSE(arr.Contains(8));
+}
+
+TEST(KaryArrayTest, DepthFirstForcesPerfectStorage) {
+  std::vector<int16_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[static_cast<size_t>(i)] = static_cast<int16_t>(i * 3);
+  KaryArray<int16_t> arr(keys, Layout::kDepthFirst, Storage::kTruncated);
+  // 16-bit keys: k = 9; 100 keys need r = 3 => 728 perfect slots.
+  EXPECT_EQ(arr.stored_slots(), 728);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(arr.Contains(static_cast<int16_t>(i * 3)));
+    EXPECT_FALSE(arr.Contains(static_cast<int16_t>(i * 3 + 1)));
+  }
+}
+
+TEST(KaryArrayTest, TruncatedUsesFewerSlots) {
+  std::vector<uint8_t> keys(200);
+  for (int i = 0; i < 200; ++i) keys[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  KaryArray<uint8_t> truncated(keys, Layout::kBreadthFirst,
+                               Storage::kTruncated);
+  KaryArray<uint8_t> perfect(keys, Layout::kBreadthFirst, Storage::kPerfect);
+  EXPECT_LT(truncated.stored_slots(), perfect.stored_slots());
+  EXPECT_LT(truncated.MemoryBytes(), perfect.MemoryBytes());
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_EQ(truncated.UpperBound(static_cast<uint8_t>(v)),
+              perfect.UpperBound(static_cast<uint8_t>(v)));
+  }
+}
+
+TEST(KaryArrayTest, KeyAtSortedPositionRecoversOrder) {
+  Rng rng(17);
+  std::vector<int64_t> keys(300);
+  for (auto& k : keys) k = static_cast<int64_t>(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  for (Layout l : {Layout::kBreadthFirst, Layout::kDepthFirst}) {
+    KaryArray<int64_t> arr(keys, l);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(arr.KeyAtSortedPosition(static_cast<int64_t>(i)), keys[i]);
+    }
+  }
+}
+
+TEST(KaryArrayTest, LowerBoundAndUpperBoundOnDuplicates) {
+  std::vector<uint32_t> keys = {3, 3, 3, 8, 8, 20};
+  KaryArray<uint32_t> arr(keys, Layout::kBreadthFirst);
+  EXPECT_EQ(arr.LowerBound(3), 0);
+  EXPECT_EQ(arr.UpperBound(3), 3);
+  EXPECT_EQ(arr.LowerBound(8), 3);
+  EXPECT_EQ(arr.UpperBound(8), 5);
+  EXPECT_EQ(arr.LowerBound(0), 0);
+  EXPECT_EQ(arr.LowerBound(21), 6);
+}
+
+TEST(KaryArrayTest, LargeRandomAgainstStdAlgorithms) {
+  Rng rng(31);
+  std::vector<uint16_t> keys(5000);
+  for (auto& k : keys) k = static_cast<uint16_t>(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  for (Layout l : {Layout::kBreadthFirst, Layout::kDepthFirst}) {
+    KaryArray<uint16_t> arr(keys, l);
+    for (int i = 0; i < 2000; ++i) {
+      const uint16_t v = static_cast<uint16_t>(rng.Next());
+      const int64_t expected =
+          std::upper_bound(keys.begin(), keys.end(), v) - keys.begin();
+      ASSERT_EQ(arr.UpperBound(v), expected) << "layout=" << LayoutName(l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdtree::kary

@@ -1,0 +1,155 @@
+// Tests for the order-preserving key codecs and the adapted Seg-Trie over
+// signed integer and floating-point keys.
+
+#include "segtrie/key_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree::segtrie {
+namespace {
+
+template <typename Codec, typename K>
+void ExpectOrderPreserved(std::vector<K> values) {
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i - 1] == values[i]) continue;
+    ASSERT_LT(Codec::Encode(values[i - 1]), Codec::Encode(values[i]))
+        << "at " << i;
+  }
+  for (K v : values) {
+    ASSERT_EQ(Codec::Decode(Codec::Encode(v)), v);
+  }
+}
+
+TEST(KeyCodecTest, SignedCodecsPreserveOrder) {
+  ExpectOrderPreserved<SignedCodec<int8_t>>(
+      std::vector<int8_t>{-128, -127, -1, 0, 1, 126, 127});
+  Rng rng(1);
+  std::vector<int64_t> values = {std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max(), 0, -1,
+                                 1};
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  ExpectOrderPreserved<SignedCodec<int64_t>>(values);
+}
+
+TEST(KeyCodecTest, FloatCodecPreservesOrder) {
+  std::vector<float> values = {-std::numeric_limits<float>::infinity(),
+                               std::numeric_limits<float>::lowest(),
+                               -1e30f,
+                               -1.5f,
+                               -std::numeric_limits<float>::denorm_min(),
+                               -0.0f,
+                               0.0f,
+                               std::numeric_limits<float>::denorm_min(),
+                               1.5f,
+                               1e30f,
+                               std::numeric_limits<float>::max(),
+                               std::numeric_limits<float>::infinity()};
+  // -0.0 and 0.0 compare equal as floats but have distinct encodings with
+  // -0.0 ordered first (IEEE totalOrder).
+  for (size_t i = 1; i < values.size(); ++i) {
+    ASSERT_LT(FloatCodec::Encode(values[i - 1]),
+              FloatCodec::Encode(values[i]));
+  }
+  for (float v : values) {
+    const float back = FloatCodec::Decode(FloatCodec::Encode(v));
+    ASSERT_EQ(std::bit_cast<uint32_t>(back), std::bit_cast<uint32_t>(v));
+  }
+}
+
+TEST(KeyCodecTest, DoubleCodecRandomRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::bit_cast<double>(rng.Next());
+    if (std::isnan(v)) continue;
+    const double back = DoubleCodec::Decode(DoubleCodec::Encode(v));
+    ASSERT_EQ(std::bit_cast<uint64_t>(back), std::bit_cast<uint64_t>(v));
+  }
+  // Random pair order check.
+  for (int i = 0; i < 5000; ++i) {
+    const double a = std::bit_cast<double>(rng.Next());
+    const double b = std::bit_cast<double>(rng.Next());
+    if (std::isnan(a) || std::isnan(b)) continue;
+    if (a < b) {
+      ASSERT_LT(DoubleCodec::Encode(a), DoubleCodec::Encode(b));
+    } else if (b < a) {
+      ASSERT_LT(DoubleCodec::Encode(b), DoubleCodec::Encode(a));
+    }
+  }
+}
+
+TEST(AdaptedSegTrieTest, SignedKeysBehaveLikeMap) {
+  AdaptedSegTrie<int64_t, int64_t> trie;
+  std::map<int64_t, int64_t> model;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.Next()) >> 40;  // +/- spread
+    if (rng.NextBounded(100) < 70) {
+      trie.Insert(k, i);
+      model[k] = i;
+    } else {
+      ASSERT_EQ(trie.Erase(k), model.erase(k) > 0);
+    }
+  }
+  ASSERT_TRUE(trie.Validate());
+  ASSERT_EQ(trie.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(trie.Find(k).value(), v);
+  }
+  // Ordered traversal sees the signed order, negatives first.
+  std::vector<int64_t> seen;
+  trie.ForEach([&](int64_t k, const int64_t&) { seen.push_back(k); });
+  ASSERT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  ASSERT_EQ(seen.size(), model.size());
+}
+
+TEST(AdaptedSegTrieTest, DoubleKeysRangeScan) {
+  AdaptedSegTrie<double, int32_t> trie;
+  std::map<double, int32_t> model;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const double k = (rng.NextDouble() - 0.5) * 1e6;
+    trie.Insert(k, i);
+    model[k] = i;
+  }
+  ASSERT_EQ(trie.size(), model.size());
+  for (int t = 0; t < 50; ++t) {
+    double lo = (rng.NextDouble() - 0.5) * 1e6;
+    double hi = (rng.NextDouble() - 0.5) * 1e6;
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<double> got;
+    trie.ScanRange(lo, hi, [&](double k, const int32_t&) { got.push_back(k); });
+    std::vector<double> expected;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first < hi; ++it) {
+      expected.push_back(it->first);
+    }
+    ASSERT_EQ(got, expected) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(AdaptedSegTrieTest, NegativeAndPositiveInfinity) {
+  AdaptedSegTrie<float, int32_t> trie;
+  trie.Insert(-std::numeric_limits<float>::infinity(), 1);
+  trie.Insert(0.0f, 2);
+  trie.Insert(std::numeric_limits<float>::infinity(), 3);
+  trie.Insert(-123.5f, 4);
+  std::vector<int32_t> order;
+  trie.ForEach([&](float, const int32_t& v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int32_t>{1, 4, 2, 3}));
+  EXPECT_EQ(trie.Find(-123.5f).value(), 4);
+  EXPECT_FALSE(trie.Contains(123.5f));
+}
+
+}  // namespace
+}  // namespace simdtree::segtrie

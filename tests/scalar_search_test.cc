@@ -1,0 +1,45 @@
+// The scalar baselines must agree with std::upper_bound.
+
+#include "kary/scalar_search.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree::kary {
+namespace {
+
+template <typename T>
+class ScalarSearchTypedTest : public testing::Test {};
+
+using KeyTypes =
+    testing::Types<int8_t, uint8_t, int16_t, int32_t, uint32_t, int64_t>;
+TYPED_TEST_SUITE(ScalarSearchTypedTest, KeyTypes);
+
+TYPED_TEST(ScalarSearchTypedTest, BinaryAndSequentialMatchStdUpperBound) {
+  using T = TypeParam;
+  Rng rng(91);
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{5}, int64_t{64},
+                    int64_t{200}}) {
+    std::vector<T> keys(static_cast<size_t>(n));
+    for (auto& k : keys) k = static_cast<T>(rng.NextBounded(64));
+    std::sort(keys.begin(), keys.end());
+    std::vector<T> probes = {std::numeric_limits<T>::min(),
+                             std::numeric_limits<T>::max()};
+    for (int i = 0; i < 100; ++i) probes.push_back(static_cast<T>(rng.Next()));
+    for (T k : keys) probes.push_back(k);
+    for (T v : probes) {
+      const int64_t expected =
+          std::upper_bound(keys.begin(), keys.end(), v) - keys.begin();
+      EXPECT_EQ(BinaryUpperBound(keys.data(), n, v), expected);
+      EXPECT_EQ(SequentialUpperBound(keys.data(), n, v), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdtree::kary

@@ -1,0 +1,193 @@
+// Tests for the Seg-Trie extensions: ordered range scans (subtree
+// pruning), O(n) bulk loading, and move semantics.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+#include "util/workload.h"
+
+namespace simdtree::segtrie {
+namespace {
+
+using Trie = SegTrie<uint64_t, uint64_t>;
+using OptTrie = OptimizedSegTrie<uint64_t, uint64_t>;
+
+template <typename TrieT>
+void ExpectScansMatchModel(const TrieT& trie,
+                           const std::map<uint64_t, uint64_t>& model,
+                           Rng& rng, int trials) {
+  for (int t = 0; t < trials; ++t) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = rng.Next();
+    if (lo > hi) std::swap(lo, hi);
+    // Bias some trials into the populated region.
+    if (t % 2 == 0 && !model.empty()) {
+      lo = model.begin()->first + rng.NextBounded(1000);
+      hi = lo + rng.NextBounded(5000);
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    trie.ScanRange(lo, hi,
+                   [&](uint64_t k, const uint64_t& v) { got.emplace_back(k, v); });
+    std::vector<std::pair<uint64_t, uint64_t>> expected;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first < hi;
+         ++it) {
+      expected.emplace_back(it->first, it->second);
+    }
+    ASSERT_EQ(got, expected) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(SegTrieRangeTest, ScanMatchesMapOnDenseKeys) {
+  Trie trie;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = rng.NextBounded(20000);
+    trie.Insert(k, static_cast<uint64_t>(i));
+    model[k] = static_cast<uint64_t>(i);
+  }
+  ExpectScansMatchModel(trie, model, rng, 100);
+}
+
+TEST(SegTrieRangeTest, ScanMatchesMapOnSparseKeys) {
+  OptTrie trie;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t k = rng.Next();
+    trie.Insert(k, static_cast<uint64_t>(i));
+    model[k] = static_cast<uint64_t>(i);
+  }
+  ExpectScansMatchModel(trie, model, rng, 100);
+}
+
+TEST(SegTrieRangeTest, BoundaryCases) {
+  Trie trie;
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{255}, uint64_t{256},
+                     uint64_t{65535}, uint64_t{65536}, ~uint64_t{0}}) {
+    trie.Insert(k, k);
+  }
+  // Empty ranges.
+  EXPECT_EQ(trie.CountRange(5, 5), 0u);
+  EXPECT_EQ(trie.CountRange(10, 5), 0u);
+  EXPECT_EQ(trie.CountRange(2, 0), 0u);
+  // Half-open excludes hi.
+  EXPECT_EQ(trie.CountRange(0, 256), 3u);   // 0, 1, 255
+  EXPECT_EQ(trie.CountRange(0, 257), 4u);   // + 256
+  // Inclusive includes hi, up to the type maximum.
+  EXPECT_EQ(trie.CountRange(0, ~uint64_t{0}, /*hi_inclusive=*/true), 7u);
+  EXPECT_EQ(trie.CountRange(~uint64_t{0}, ~uint64_t{0}, true), 1u);
+  // Full-range scan equals ForEach.
+  size_t foreach_count = 0;
+  trie.ForEach([&](uint64_t, const uint64_t&) { ++foreach_count; });
+  EXPECT_EQ(trie.CountRange(0, ~uint64_t{0}, true), foreach_count);
+}
+
+TEST(SegTrieRangeTest, EmptyTrieScansNothing) {
+  Trie trie;
+  size_t n = 0;
+  trie.ScanRange(0, ~uint64_t{0}, [&](uint64_t, const uint64_t&) { ++n; },
+                 true);
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(SegTrieBulkLoadTest, MatchesIncrementalInserts) {
+  Rng rng(7);
+  std::vector<uint64_t> keys = UniformDistinctKeys<uint64_t>(20000, rng);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+
+  Trie bulk = Trie::BulkLoad(keys.data(), values.data(), keys.size());
+  Trie incremental;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    incremental.Insert(keys[i], values[i]);
+  }
+  ASSERT_TRUE(bulk.Validate());
+  ASSERT_EQ(bulk.size(), incremental.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(bulk.Find(keys[i]).value(), values[i]);
+  }
+  // Bulk-built nodes have no growth slack: memory must not exceed the
+  // incrementally built trie's.
+  EXPECT_LE(bulk.MemoryBytes(), incremental.MemoryBytes());
+}
+
+TEST(SegTrieBulkLoadTest, LazyExpansionDepthMatches) {
+  std::vector<uint64_t> keys = AscendingKeys<uint64_t>(100000, 0);
+  std::vector<uint64_t> values(keys.size(), 7);
+  OptTrie::Options opts{.lazy_expansion = true};
+  auto trie = SegTrie<uint64_t, uint64_t>::BulkLoad(keys.data(), values.data(),
+                                                    keys.size(), opts);
+  EXPECT_EQ(trie.active_levels(), 3);  // 100k keys span three low bytes
+  ASSERT_TRUE(trie.Validate());
+  EXPECT_TRUE(trie.Contains(99999));
+  EXPECT_FALSE(trie.Contains(100000));
+  // Mutations after bulk load behave normally, including upward growth.
+  trie.Insert(1ULL << 40, 1);
+  EXPECT_EQ(trie.active_levels(), 6);
+  EXPECT_TRUE(trie.Contains(1ULL << 40));
+  EXPECT_TRUE(trie.Contains(12345));
+}
+
+TEST(SegTrieBulkLoadTest, SingleKeyAndEmpty) {
+  auto empty = Trie::BulkLoad(nullptr, nullptr, 0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.Validate());
+
+  const uint64_t k = 0xDEAD;
+  const uint64_t v = 1;
+  auto one = Trie::BulkLoad(&k, &v, 1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one.Validate());
+  EXPECT_EQ(one.Find(0xDEAD).value(), 1u);
+}
+
+TEST(SegTrieMoveTest, MoveTransfersOwnership) {
+  Trie a;
+  for (uint64_t k = 0; k < 1000; ++k) a.Insert(k, k * 2);
+  Trie b = std::move(a);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_TRUE(b.Validate());
+  EXPECT_EQ(b.Find(500).value(), 1000u);
+
+  Trie c;
+  c.Insert(1, 1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(c.Contains(999));
+  // Mutation still works after the move (context moved along).
+  c.Insert(5000, 1);
+  EXPECT_TRUE(c.Contains(5000));
+  EXPECT_TRUE(c.Validate());
+}
+
+TEST(SegTrieRangeTest, SixteenBitSegmentsScan) {
+  SegTrie<uint32_t, uint32_t, 16> trie;
+  std::map<uint32_t, uint32_t> model;
+  Rng rng(9);
+  for (int i = 0; i < 4000; ++i) {
+    const uint32_t k = static_cast<uint32_t>(rng.Next());
+    trie.Insert(k, static_cast<uint32_t>(i));
+    model[k] = static_cast<uint32_t>(i);
+  }
+  for (int t = 0; t < 60; ++t) {
+    uint32_t lo = static_cast<uint32_t>(rng.Next());
+    uint32_t hi = static_cast<uint32_t>(rng.Next());
+    if (lo > hi) std::swap(lo, hi);
+    size_t expected = 0;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first < hi;
+         ++it) {
+      ++expected;
+    }
+    ASSERT_EQ(trie.CountRange(lo, hi), expected);
+  }
+}
+
+}  // namespace
+}  // namespace simdtree::segtrie

@@ -1,0 +1,181 @@
+// Serialization round-trip tests for every structure, plus hostile-input
+// validation of the blob parser.
+
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "gtest/gtest.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+TEST(SerializeTest, BPlusTreeRoundTrip) {
+  btree::BPlusTree<int64_t, int64_t> tree(32);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    tree.Insert(static_cast<int64_t>(rng.NextBounded(100000)), i);
+  }
+  const auto blob = io::Serialize<int64_t, int64_t>(tree, 32);
+  auto loaded =
+      io::LoadTree<btree::BPlusTree<int64_t, int64_t>>(blob.data(),
+                                                       blob.size());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->Validate());
+  ASSERT_EQ(loaded->size(), tree.size());
+  // Identical content, including duplicate multiplicities.
+  auto a = tree.begin();
+  auto b = loaded->begin();
+  while (a.valid() && b.valid()) {
+    ASSERT_EQ(a.key(), b.key());
+    ASSERT_EQ(a.value(), b.value());
+    ++a;
+    ++b;
+  }
+  EXPECT_FALSE(a.valid());
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(SerializeTest, SegTreeRoundTrip) {
+  segtree::SegTree<uint32_t, uint64_t> tree(64);
+  for (uint32_t i = 0; i < 10000; ++i) tree.Insert(i * 3, i);
+  const auto blob = io::Serialize<uint32_t, uint64_t>(tree, 64);
+  auto loaded = io::LoadTree<segtree::SegTree<uint32_t, uint64_t>>(
+      blob.data(), blob.size());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->Validate());
+  for (uint32_t i = 0; i < 10000; i += 7) {
+    ASSERT_EQ(loaded->Find(i * 3).value(), i);
+    ASSERT_FALSE(loaded->Contains(i * 3 + 1));
+  }
+}
+
+TEST(SerializeTest, SegTrieRoundTrip) {
+  using Trie = segtrie::SegTrie<uint64_t, uint64_t>;
+  Trie trie;
+  Rng rng(2);
+  const auto keys = UniformDistinctKeys<uint64_t>(8000, rng);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    trie.Insert(keys[i], static_cast<uint64_t>(i));
+  }
+  const auto blob = io::Serialize<uint64_t, uint64_t>(trie);
+  auto loaded = io::LoadTrie<Trie>(blob.data(), blob.size());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->Validate());
+  ASSERT_EQ(loaded->size(), trie.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(loaded->Find(keys[i]).value(), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(SerializeTest, OptimizedTrieRoundTripKeepsLazyDepth) {
+  using Trie = segtrie::SegTrie<uint64_t, uint64_t>;
+  segtrie::OptimizedSegTrie<uint64_t, uint64_t> trie;
+  for (uint64_t k = 0; k < 70000; ++k) trie.Insert(k, k);
+  const auto blob = io::Serialize<uint64_t, uint64_t>(trie);
+  auto loaded = io::LoadTrie<Trie>(
+      blob.data(), blob.size(), Trie::Options{.lazy_expansion = true});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->active_levels(), 3);
+  EXPECT_EQ(loaded->size(), 70000u);
+  EXPECT_TRUE(loaded->Contains(69999));
+}
+
+TEST(SerializeTest, EmptyIndexRoundTrip) {
+  btree::BPlusTree<int32_t, int32_t> tree(8);
+  const auto blob = io::Serialize<int32_t, int32_t>(tree, 8);
+  EXPECT_EQ(blob.size(), io::kHeaderBytes);
+  auto loaded = io::LoadTree<btree::BPlusTree<int32_t, int32_t>>(
+      blob.data(), blob.size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  EXPECT_TRUE(loaded->Validate());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  segtree::SegTree<int16_t, int32_t> tree(40);
+  for (int i = -500; i < 500; ++i) {
+    tree.Insert(static_cast<int16_t>(i), i * 2);
+  }
+  const auto blob = io::Serialize<int16_t, int32_t>(tree, 40);
+  const std::string path = testing::TempDir() + "/simdtree_blob.stix";
+  ASSERT_TRUE(io::WriteBlobToFile(blob, path));
+  const auto read = io::ReadBlobFromFile(path);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(*read, blob);
+  auto loaded = io::LoadTree<segtree::SegTree<int16_t, int32_t>>(
+      read->data(), read->size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->Find(-500).value(), -1000);
+  EXPECT_EQ(loaded->Find(499).value(), 998);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMalformedBlobs) {
+  using Tree = btree::BPlusTree<int64_t, int64_t>;
+  Tree tree(8);
+  tree.Insert(1, 1);
+  tree.Insert(2, 2);
+  auto blob = io::Serialize<int64_t, int64_t>(tree, 8);
+
+  // Truncated buffer.
+  EXPECT_FALSE(
+      io::LoadTree<Tree>(blob.data(), blob.size() - 1).has_value());
+  EXPECT_FALSE(io::LoadTree<Tree>(blob.data(), 3).has_value());
+  EXPECT_FALSE(io::LoadTree<Tree>(nullptr, 0).has_value());
+
+  // Wrong magic.
+  {
+    auto bad = blob;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(io::LoadTree<Tree>(bad.data(), bad.size()).has_value());
+  }
+  // Wrong version.
+  {
+    auto bad = blob;
+    bad[4] = 99;
+    EXPECT_FALSE(io::LoadTree<Tree>(bad.data(), bad.size()).has_value());
+  }
+  // Wrong key width (int32 reader on an int64 blob).
+  EXPECT_FALSE((io::LoadTree<btree::BPlusTree<int32_t, int64_t>>(
+                    blob.data(), blob.size()))
+                   .has_value());
+  // Hostile count field (would overflow the payload computation).
+  {
+    auto bad = blob;
+    const uint64_t huge = ~0ULL;
+    std::memcpy(bad.data() + 16, &huge, sizeof(huge));
+    EXPECT_FALSE(io::LoadTree<Tree>(bad.data(), bad.size()).has_value());
+  }
+  // Unsorted payload.
+  {
+    auto bad = blob;
+    const int64_t k0 = 9, k1 = 1;
+    std::memcpy(bad.data() + io::kHeaderBytes, &k0, sizeof(k0));
+    std::memcpy(bad.data() + io::kHeaderBytes + 8, &k1, sizeof(k1));
+    EXPECT_FALSE(io::LoadTree<Tree>(bad.data(), bad.size()).has_value());
+  }
+}
+
+TEST(SerializeTest, TrieRejectsDuplicateKeys) {
+  // A multimap tree with duplicates serializes fine, but a trie cannot
+  // represent it; LoadTrie must reject rather than silently drop.
+  btree::BPlusTree<uint64_t, uint64_t> tree(8);
+  tree.Insert(5, 1);
+  tree.Insert(5, 2);
+  const auto blob = io::Serialize<uint64_t, uint64_t>(tree);
+  auto loaded = io::LoadTrie<segtrie::SegTrie<uint64_t, uint64_t>>(
+      blob.data(), blob.size());
+  EXPECT_FALSE(loaded.has_value());
+}
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,164 @@
+// Unit tests for the 128-bit SIMD comparison layer: the SSE backend is
+// differentially tested against the scalar backend, and both against a
+// direct lane-by-lane reference, across all supported key types.
+
+#include "simd/simd128.h"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simd/cpu_features.h"
+#include "util/rng.h"
+
+namespace simdtree::simd {
+namespace {
+
+template <typename T>
+class Simd128TypedTest : public testing::Test {};
+
+using KeyTypes = testing::Types<int8_t, uint8_t, int16_t, uint16_t, int32_t,
+                                uint32_t, int64_t, uint64_t>;
+TYPED_TEST_SUITE(Simd128TypedTest, KeyTypes);
+
+template <typename T>
+std::vector<T> InterestingValues() {
+  std::vector<T> v = {
+      std::numeric_limits<T>::min(),
+      static_cast<T>(std::numeric_limits<T>::min() + 1),
+      T{0},
+      T{1},
+      static_cast<T>(-1),  // wraps to max for unsigned types
+      static_cast<T>(std::numeric_limits<T>::max() - 1),
+      std::numeric_limits<T>::max(),
+      T{42},
+  };
+  return v;
+}
+
+// Reference greater-than mask in movemask_epi8 format.
+template <typename T>
+uint32_t ReferenceGtMask(const std::array<T, LaneTraits<T>::kLanes>& keys,
+                         T probe) {
+  uint32_t mask = 0;
+  for (int i = 0; i < LaneTraits<T>::kLanes; ++i) {
+    if (keys[static_cast<size_t>(i)] > probe) {
+      mask |= ((1u << LaneTraits<T>::kBytesPerLane) - 1u)
+              << (i * LaneTraits<T>::kBytesPerLane);
+    }
+  }
+  return mask;
+}
+
+template <typename T, Backend B>
+uint32_t ComputeGtMask(const std::array<T, LaneTraits<T>::kLanes>& keys,
+                       T probe) {
+  using O = Ops<T, B>;
+  const auto reg = O::LoadUnaligned(keys.data());
+  const auto probe_reg = O::Set1(probe);
+  return O::MoveMask(O::CmpGt(reg, probe_reg));
+}
+
+template <typename T, Backend B>
+uint32_t ComputeEqMask(const std::array<T, LaneTraits<T>::kLanes>& keys,
+                       T probe) {
+  using O = Ops<T, B>;
+  const auto reg = O::LoadUnaligned(keys.data());
+  const auto probe_reg = O::Set1(probe);
+  return O::MoveMask(O::CmpEq(reg, probe_reg));
+}
+
+TYPED_TEST(Simd128TypedTest, LaneCountsMatchPaperTable2) {
+  // Paper Table 2: 16/8/4/2 parallel comparisons for 8/16/32/64-bit keys,
+  // i.e. k = 17/9/5/3.
+  constexpr int lanes = LaneTraits<TypeParam>::kLanes;
+  constexpr int arity = LaneTraits<TypeParam>::kArity;
+  EXPECT_EQ(lanes, 16 / static_cast<int>(sizeof(TypeParam)));
+  EXPECT_EQ(arity, lanes + 1);
+}
+
+TYPED_TEST(Simd128TypedTest, ScalarBackendMatchesReferenceOnEdgeValues) {
+  using T = TypeParam;
+  const auto values = InterestingValues<T>();
+  std::array<T, LaneTraits<T>::kLanes> keys;
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (auto& k : keys) {
+      k = values[rng.NextBounded(values.size())];
+    }
+    const T probe = values[rng.NextBounded(values.size())];
+    EXPECT_EQ((ComputeGtMask<T, Backend::kScalar>(keys, probe)),
+              ReferenceGtMask<T>(keys, probe));
+  }
+}
+
+#if defined(__SSE2__) && defined(__SSE4_2__)
+TYPED_TEST(Simd128TypedTest, SseMatchesScalarOnEdgeValues) {
+  using T = TypeParam;
+  const auto values = InterestingValues<T>();
+  std::array<T, LaneTraits<T>::kLanes> keys;
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    for (auto& k : keys) {
+      k = values[rng.NextBounded(values.size())];
+    }
+    const T probe = values[rng.NextBounded(values.size())];
+    EXPECT_EQ((ComputeGtMask<T, Backend::kSse>(keys, probe)),
+              (ComputeGtMask<T, Backend::kScalar>(keys, probe)))
+        << "probe=" << static_cast<int64_t>(probe);
+  }
+}
+
+TYPED_TEST(Simd128TypedTest, SseMatchesScalarOnRandomValues) {
+  using T = TypeParam;
+  std::array<T, LaneTraits<T>::kLanes> keys;
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (auto& k : keys) k = static_cast<T>(rng.Next());
+    const T probe = static_cast<T>(rng.Next());
+    EXPECT_EQ((ComputeGtMask<T, Backend::kSse>(keys, probe)),
+              (ComputeGtMask<T, Backend::kScalar>(keys, probe)));
+    EXPECT_EQ((ComputeEqMask<T, Backend::kSse>(keys, probe)),
+              (ComputeEqMask<T, Backend::kScalar>(keys, probe)));
+  }
+}
+
+TYPED_TEST(Simd128TypedTest, UnsignedBiasOrdersFullDomain) {
+  // The sign-bit realignment must preserve the unsigned order across the
+  // signed/unsigned boundary (e.g. 0x7F vs 0x80 for 8-bit).
+  using T = TypeParam;
+  std::array<T, LaneTraits<T>::kLanes> keys;
+  const T mid = static_cast<T>(std::numeric_limits<T>::max() / 2);
+  for (int i = 0; i < LaneTraits<T>::kLanes; ++i) {
+    keys[static_cast<size_t>(i)] = static_cast<T>(mid + static_cast<T>(i));
+  }
+  for (int d = -2; d <= 2; ++d) {
+    const T probe = static_cast<T>(mid + static_cast<T>(d));
+    EXPECT_EQ((ComputeGtMask<T, Backend::kSse>(keys, probe)),
+              ReferenceGtMask<T>(keys, probe));
+  }
+}
+#endif  // __SSE2__ && __SSE4_2__
+
+TEST(CpuFeaturesTest, DetectsSomethingOnX86) {
+#if defined(__x86_64__)
+  const CpuFeatures f = DetectCpuFeatures();
+  EXPECT_TRUE(f.sse2);  // hard floor for x86-64
+  EXPECT_FALSE(CpuFeatureString().empty());
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(Simd128Test, EqMaskIsPerLaneNotPerByte) {
+  // A 32-bit lane equal to the probe must set all four of its mask bits.
+  using T = int32_t;
+  std::array<T, 4> keys = {5, 9, 9, 1000};
+  const uint32_t mask = ComputeEqMask<T, Backend::kScalar>(keys, 9);
+  EXPECT_EQ(mask, 0x0FF0u);
+}
+
+}  // namespace
+}  // namespace simdtree::simd

@@ -1,0 +1,219 @@
+// Tests for the 256-bit register-width extension (the paper's future-work
+// direction): AVX2 backend vs the scalar 256-bit backend, bitmask
+// evaluation at 32-bit masks, k-ary search correctness at k = 33/17/9/5,
+// and full structures instantiated at 256-bit width.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kary/kary_array.h"
+#include "kary/kary_search.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "simd/bitmask_eval.h"
+#include "simd/simd256.h"
+#include "util/rng.h"
+
+namespace simdtree {
+namespace {
+
+using simd::Backend;
+using simd::LaneTraits;
+
+TEST(Simd256Test, LaneCountsDoubleThe128BitOnes) {
+  EXPECT_EQ((LaneTraits<int8_t, 256>::kArity), 33);
+  EXPECT_EQ((LaneTraits<int16_t, 256>::kArity), 17);
+  EXPECT_EQ((LaneTraits<int32_t, 256>::kArity), 9);
+  EXPECT_EQ((LaneTraits<int64_t, 256>::kArity), 5);
+}
+
+template <typename T>
+uint32_t SwitchPointMask256(int p) {
+  constexpr int lanes = LaneTraits<T, 256>::kLanes;
+  constexpr int stride = LaneTraits<T, 256>::kBytesPerLane;
+  uint64_t mask = 0;
+  for (int i = p; i < lanes; ++i) {
+    mask |= ((uint64_t{1} << stride) - 1) << (i * stride);
+  }
+  return static_cast<uint32_t>(mask);
+}
+
+template <typename T>
+void ExpectEvalsDecode256() {
+  for (int p = 0; p <= LaneTraits<T, 256>::kLanes; ++p) {
+    const uint32_t mask = SwitchPointMask256<T>(p);
+    EXPECT_EQ((simd::BitShiftEval::Position<T, 256>(mask)), p);
+    EXPECT_EQ((simd::SwitchCaseEval::Position<T, 256>(mask)), p);
+    EXPECT_EQ((simd::PopcountEval::Position<T, 256>(mask)), p);
+  }
+}
+
+TEST(Simd256Test, BitmaskEvalsDecodeAllPositions) {
+  ExpectEvalsDecode256<int8_t>();
+  ExpectEvalsDecode256<uint8_t>();
+  ExpectEvalsDecode256<int16_t>();
+  ExpectEvalsDecode256<int32_t>();
+  ExpectEvalsDecode256<uint32_t>();
+  ExpectEvalsDecode256<int64_t>();
+  ExpectEvalsDecode256<uint64_t>();
+}
+
+#if defined(__AVX2__)
+template <typename T>
+void ExpectAvx2MatchesScalar() {
+  constexpr int lanes = LaneTraits<T, 256>::kLanes;
+  using Sse = simd::Ops<T, Backend::kSse, 256>;
+  using Sca = simd::Ops<T, Backend::kScalar, 256>;
+  Rng rng(5);
+  std::array<T, static_cast<size_t>(lanes)> keys;
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (auto& k : keys) k = static_cast<T>(rng.Next());
+    const T probe = static_cast<T>(rng.Next());
+    const uint32_t sse_gt = Sse::MoveMask(
+        Sse::CmpGt(Sse::LoadUnaligned(keys.data()), Sse::Set1(probe)));
+    const uint32_t sca_gt = Sca::MoveMask(
+        Sca::CmpGt(Sca::LoadUnaligned(keys.data()), Sca::Set1(probe)));
+    ASSERT_EQ(sse_gt, sca_gt);
+    const uint32_t sse_eq = Sse::MoveMask(
+        Sse::CmpEq(Sse::LoadUnaligned(keys.data()), Sse::Set1(probe)));
+    const uint32_t sca_eq = Sca::MoveMask(
+        Sca::CmpEq(Sca::LoadUnaligned(keys.data()), Sca::Set1(probe)));
+    ASSERT_EQ(sse_eq, sca_eq);
+  }
+}
+
+TEST(Simd256Test, Avx2MatchesScalarAllTypes) {
+  ExpectAvx2MatchesScalar<int8_t>();
+  ExpectAvx2MatchesScalar<uint8_t>();
+  ExpectAvx2MatchesScalar<int16_t>();
+  ExpectAvx2MatchesScalar<uint16_t>();
+  ExpectAvx2MatchesScalar<int32_t>();
+  ExpectAvx2MatchesScalar<uint32_t>();
+  ExpectAvx2MatchesScalar<int64_t>();
+  ExpectAvx2MatchesScalar<uint64_t>();
+}
+#endif  // __AVX2__
+
+template <typename T, Backend B>
+void CheckKarySearch256() {
+  Rng rng(17);
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{31}, int64_t{32},
+                    int64_t{33}, int64_t{100}, int64_t{1000}}) {
+    std::vector<T> keys(static_cast<size_t>(n));
+    for (auto& k : keys) k = static_cast<T>(rng.Next());
+    std::sort(keys.begin(), keys.end());
+
+    constexpr int arity = LaneTraits<T, 256>::kArity;
+    const kary::KaryShape shape = kary::KaryShape::For(arity, n == 0 ? 1 : n);
+    for (kary::Layout layout :
+         {kary::Layout::kBreadthFirst, kary::Layout::kDepthFirst}) {
+      const kary::Storage storage = layout == kary::Layout::kDepthFirst
+                                        ? kary::Storage::kPerfect
+                                        : kary::Storage::kTruncated;
+      const kary::KaryLayout kl(shape, layout);
+      const int64_t stored = kl.StoredSlots(n, storage);
+      std::vector<T> lin(static_cast<size_t>(stored));
+      kl.Linearize(keys.data(), n, lin.data(), stored, kary::PadValue<T>());
+
+      std::vector<T> probes = keys;
+      for (int i = 0; i < 100; ++i) probes.push_back(static_cast<T>(rng.Next()));
+      probes.push_back(std::numeric_limits<T>::min());
+      probes.push_back(std::numeric_limits<T>::max());
+      for (T v : probes) {
+        const int64_t expected =
+            std::upper_bound(keys.begin(), keys.end(), v) - keys.begin();
+        const int64_t got =
+            layout == kary::Layout::kBreadthFirst
+                ? kary::UpperBoundBf<T, simd::PopcountEval, B, 256>(
+                      lin.data(), stored, n, v)
+                : kary::UpperBoundDf<T, simd::PopcountEval, B, 256>(
+                      lin.data(), stored, n, v);
+        ASSERT_EQ(got, expected)
+            << "n=" << n << " layout=" << kary::LayoutName(layout)
+            << " v=" << static_cast<int64_t>(v);
+      }
+    }
+  }
+}
+
+TEST(Simd256Test, KarySearchMatchesStdUpperBoundScalarBackend) {
+  CheckKarySearch256<int8_t, Backend::kScalar>();
+  CheckKarySearch256<uint16_t, Backend::kScalar>();
+  CheckKarySearch256<int32_t, Backend::kScalar>();
+  CheckKarySearch256<uint64_t, Backend::kScalar>();
+}
+
+#if defined(__AVX2__)
+TEST(Simd256Test, KarySearchMatchesStdUpperBoundAvx2Backend) {
+  CheckKarySearch256<int8_t, Backend::kSse>();
+  CheckKarySearch256<uint16_t, Backend::kSse>();
+  CheckKarySearch256<int32_t, Backend::kSse>();
+  CheckKarySearch256<int64_t, Backend::kSse>();
+}
+
+TEST(Simd256Test, SegTreeAt256BitWidthModelTest) {
+  segtree::SegTree<int64_t, int64_t, kary::Layout::kBreadthFirst,
+                   simd::PopcountEval, Backend::kSse, 256>
+      tree(64);
+  std::multimap<int64_t, int64_t> model;
+  Rng rng(23);
+  for (int op = 0; op < 4000; ++op) {
+    const int64_t k = static_cast<int64_t>(rng.NextBounded(500));
+    if (rng.NextBounded(100) < 60) {
+      tree.Insert(k, op);
+      model.emplace(k, op);
+    } else {
+      auto it = model.find(k);
+      const bool em = it != model.end();
+      if (em) model.erase(it);
+      ASSERT_EQ(tree.Erase(k), em);
+    }
+  }
+  ASSERT_TRUE(tree.Validate());
+  ASSERT_EQ(tree.size(), model.size());
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(tree.Count(k), model.count(k));
+  }
+}
+
+TEST(Simd256Test, SegTrieAt256BitWidth) {
+  segtrie::SegTrie<uint64_t, int64_t, 8, simd::PopcountEval, Backend::kSse,
+                   256>
+      trie;
+  std::map<uint64_t, int64_t> model;
+  Rng rng(29);
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t k = rng.Next() & 0xFFFFF;
+    if (rng.NextBounded(100) < 70) {
+      trie.Insert(k, i);
+      model[k] = i;
+    } else {
+      ASSERT_EQ(trie.Erase(k), model.erase(k) > 0);
+    }
+  }
+  ASSERT_TRUE(trie.Validate());
+  ASSERT_EQ(trie.size(), model.size());
+  for (const auto& [k, v] : model) ASSERT_EQ(trie.Find(k).value(), v);
+}
+
+TEST(Simd256Test, KaryArrayAt256BitWidth) {
+  Rng rng(31);
+  std::vector<uint32_t> keys(3000);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  kary::KaryArray<uint32_t, 256> arr(keys, kary::Layout::kBreadthFirst);
+  EXPECT_EQ(decltype(arr)::kArity, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    const int64_t expected =
+        std::upper_bound(keys.begin(), keys.end(), v) - keys.begin();
+    ASSERT_EQ(arr.UpperBound(v), expected);
+  }
+}
+#endif  // __AVX2__
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,142 @@
+// Parameterized stress sweeps: long randomized mutation/query workloads
+// across seeds, key distributions, and every index structure, checked
+// against oracles after every phase. These are the widest-coverage tests
+// in the suite (each instance runs tens of thousands of operations).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simdtree.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace simdtree {
+namespace {
+
+struct StressParam {
+  uint64_t seed;
+  uint64_t key_mask;  // shapes the key distribution
+  const char* label;
+};
+
+class StressTest : public testing::TestWithParam<StressParam> {};
+
+TEST_P(StressTest, TreesTrackMultimapThroughPhases) {
+  const StressParam p = GetParam();
+  btree::BPlusTree<uint64_t, uint64_t> bt(32);
+  segtree::SegTree<uint64_t, uint64_t> st(32);
+  std::multimap<uint64_t, uint64_t> model;
+  Rng rng(p.seed);
+
+  // Phase 1: insert-heavy. Phase 2: balanced. Phase 3: delete-heavy.
+  const int phases[3][2] = {{85, 5}, {50, 25}, {15, 70}};
+  for (const auto& mix : phases) {
+    for (int op = 0; op < 8000; ++op) {
+      const uint64_t k = rng.Next() & p.key_mask;
+      const uint64_t dice = rng.NextBounded(100);
+      if (dice < static_cast<uint64_t>(mix[0])) {
+        bt.Insert(k, dice);
+        st.Insert(k, dice);
+        model.emplace(k, dice);
+      } else if (dice < static_cast<uint64_t>(mix[0] + mix[1])) {
+        const bool a = bt.Erase(k);
+        const bool b = st.Erase(k);
+        auto it = model.find(k);
+        const bool m = it != model.end();
+        if (m) model.erase(it);
+        ASSERT_EQ(a, m);
+        ASSERT_EQ(b, m);
+      } else {
+        ASSERT_EQ(bt.Contains(k), model.count(k) > 0);
+        ASSERT_EQ(st.Contains(k), model.count(k) > 0);
+      }
+    }
+    ASSERT_TRUE(bt.Validate()) << p.label;
+    ASSERT_TRUE(st.Validate()) << p.label;
+    ASSERT_EQ(bt.size(), model.size());
+    ASSERT_EQ(st.size(), model.size());
+  }
+
+  // Full-order verification via iteration.
+  std::vector<uint64_t> tree_keys;
+  for (auto it = bt.begin(); it.valid(); ++it) tree_keys.push_back(it.key());
+  std::vector<uint64_t> model_keys;
+  for (const auto& [k, v] : model) model_keys.push_back(k);
+  ASSERT_EQ(tree_keys, model_keys);
+}
+
+TEST_P(StressTest, TriesTrackMapThroughPhases) {
+  const StressParam p = GetParam();
+  segtrie::SegTrie<uint64_t, uint64_t> plain;
+  segtrie::OptimizedSegTrie<uint64_t, uint64_t> opt;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(p.seed ^ 0xABCD);
+
+  const int phases[3][2] = {{85, 5}, {50, 25}, {15, 70}};
+  for (const auto& mix : phases) {
+    for (int op = 0; op < 8000; ++op) {
+      const uint64_t k = rng.Next() & p.key_mask;
+      const uint64_t dice = rng.NextBounded(100);
+      if (dice < static_cast<uint64_t>(mix[0])) {
+        const bool a = plain.Insert(k, dice);
+        const bool b = opt.Insert(k, dice);
+        const bool m = model.insert_or_assign(k, dice).second;
+        ASSERT_EQ(a, m);
+        ASSERT_EQ(b, m);
+      } else if (dice < static_cast<uint64_t>(mix[0] + mix[1])) {
+        const bool a = plain.Erase(k);
+        const bool b = opt.Erase(k);
+        const bool m = model.erase(k) > 0;
+        ASSERT_EQ(a, m);
+        ASSERT_EQ(b, m);
+      } else {
+        const auto expected = model.find(k);
+        const auto got_plain = plain.Find(k);
+        const auto got_opt = opt.Find(k);
+        if (expected == model.end()) {
+          ASSERT_FALSE(got_plain.has_value());
+          ASSERT_FALSE(got_opt.has_value());
+        } else {
+          ASSERT_EQ(got_plain.value(), expected->second);
+          ASSERT_EQ(got_opt.value(), expected->second);
+        }
+      }
+    }
+    ASSERT_TRUE(plain.Validate()) << p.label;
+    ASSERT_TRUE(opt.Validate()) << p.label;
+    ASSERT_EQ(plain.size(), model.size());
+    ASSERT_EQ(opt.size(), model.size());
+  }
+
+  // Drain everything through the tries and confirm they empty cleanly.
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(plain.Erase(k));
+    ASSERT_TRUE(opt.Erase(k));
+  }
+  EXPECT_TRUE(plain.empty());
+  EXPECT_TRUE(opt.empty());
+  EXPECT_TRUE(plain.Validate());
+  EXPECT_TRUE(opt.Validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, StressTest,
+    testing::Values(
+        StressParam{1, 0xFF, "hot_256_keys"},
+        StressParam{2, 0xFFFF, "dense_64k"},
+        StressParam{3, 0xFFFFFF, "three_bytes"},
+        StressParam{4, ~0ULL, "sparse_full_width"},
+        StressParam{5, 0xFF00FF, "split_bytes"},
+        StressParam{6, 0xFFFF000000ULL, "middle_bytes"},
+        StressParam{7, 0x3FF, "hot_1k_keys"},
+        StressParam{8, 0xF0F0F0F0F0F0F0F0ULL, "nibble_mask"}),
+    [](const testing::TestParamInfo<StressParam>& info) {
+      return std::string(info.param.label) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,123 @@
+// Concurrency tests for SynchronizedIndex: parallel readers against a
+// single writer, parallel writers, and snapshot-consistent scans.
+
+#include "core/synchronized.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "gtest/gtest.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+
+namespace simdtree {
+namespace {
+
+TEST(SynchronizedTest, SingleThreadBasics) {
+  SynchronizedIndex<segtree::SegTree<uint64_t, uint64_t>> index;
+  index.Insert(1, 10);
+  index.Insert(2, 20);
+  EXPECT_EQ(index.Find(1).value(), 10u);
+  EXPECT_TRUE(index.Contains(2));
+  EXPECT_FALSE(index.Contains(3));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_EQ(index.size(), 1u);
+  uint64_t sum = 0;
+  index.ScanRange(0, 100, [&sum](uint64_t k, const uint64_t&) { sum += k; });
+  EXPECT_EQ(sum, 2u);
+  const size_t h = index.WithRead(
+      [](const auto& tree) { return static_cast<size_t>(tree.height()); });
+  EXPECT_EQ(h, 1u);
+}
+
+TEST(SynchronizedTest, ConcurrentReadersWithWriter) {
+  SynchronizedIndex<segtree::SegTree<uint64_t, uint64_t>> index;
+  for (uint64_t k = 0; k < 10000; ++k) index.Insert(k, k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng.NextBounded(10000);
+        // Keys 0..9999 are never erased by the writer, only overwritten.
+        if (!index.Contains(k)) {
+          read_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Writer inserts a disjoint key range and overwrites existing values.
+  for (uint64_t i = 0; i < 20000; ++i) {
+    if (i % 2 == 0) {
+      index.Insert(100000 + i, i);
+    } else {
+      index.Insert(i % 10000, i);
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  const bool valid =
+      index.WithRead([](const auto& tree) { return tree.Validate(); });
+  EXPECT_TRUE(valid);
+}
+
+TEST(SynchronizedTest, ParallelWritersDisjointRanges) {
+  SynchronizedIndex<segtrie::SegTrie<uint64_t, uint64_t>> index;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&index, t]() {
+      const uint64_t base = static_cast<uint64_t>(t) * kPerThread;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        index.Insert(base + i, base + i);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(index.size(), kThreads * kPerThread);
+  const bool valid =
+      index.WithRead([](const auto& trie) { return trie.Validate(); });
+  EXPECT_TRUE(valid);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t k = rng.NextBounded(kThreads * kPerThread);
+    ASSERT_EQ(index.Find(k).value(), k);
+  }
+}
+
+TEST(SynchronizedTest, MixedInsertEraseFromManyThreads) {
+  SynchronizedIndex<btree::BPlusTree<uint64_t, uint64_t>> index;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&index, t]() {
+      Rng rng(static_cast<uint64_t>(t) * 7 + 1);
+      for (int i = 0; i < 10000; ++i) {
+        const uint64_t k = rng.NextBounded(512);
+        if (rng.NextBounded(100) < 60) {
+          index.Insert(k, static_cast<uint64_t>(i));
+        } else {
+          index.Erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const bool valid =
+      index.WithRead([](const auto& tree) { return tree.Validate(); });
+  EXPECT_TRUE(valid);
+}
+
+}  // namespace
+}  // namespace simdtree

@@ -1,0 +1,248 @@
+// simdtree_cli — build, persist, inspect, and query indexes from the
+// command line.
+//
+// Usage:
+//   simdtree_cli build <keys.txt> <index.stix> [--structure=segtree|btree|segtrie|opttrie]
+//       Builds an index from a text file (one "key[,value]" pair of
+//       unsigned 64-bit integers per line; value defaults to the line
+//       number) and writes it as a serialized blob.
+//   simdtree_cli query <index.stix> <key> [key...]
+//       Point lookups against a persisted index (loaded as a Seg-Tree).
+//   simdtree_cli scan <index.stix> <lo> <hi>
+//       Range scan [lo, hi).
+//   simdtree_cli stats <index.stix>
+//       Blob header + rebuilt-structure statistics.
+//   simdtree_cli selftest
+//       Runs a quick build/query/scan round trip on synthetic data.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "core/simdtree.h"
+#include "util/rng.h"
+
+namespace {
+
+using simdtree::io::LoadTree;
+using simdtree::io::ReadBlobFromFile;
+using simdtree::io::Serialize;
+using simdtree::io::WriteBlobToFile;
+using Tree = simdtree::segtree::SegTree<uint64_t, uint64_t>;
+using BTree = simdtree::btree::BPlusTree<uint64_t, uint64_t>;
+using Trie = simdtree::segtrie::SegTrie<uint64_t, uint64_t>;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: simdtree_cli build <keys.txt> <index.stix> "
+               "[--structure=segtree|btree|segtrie|opttrie]\n"
+               "       simdtree_cli query <index.stix> <key> [key...]\n"
+               "       simdtree_cli scan <index.stix> <lo> <hi>\n"
+               "       simdtree_cli stats <index.stix>\n"
+               "       simdtree_cli selftest\n");
+  return 2;
+}
+
+bool ReadPairsFile(const char* path, std::vector<uint64_t>* keys,
+                   std::vector<uint64_t>* values) {
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  char line[256];
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    char* end = nullptr;
+    const uint64_t key = std::strtoull(line, &end, 0);
+    if (end == line) continue;  // blank / comment line
+    uint64_t value = line_no - 1;
+    if (*end == ',') value = std::strtoull(end + 1, nullptr, 0);
+    keys->push_back(key);
+    values->push_back(value);
+  }
+  std::fclose(f);
+  return true;
+}
+
+template <typename Index>
+int BuildAndSave(std::vector<uint64_t> keys, std::vector<uint64_t> values,
+                 const char* out_path, uint64_t capacity) {
+  // Sort pairs by key (stable for duplicates) before bulk loading.
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  std::vector<uint64_t> sorted_keys(keys.size());
+  std::vector<uint64_t> sorted_values(values.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_keys[i] = keys[order[i]];
+    sorted_values[i] = values[order[i]];
+  }
+
+  Index index;
+  for (size_t i = 0; i < sorted_keys.size(); ++i) {
+    index.Insert(sorted_keys[i], sorted_values[i]);
+  }
+  const auto blob = Serialize<uint64_t, uint64_t>(index, capacity);
+  if (!WriteBlobToFile(blob, out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("indexed %zu pairs (%zu stored), %.1f KB -> %s\n", keys.size(),
+              index.size(), static_cast<double>(blob.size()) / 1024.0,
+              out_path);
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string structure = "segtree";
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--structure=", 12) == 0) {
+      structure = argv[i] + 12;
+    }
+  }
+  std::vector<uint64_t> keys, values;
+  if (!ReadPairsFile(argv[2], &keys, &values)) return 1;
+  if (structure == "segtree") {
+    return BuildAndSave<Tree>(std::move(keys), std::move(values), argv[3],
+                              simdtree::btree::PaperNodeCapacity(8));
+  }
+  if (structure == "btree") {
+    return BuildAndSave<BTree>(std::move(keys), std::move(values), argv[3],
+                               simdtree::btree::PaperNodeCapacity(8));
+  }
+  if (structure == "segtrie" || structure == "opttrie") {
+    // Tries deduplicate; last value per key wins, like repeated Insert.
+    Trie::Options opts{.lazy_expansion = structure == "opttrie"};
+    Trie trie(opts);
+    for (size_t i = 0; i < keys.size(); ++i) trie.Insert(keys[i], values[i]);
+    const auto blob = Serialize<uint64_t, uint64_t>(trie, 0);
+    if (!WriteBlobToFile(blob, argv[3])) return 1;
+    std::printf("indexed %zu pairs (%zu distinct), %d/%d levels -> %s\n",
+                keys.size(), trie.size(), trie.active_levels(),
+                Trie::max_levels(), argv[3]);
+    return 0;
+  }
+  return Usage();
+}
+
+std::optional<Tree> LoadIndex(const char* path) {
+  const auto blob = ReadBlobFromFile(path);
+  if (!blob.has_value()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return std::nullopt;
+  }
+  auto tree = LoadTree<Tree>(blob->data(), blob->size());
+  if (!tree.has_value()) {
+    std::fprintf(stderr, "malformed index blob %s\n", path);
+  }
+  return tree;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  for (int i = 3; i < argc; ++i) {
+    const uint64_t key = std::strtoull(argv[i], nullptr, 0);
+    if (auto v = tree->Find(key)) {
+      std::printf("%llu -> %llu\n", static_cast<unsigned long long>(key),
+                  static_cast<unsigned long long>(*v));
+    } else {
+      std::printf("%llu -> (absent)\n", static_cast<unsigned long long>(key));
+    }
+  }
+  return 0;
+}
+
+int CmdScan(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  const uint64_t lo = std::strtoull(argv[3], nullptr, 0);
+  const uint64_t hi = std::strtoull(argv[4], nullptr, 0);
+  size_t count = 0;
+  tree->ScanRange(lo, hi, [&count](uint64_t k, const uint64_t& v) {
+    std::printf("%llu -> %llu\n", static_cast<unsigned long long>(k),
+                static_cast<unsigned long long>(v));
+    ++count;
+  });
+  std::printf("(%zu pairs in [%llu, %llu))\n", count,
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const auto blob = ReadBlobFromFile(argv[2]);
+  if (!blob.has_value()) return 1;
+  const auto header = simdtree::io::ParseHeader<uint64_t, uint64_t>(
+      blob->data(), blob->size());
+  if (!header.has_value()) {
+    std::fprintf(stderr, "malformed header\n");
+    return 1;
+  }
+  std::printf("blob: %zu bytes, %llu pairs, key/value %u/%u bytes, "
+              "capacity %llu\n",
+              blob->size(), static_cast<unsigned long long>(header->count),
+              header->key_bytes, header->value_bytes,
+              static_cast<unsigned long long>(header->capacity));
+  auto tree = LoadTree<Tree>(blob->data(), blob->size());
+  if (!tree.has_value()) return 1;
+  const auto stats = tree->Stats();
+  std::printf("rebuilt Seg-Tree: height %d, %zu inner + %zu leaf nodes, "
+              "%.1f KB, avg leaf fill %.0f%%\n",
+              stats.height, stats.inner_nodes, stats.leaf_nodes,
+              static_cast<double>(stats.memory_bytes) / 1024.0,
+              stats.avg_leaf_fill * 100.0);
+  return 0;
+}
+
+int CmdSelfTest() {
+  simdtree::Rng rng(1);
+  Tree tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(rng.NextBounded(1u << 20), static_cast<uint64_t>(i));
+  }
+  const auto blob = Serialize<uint64_t, uint64_t>(tree, 242);
+  auto loaded = LoadTree<Tree>(blob.data(), blob.size());
+  if (!loaded.has_value() || !loaded->Validate() ||
+      loaded->size() != tree.size()) {
+    std::fprintf(stderr, "selftest FAILED\n");
+    return 1;
+  }
+  size_t scanned = 0;
+  loaded->ScanRange(0, 1u << 20,
+                    [&scanned](uint64_t, const uint64_t&) { ++scanned; });
+  if (scanned != loaded->size()) {
+    std::fprintf(stderr, "selftest FAILED (scan %zu != %zu)\n", scanned,
+                 loaded->size());
+    return 1;
+  }
+  std::printf("selftest OK (%zu pairs, %zu-byte blob, cpu: %s)\n",
+              tree.size(), blob.size(),
+              simdtree::simd::CpuFeatureString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "scan") return CmdScan(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "selftest") return CmdSelfTest();
+  return Usage();
+}
