@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_equality.dir/ablation_equality.cc.o"
+  "CMakeFiles/ablation_equality.dir/ablation_equality.cc.o.d"
+  "ablation_equality"
+  "ablation_equality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_insert_reorder.dir/ablation_insert_reorder.cc.o"
+  "CMakeFiles/ablation_insert_reorder.dir/ablation_insert_reorder.cc.o.d"
+  "ablation_insert_reorder"
+  "ablation_insert_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insert_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

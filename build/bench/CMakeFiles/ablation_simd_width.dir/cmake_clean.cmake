@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simd_width.dir/ablation_simd_width.cc.o"
+  "CMakeFiles/ablation_simd_width.dir/ablation_simd_width.cc.o.d"
+  "ablation_simd_width"
+  "ablation_simd_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simd_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

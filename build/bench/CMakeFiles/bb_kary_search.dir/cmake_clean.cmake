@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_kary_search.dir/bb_kary_search.cc.o"
+  "CMakeFiles/bb_kary_search.dir/bb_kary_search.cc.o.d"
+  "bb_kary_search"
+  "bb_kary_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_kary_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_trees.dir/bb_trees.cc.o"
+  "CMakeFiles/bb_trees.dir/bb_trees.cc.o.d"
+  "bb_trees"
+  "bb_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bitmask_eval.dir/fig09_bitmask_eval.cc.o"
+  "CMakeFiles/fig09_bitmask_eval.dir/fig09_bitmask_eval.cc.o.d"
+  "fig09_bitmask_eval"
+  "fig09_bitmask_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bitmask_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_segtree.dir/fig10_segtree.cc.o"
+  "CMakeFiles/fig10_segtree.dir/fig10_segtree.cc.o.d"
+  "fig10_segtree"
+  "fig10_segtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_segtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

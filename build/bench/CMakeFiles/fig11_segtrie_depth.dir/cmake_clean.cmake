@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_segtrie_depth.dir/fig11_segtrie_depth.cc.o"
+  "CMakeFiles/fig11_segtrie_depth.dir/fig11_segtrie_depth.cc.o.d"
+  "fig11_segtrie_depth"
+  "fig11_segtrie_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_segtrie_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_segtrie_depth.
+# This may be replaced when dependencies are built.

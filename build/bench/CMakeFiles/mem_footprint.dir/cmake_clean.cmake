@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_footprint.dir/mem_footprint.cc.o"
+  "CMakeFiles/mem_footprint.dir/mem_footprint.cc.o.d"
+  "mem_footprint"
+  "mem_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

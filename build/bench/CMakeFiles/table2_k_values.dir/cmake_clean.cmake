@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_k_values.dir/table2_k_values.cc.o"
+  "CMakeFiles/table2_k_values.dir/table2_k_values.cc.o.d"
+  "table2_k_values"
+  "table2_k_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_k_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_node_characteristics.dir/table3_node_characteristics.cc.o"
+  "CMakeFiles/table3_node_characteristics.dir/table3_node_characteristics.cc.o.d"
+  "table3_node_characteristics"
+  "table3_node_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_node_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

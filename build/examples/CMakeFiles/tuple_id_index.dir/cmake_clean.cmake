@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_id_index.dir/tuple_id_index.cpp.o"
+  "CMakeFiles/tuple_id_index.dir/tuple_id_index.cpp.o.d"
+  "tuple_id_index"
+  "tuple_id_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_id_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kary/linearize.cc" "src/CMakeFiles/simdtree.dir/kary/linearize.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/kary/linearize.cc.o.d"
+  "/root/repo/src/simd/cpu_features.cc" "src/CMakeFiles/simdtree.dir/simd/cpu_features.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/simd/cpu_features.cc.o.d"
+  "/root/repo/src/util/cycle_timer.cc" "src/CMakeFiles/simdtree.dir/util/cycle_timer.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/util/cycle_timer.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/simdtree.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/simdtree.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/workload.cc" "src/CMakeFiles/simdtree.dir/util/workload.cc.o" "gcc" "src/CMakeFiles/simdtree.dir/util/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

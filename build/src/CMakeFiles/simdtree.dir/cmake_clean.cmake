@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdtree.dir/kary/linearize.cc.o"
+  "CMakeFiles/simdtree.dir/kary/linearize.cc.o.d"
+  "CMakeFiles/simdtree.dir/simd/cpu_features.cc.o"
+  "CMakeFiles/simdtree.dir/simd/cpu_features.cc.o.d"
+  "CMakeFiles/simdtree.dir/util/cycle_timer.cc.o"
+  "CMakeFiles/simdtree.dir/util/cycle_timer.cc.o.d"
+  "CMakeFiles/simdtree.dir/util/stats.cc.o"
+  "CMakeFiles/simdtree.dir/util/stats.cc.o.d"
+  "CMakeFiles/simdtree.dir/util/table_printer.cc.o"
+  "CMakeFiles/simdtree.dir/util/table_printer.cc.o.d"
+  "CMakeFiles/simdtree.dir/util/workload.cc.o"
+  "CMakeFiles/simdtree.dir/util/workload.cc.o.d"
+  "libsimdtree.a"
+  "libsimdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for simdtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmask_eval_test.dir/bitmask_eval_test.cc.o"
+  "CMakeFiles/bitmask_eval_test.dir/bitmask_eval_test.cc.o.d"
+  "bitmask_eval_test"
+  "bitmask_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmask_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_node_test.dir/compact_node_test.cc.o"
+  "CMakeFiles/compact_node_test.dir/compact_node_test.cc.o.d"
+  "compact_node_test"
+  "compact_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

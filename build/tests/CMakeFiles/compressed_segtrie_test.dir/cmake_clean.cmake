@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_segtrie_test.dir/compressed_segtrie_test.cc.o"
+  "CMakeFiles/compressed_segtrie_test.dir/compressed_segtrie_test.cc.o.d"
+  "compressed_segtrie_test"
+  "compressed_segtrie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_segtrie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

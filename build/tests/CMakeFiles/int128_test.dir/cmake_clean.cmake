@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int128_test.dir/int128_test.cc.o"
+  "CMakeFiles/int128_test.dir/int128_test.cc.o.d"
+  "int128_test"
+  "int128_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_array_test.dir/kary_array_test.cc.o"
+  "CMakeFiles/kary_array_test.dir/kary_array_test.cc.o.d"
+  "kary_array_test"
+  "kary_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_search_test.dir/kary_search_test.cc.o"
+  "CMakeFiles/kary_search_test.dir/kary_search_test.cc.o.d"
+  "kary_search_test"
+  "kary_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_search_test.dir/scalar_search_test.cc.o"
+  "CMakeFiles/scalar_search_test.dir/scalar_search_test.cc.o.d"
+  "scalar_search_test"
+  "scalar_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segtree_test.dir/segtree_test.cc.o"
+  "CMakeFiles/segtree_test.dir/segtree_test.cc.o.d"
+  "segtree_test"
+  "segtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

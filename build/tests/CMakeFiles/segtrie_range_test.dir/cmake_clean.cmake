@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segtrie_range_test.dir/segtrie_range_test.cc.o"
+  "CMakeFiles/segtrie_range_test.dir/segtrie_range_test.cc.o.d"
+  "segtrie_range_test"
+  "segtrie_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segtrie_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segtrie_test.dir/segtrie_test.cc.o"
+  "CMakeFiles/segtrie_test.dir/segtrie_test.cc.o.d"
+  "segtrie_test"
+  "segtrie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segtrie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd128_test.dir/simd128_test.cc.o"
+  "CMakeFiles/simd128_test.dir/simd128_test.cc.o.d"
+  "simd128_test"
+  "simd128_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

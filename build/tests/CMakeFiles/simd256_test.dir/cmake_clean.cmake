@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd256_test.dir/simd256_test.cc.o"
+  "CMakeFiles/simd256_test.dir/simd256_test.cc.o.d"
+  "simd256_test"
+  "simd256_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

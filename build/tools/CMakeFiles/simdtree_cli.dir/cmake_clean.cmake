@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdtree_cli.dir/simdtree_cli.cc.o"
+  "CMakeFiles/simdtree_cli.dir/simdtree_cli.cc.o.d"
+  "simdtree_cli"
+  "simdtree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
