@@ -52,6 +52,11 @@ void Run() {
                   TablePrinter::Fmt(standard, 1),
                   TablePrinter::Fmt(with_eq, 1),
                   TablePrinter::Fmt(with_eq / standard, 2)});
+    const std::string cfg = "n" + std::to_string(n);
+    bench::EmitJson("ablation_equality", cfg + "/standard",
+                    "cycles_per_search", standard);
+    bench::EmitJson("ablation_equality", cfg + "/with_equality",
+                    "cycles_per_search", with_eq);
     std::fflush(stdout);
   }
   table.Print();
@@ -64,7 +69,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

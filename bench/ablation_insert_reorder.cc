@@ -79,6 +79,14 @@ void Run() {
                   TablePrinter::Fmt(bt_find, 0),
                   TablePrinter::Fmt(st_find, 0),
                   TablePrinter::Fmt(bt_find / st_find, 2)});
+    bench::EmitJson("ablation_insert_reorder", "ascending/btree",
+                    "insert_cycles", bt_ins);
+    bench::EmitJson("ablation_insert_reorder", "ascending/segtree",
+                    "insert_cycles", st_ins);
+    bench::EmitJson("ablation_insert_reorder", "ascending/btree",
+                    "find_cycles", bt_find);
+    bench::EmitJson("ablation_insert_reorder", "ascending/segtree",
+                    "find_cycles", st_find);
   }
   {
     const double bt_ins = InsertCycles<BT>(random);
@@ -91,6 +99,14 @@ void Run() {
                   TablePrinter::Fmt(bt_find, 0),
                   TablePrinter::Fmt(st_find, 0),
                   TablePrinter::Fmt(bt_find / st_find, 2)});
+    bench::EmitJson("ablation_insert_reorder", "random/btree",
+                    "insert_cycles", bt_ins);
+    bench::EmitJson("ablation_insert_reorder", "random/segtree",
+                    "insert_cycles", st_ins);
+    bench::EmitJson("ablation_insert_reorder", "random/btree", "find_cycles",
+                    bt_find);
+    bench::EmitJson("ablation_insert_reorder", "random/segtree",
+                    "find_cycles", st_find);
   }
   table.Print();
   std::printf(
@@ -104,7 +120,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

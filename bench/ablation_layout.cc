@@ -55,6 +55,16 @@ void Run() {
                   TablePrinter::Fmt(pad_pct(truncated.stored_slots()), 1),
                   TablePrinter::Fmt(pad_pct(perfect.stored_slots()), 1),
                   TablePrinter::Fmt(t_cyc, 1), TablePrinter::Fmt(p_cyc, 1)});
+    const std::string cfg = "n" + std::to_string(n);
+    bench::EmitJson("ablation_layout", cfg + "/truncated",
+                    "cycles_per_search", t_cyc);
+    bench::EmitJson("ablation_layout", cfg + "/perfect", "cycles_per_search",
+                    p_cyc);
+    bench::EmitJson("ablation_layout", cfg + "/truncated",
+                    "stored_slots",
+                    static_cast<double>(truncated.stored_slots()));
+    bench::EmitJson("ablation_layout", cfg + "/perfect", "stored_slots",
+                    static_cast<double>(perfect.stored_slots()));
     std::fflush(stdout);
   }
   table.Print();
@@ -68,7 +78,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

@@ -87,6 +87,15 @@ void Run() {
                   TablePrinter::Fmt(static_cast<double>(plain_mem) /
                                         static_cast<double>(comp_mem),
                                     2)});
+    const std::string cfg = "depth" + std::to_string(depth);
+    bench::EmitJson("ablation_path_compression", cfg + "/btree",
+                    "cycles_per_search", bt_cyc);
+    bench::EmitJson("ablation_path_compression", cfg + "/segtrie",
+                    "cycles_per_search", plain_cyc);
+    bench::EmitJson("ablation_path_compression", cfg + "/opt_segtrie",
+                    "cycles_per_search", opt_cyc);
+    bench::EmitJson("ablation_path_compression", cfg + "/compressed",
+                    "cycles_per_search", comp_cyc);
     std::fflush(stdout);
   }
   table.Print();
@@ -100,7 +109,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

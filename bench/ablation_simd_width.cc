@@ -61,6 +61,12 @@ void RunType(const char* name, TablePrinter* kernel_table,
                           TablePrinter::Fmt(c128, 1),
                           TablePrinter::Fmt(c256, 1),
                           TablePrinter::Fmt(c128 / c256, 2)});
+    bench::EmitJson("ablation_simd_width",
+                    std::string(name) + "/kernel/128", "cycles_per_search",
+                    c128);
+    bench::EmitJson("ablation_simd_width",
+                    std::string(name) + "/kernel/256", "cycles_per_search",
+                    c256);
   }
   // Full tree at ~5 MB (mixed compute/cache regime).
   {
@@ -78,6 +84,10 @@ void RunType(const char* name, TablePrinter* kernel_table,
                         TablePrinter::Fmt(c128, 1),
                         TablePrinter::Fmt(c256, 1),
                         TablePrinter::Fmt(c128 / c256, 2)});
+    bench::EmitJson("ablation_simd_width", std::string(name) + "/tree/128",
+                    "cycles_per_search", c128);
+    bench::EmitJson("ablation_simd_width", std::string(name) + "/tree/256",
+                    "cycles_per_search", c256);
   }
 }
 
@@ -111,7 +121,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

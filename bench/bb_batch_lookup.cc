@@ -1,0 +1,223 @@
+// Batched vs single-query point lookups across the index structures —
+// the throughput case for the group software-pipelined FindBatch /
+// UpperBoundBatch subsystem (src/btree/batch_descent.h,
+// src/kary/batch_search.h, SegTrie::FindBatch).
+//
+// A single root-to-leaf descent serializes one cache miss per level; with
+// the index out of LLC, the lookup is almost entirely memory stalls
+// (paper Section 5.4). Batching G independent queries per level overlaps
+// those misses in the line fill buffers, so throughput should rise with G
+// until the fill buffers (10-16 on current x86) saturate. The sweep
+// crosses structure x index size x pipeline group width and reports
+// cycles per lookup and lookups per second against the single-query
+// baseline of the same structure.
+//
+// The effect to look for: ~1x at cache-resident sizes (nothing to
+// overlap), growing to well over 1.5x once the index leaves the LLC.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "kary/kary_array.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "util/cycle_timer.h"
+#include "util/table_printer.h"
+#include "util/workload.h"
+
+namespace simdtree {
+namespace {
+
+using Key = uint32_t;
+using Value = uint64_t;
+
+constexpr size_t kProbes = 40000;  // 4x the paper's x, smoother at high G
+constexpr int kGroups[] = {2, 4, 8, 12, 16};
+
+// Total cycles of run() per probe, after one untimed warm-up pass.
+template <typename Fn>
+double CyclesPerLookup(size_t probes, Fn&& run) {
+  uint64_t sink = run();
+  const uint64_t start = CycleTimer::Now();
+  sink += run();
+  const uint64_t cycles = CycleTimer::Now() - start;
+  if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
+  return static_cast<double>(cycles) / static_cast<double>(probes);
+}
+
+double LookupsPerSec(double cycles_per_lookup) {
+  return CycleTimer::CyclesPerSecond() / cycles_per_lookup;
+}
+
+struct Sweep {
+  const char* structure;
+  double base_cycles = 0.0;          // single-query
+  double batch_cycles[5] = {0.0};    // per kGroups entry
+};
+
+void Report(TablePrinter* table, const std::string& size_name, size_t n,
+            const Sweep& s) {
+  std::vector<std::string> row = {s.structure, size_name,
+                                  TablePrinter::Fmt(n),
+                                  TablePrinter::Fmt(s.base_cycles, 0)};
+  const std::string cfg_base =
+      std::string(s.structure) + "/" + size_name;
+  bench::EmitJson("bb_batch_lookup", cfg_base + "/single",
+                  "cycles_per_lookup", s.base_cycles);
+  bench::EmitJson("bb_batch_lookup", cfg_base + "/single",
+                  "lookups_per_sec", LookupsPerSec(s.base_cycles));
+  double best = 0.0;
+  for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
+    const double c = s.batch_cycles[gi];
+    row.push_back(TablePrinter::Fmt(c, 0));
+    best = best == 0.0 || c < best ? c : best;
+    const std::string cfg =
+        cfg_base + "/g" + std::to_string(kGroups[gi]);
+    bench::EmitJson("bb_batch_lookup", cfg, "cycles_per_lookup", c);
+    bench::EmitJson("bb_batch_lookup", cfg, "lookups_per_sec",
+                    LookupsPerSec(c));
+  }
+  row.push_back(TablePrinter::Fmt(s.base_cycles / best, 2));
+  bench::EmitJson("bb_batch_lookup", cfg_base, "best_speedup",
+                  s.base_cycles / best);
+  table->AddRow(row);
+  std::fflush(stdout);
+}
+
+Sweep MeasureKaryArray(const std::vector<Key>& keys,
+                       const std::vector<Key>& probes) {
+  kary::KaryArray<Key> arr(keys, kary::Layout::kBreadthFirst);
+  Sweep s{"KaryArray-BF"};
+  s.base_cycles = CyclesPerLookup(probes.size(), [&] {
+    uint64_t sink = 0;
+    for (Key p : probes) sink += static_cast<uint64_t>(arr.UpperBound(p));
+    return sink;
+  });
+  std::vector<int64_t> out(probes.size());
+  for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
+    const int group = kGroups[gi];
+    s.batch_cycles[gi] = CyclesPerLookup(probes.size(), [&] {
+      arr.UpperBoundBatch(probes.data(), probes.size(), out.data(), group);
+      return static_cast<uint64_t>(out.back());
+    });
+  }
+  return s;
+}
+
+template <typename TreeT>
+Sweep MeasureTree(const char* name, const std::vector<Key>& keys,
+                  const std::vector<Value>& values,
+                  const std::vector<Key>& probes) {
+  TreeT tree = TreeT::BulkLoad(keys.data(), values.data(), keys.size());
+  Sweep s{name};
+  s.base_cycles = CyclesPerLookup(probes.size(), [&] {
+    uint64_t sink = 0;
+    for (Key p : probes) {
+      const auto v = tree.Find(p);
+      sink += v ? *v : 0;
+    }
+    return sink;
+  });
+  std::vector<const Value*> out(probes.size());
+  for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
+    const int group = kGroups[gi];
+    s.batch_cycles[gi] = CyclesPerLookup(probes.size(), [&] {
+      tree.FindBatch(probes.data(), probes.size(), out.data(), group);
+      uint64_t sink = 0;
+      for (const Value* p : out) sink += p != nullptr ? *p : 0;
+      return sink;
+    });
+  }
+  return s;
+}
+
+Sweep MeasureTrie(const std::vector<Key>& keys,
+                  const std::vector<Key>& probes) {
+  segtrie::OptimizedSegTrie<Key, Value> trie;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    trie.Insert(keys[i], static_cast<Value>(i));
+  }
+  Sweep s{"OptSegTrie"};
+  s.base_cycles = CyclesPerLookup(probes.size(), [&] {
+    uint64_t sink = 0;
+    for (Key p : probes) {
+      const auto v = trie.Find(p);
+      sink += v ? *v : 0;
+    }
+    return sink;
+  });
+  std::vector<const Value*> out(probes.size());
+  for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
+    const int group = kGroups[gi];
+    s.batch_cycles[gi] = CyclesPerLookup(probes.size(), [&] {
+      trie.FindBatch(probes.data(), probes.size(), out.data(), group);
+      uint64_t sink = 0;
+      for (const Value* p : out) sink += p != nullptr ? *p : 0;
+      return sink;
+    });
+  }
+  return s;
+}
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Batched lookups: group software pipelining vs single-query descent, "
+      "32-bit keys, avg cycles per lookup");
+
+  // In-LLC / borderline / decisively out-of-LLC. The largest sweep is the
+  // acceptance config (>= 16M keys); override with SIMDTREE_BATCH_MAX for
+  // low-memory machines.
+  struct SizePoint {
+    const char* name;
+    size_t n;
+  };
+  std::vector<SizePoint> sizes = {
+      {"128K", size_t{1} << 17},
+      {"2M", size_t{1} << 21},
+      {"16M", size_t{1} << 24},
+  };
+  if (const char* env = std::getenv("SIMDTREE_BATCH_MAX")) {
+    sizes.back().n = std::strtoull(env, nullptr, 10);
+  }
+
+  std::vector<std::string> header = {"structure", "data", "keys", "single"};
+  for (int g : kGroups) header.push_back("g=" + std::to_string(g));
+  header.push_back("best speedup");
+  TablePrinter table(header);
+
+  for (const SizePoint& size : sizes) {
+    Rng rng(2014);
+    const std::vector<Key> keys = UniformDistinctKeys<Key>(size.n, rng);
+    const std::vector<Value> values(keys.size(), 1);
+    const std::vector<Key> probes = SamplePresentProbes(keys, kProbes, rng);
+
+    Report(&table, size.name, size.n, MeasureKaryArray(keys, probes));
+    Report(&table, size.name, size.n,
+           MeasureTree<btree::BPlusTree<Key, Value>>("BPlusTree", keys,
+                                                     values, probes));
+    Report(&table, size.name, size.n,
+           MeasureTree<segtree::SegTree<Key, Value>>("SegTree-BF", keys,
+                                                     values, probes));
+    Report(&table, size.name, size.n, MeasureTrie(keys, probes));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: ~1x at cache-resident sizes, rising once the index "
+      "leaves the\nLLC; the sweet spot sits near the line-fill-buffer count "
+      "(g ~ 8-16), where the\nper-level misses of a group overlap instead "
+      "of serializing.\n");
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
+  simdtree::Run();
+  return 0;
+}

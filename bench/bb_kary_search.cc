@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench/gbench_json.h"
 #include "kary/kary_array.h"
 #include "kary/scalar_search.h"
 #include "util/rng.h"
@@ -85,4 +86,6 @@ BENCHMARK(BM_SequentialSearch<int32_t>)->RangeMultiplier(4)->Range(16, 1024);
 }  // namespace
 }  // namespace simdtree
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return simdtree::bench::GBenchMain(argc, argv, "bb_kary_search");
+}

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/gbench_json.h"
 #include "btree/btree.h"
 #include "segtree/segtree.h"
 #include "segtrie/compressed_segtrie.h"
@@ -125,4 +126,6 @@ BENCHMARK(BM_TreeRangeScan1000<SegBF>)->Name("RangeScan1000/SegTree_bf");
 }  // namespace
 }  // namespace simdtree
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return simdtree::bench::GBenchMain(argc, argv, "bb_trees");
+}

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "simd/cpu_features.h"
@@ -17,6 +19,49 @@
 #include "util/rng.h"
 
 namespace simdtree::bench {
+
+// --- machine-readable output ---------------------------------------------
+//
+// Every bench binary accepts --json: in addition to the human-readable
+// table, each measured point is emitted as one JSON line
+//
+//   {"bench":"fig10_segtree","config":"bf/popcount/5MB","metric":"cycles_per_lookup","value":123.4}
+//
+// so sweeps can be collected with `./bench --json | grep '^{'` without
+// scraping the tables.
+
+inline bool& JsonEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+// Call at the top of main. Recognizes --json (enables the JSON lines) and
+// leaves every other argument alone; returns true if --json was seen.
+inline bool ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) JsonEnabled() = true;
+  }
+  return JsonEnabled();
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// One measurement point. No-op unless --json was passed.
+inline void EmitJson(const std::string& bench, const std::string& config,
+                     const std::string& metric, double value) {
+  if (!JsonEnabled()) return;
+  std::printf("{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}\n",
+              JsonEscape(bench).c_str(), JsonEscape(config).c_str(),
+              JsonEscape(metric).c_str(), value);
+}
 
 inline constexpr size_t kProbeCount = 10000;  // the paper's x
 

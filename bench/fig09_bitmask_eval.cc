@@ -63,6 +63,13 @@ void Run() {
     table.AddRow({size.name, TablePrinter::Fmt(keys.size()),
                   TablePrinter::Fmt(shift, 0), TablePrinter::Fmt(sw, 0),
                   TablePrinter::Fmt(pop, 0), best});
+    const std::string cfg(size.name);
+    bench::EmitJson("fig09_bitmask_eval", cfg + "/bit_shift",
+                    "cycles_per_search", shift);
+    bench::EmitJson("fig09_bitmask_eval", cfg + "/switch_case",
+                    "cycles_per_search", sw);
+    bench::EmitJson("fig09_bitmask_eval", cfg + "/popcount",
+                    "cycles_per_search", pop);
     std::fflush(stdout);
   }
   table.Print();
@@ -74,7 +81,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

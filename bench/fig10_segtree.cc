@@ -88,6 +88,13 @@ void RunType(const char* type_name, TablePrinter* table) {
                    TablePrinter::Fmt(seg_df, 0),
                    TablePrinter::Fmt(binary / seg_bf, 2),
                    TablePrinter::Fmt(binary / seg_df, 2)});
+    const std::string cfg = std::string(type_name) + "/" + size.name;
+    bench::EmitJson("fig10_segtree", cfg + "/binary", "cycles_per_search",
+                    binary);
+    bench::EmitJson("fig10_segtree", cfg + "/simd_bf", "cycles_per_search",
+                    seg_bf);
+    bench::EmitJson("fig10_segtree", cfg + "/simd_df", "cycles_per_search",
+                    seg_df);
     std::fflush(stdout);
   }
 }
@@ -112,7 +119,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

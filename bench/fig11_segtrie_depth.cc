@@ -118,6 +118,17 @@ void Run() {
                   TablePrinter::Fmt(base / opt, 2),
                   TablePrinter::Fmt(int64_t{plain_levels}),
                   TablePrinter::Fmt(int64_t{opt_levels})});
+    const std::string cfg = "depth" + std::to_string(d + 1);
+    bench::EmitJson("fig11_segtrie_depth", cfg + "/btree_binary",
+                    "cycles_per_search", base);
+    bench::EmitJson("fig11_segtrie_depth", cfg + "/segtree_bf",
+                    "cycles_per_search", seg_bf);
+    bench::EmitJson("fig11_segtrie_depth", cfg + "/segtree_df",
+                    "cycles_per_search", seg_df);
+    bench::EmitJson("fig11_segtrie_depth", cfg + "/segtrie",
+                    "cycles_per_search", trie);
+    bench::EmitJson("fig11_segtrie_depth", cfg + "/opt_segtrie",
+                    "cycles_per_search", opt);
     std::fflush(stdout);
   }
   table.Print();
@@ -134,7 +145,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

@@ -1,0 +1,71 @@
+// --json support for the google-benchmark binaries, matching the JSON-line
+// schema of bench_util.h (google-benchmark's own --benchmark_format=json
+// emits a single document in a different shape; the shared line format
+// lets one collector scrape every binary the same way).
+
+#ifndef SIMDTREE_BENCH_GBENCH_JSON_H_
+#define SIMDTREE_BENCH_GBENCH_JSON_H_
+
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchmark/benchmark.h"
+
+namespace simdtree::bench {
+
+// Console reporter that additionally emits one JSON line per finished run
+// (cpu time plus every user counter) when --json was passed.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  // Color escapes would glue themselves onto the JSON lines (the reset
+  // code is written after the row's newline), so the table is plain.
+  explicit JsonLineReporter(std::string bench_name)
+      : benchmark::ConsoleReporter(OO_Tabular), bench_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (!JsonEnabled()) return;
+    // The console table goes through an ostream, the JSON lines through
+    // stdio; flush both so the lines never interleave mid-row.
+    GetOutputStream().flush();
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      EmitJson(bench_, run.benchmark_name(), "cpu_time_ns",
+               run.GetAdjustedCPUTime());
+      for (const auto& [name, counter] : run.counters) {
+        EmitJson(bench_, run.benchmark_name(), name, counter.value);
+      }
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string bench_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body: strips --json from the
+// arguments (google-benchmark rejects flags it does not know), then runs
+// everything through the JSON-line reporter.
+inline int GBenchMain(int argc, char** argv, const char* bench_name) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--json") == 0) {
+      JsonEnabled() = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  JsonLineReporter reporter(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}
+
+}  // namespace simdtree::bench
+
+#endif  // SIMDTREE_BENCH_GBENCH_JSON_H_

@@ -110,6 +110,9 @@ void Run() {
   TablePrinter table({"structure", "cycles/find", "speedup", "MB",
                       "bytes/key", "mem reduction"});
   for (const Row& r : rows) {
+    bench::EmitJson("mem_footprint", r.name, "cycles_per_find", r.cycles);
+    bench::EmitJson("mem_footprint", r.name, "memory_bytes",
+                    static_cast<double>(r.bytes));
     table.AddRow({r.name, TablePrinter::Fmt(r.cycles, 0),
                   TablePrinter::Fmt(base_cycles / r.cycles, 2),
                   TablePrinter::Fmt(static_cast<double>(r.bytes) / 1e6, 1),
@@ -131,7 +134,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

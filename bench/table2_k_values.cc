@@ -21,6 +21,10 @@ void AddRow(TablePrinter* table, const char* name) {
   using Traits = simd::LaneTraits<T>;
   table->AddRow({name, TablePrinter::Fmt(int64_t{Traits::kArity}),
                  TablePrinter::Fmt(int64_t{Traits::kLanes})});
+  bench::EmitJson("table2_k_values", std::string(name) + "/k", "k_value",
+                  static_cast<double>(Traits::kArity));
+  bench::EmitJson("table2_k_values", std::string(name) + "/lanes",
+                  "parallel_comparisons", static_cast<double>(Traits::kLanes));
 }
 
 void Run() {
@@ -38,7 +42,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

@@ -51,6 +51,11 @@ void AddRow(TablePrinter* table, const PaperRow& row) {
                  TablePrinter::Fmt(node_size),
                  TablePrinter::Fmt(row.paper_node_size),
                  TablePrinter::Fmt(lines128), TablePrinter::Fmt(lines64)});
+  const std::string cfg(row.name);
+  bench::EmitJson("table3_node_characteristics", cfg + "/n_s", "slots",
+                  static_cast<double>(n_s));
+  bench::EmitJson("table3_node_characteristics", cfg + "/node_size",
+                  "bytes", static_cast<double>(node_size));
 }
 
 void Run() {
@@ -75,7 +80,8 @@ void Run() {
 }  // namespace
 }  // namespace simdtree
 
-int main() {
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
   simdtree::Run();
   return 0;
 }

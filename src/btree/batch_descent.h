@@ -1,0 +1,162 @@
+// Group software-pipelined B+-Tree descent — the batched-lookup engine
+// shared by the plain (binary-search) and Seg (SIMD k-ary) key stores.
+//
+// A single root-to-leaf descent serializes one node miss per level: the
+// child pointer is not known until the current node's separators have
+// been searched, so an out-of-cache tree spends almost its whole lookup
+// stalled (paper Section 5.4: "the processor is mainly waiting for data
+// from main memory"). Level-wise batch traversal (after Tzschoppe et al.
+// and the BS-tree's data-parallel multi-query processing) converts that
+// latency into throughput: G independent queries descend in lockstep,
+// one level at a time, and every query's next node is prefetched before
+// any of them is searched. The G misses of a level then overlap in the
+// line fill buffers instead of arriving one at a time.
+//
+// Every level runs two passes over the group:
+//
+//   1. prefetch pass — each query's current node block arrived via the
+//      previous level's prefetch; touch it to read the key-store and
+//      child-array pointers and prefetch both heap buffers (the second
+//      dependent miss of a node visit);
+//   2. search pass — run the key store's UpperBound (scalar or SIMD; the
+//      store decides), step to the child, and immediately prefetch the
+//      child's node block for the next level.
+//
+// All leaves of a B+-Tree sit at the same depth, so the lockstep never
+// diverges. Results are exactly those of per-key Find / LowerBoundIter.
+//
+// BatchDescent is a friend of GenericBPlusTree: the pipeline needs the
+// node types, which stay private to the tree.
+
+#ifndef SIMDTREE_BTREE_BATCH_DESCENT_H_
+#define SIMDTREE_BTREE_BATCH_DESCENT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/batch.h"
+
+namespace simdtree::btree {
+
+template <typename Tree>
+class BatchDescent {
+ public:
+  using Key = typename Tree::KeyType;
+  using Value = typename Tree::ValueType;
+  using Iterator = typename Tree::ConstIterator;
+
+  // out[i] = pointer to the stored value of some occurrence of keys[i],
+  // or nullptr when absent — the batched form of Tree::Find. Pointers are
+  // valid until the next mutation of the tree.
+  static void FindBatch(const Tree& tree, const Key* keys, size_t n,
+                        const Value** out, int group) {
+    group = ClampBatchGroup(group);
+    if (tree.root_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) out[i] = nullptr;
+      return;
+    }
+    for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
+      const int g = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(group), n - off));
+      FindGroup(tree, keys + off, g, out + off);
+    }
+  }
+
+  // out[i] = iterator at the first pair with key >= keys[i] (invalid when
+  // none) — the batched form of Tree::LowerBoundIter.
+  static void LowerBoundBatch(const Tree& tree, const Key* keys, size_t n,
+                              Iterator* out, int group) {
+    group = ClampBatchGroup(group);
+    if (tree.root_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) out[i] = Iterator();
+      return;
+    }
+    for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
+      const int g = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(group), n - off));
+      LowerBoundGroup(tree, keys + off, g, out + off);
+    }
+  }
+
+ private:
+  using NodeBase = typename Tree::NodeBase;
+  using InnerNode = typename Tree::InnerNode;
+  using LeafNode = typename Tree::LeafNode;
+
+  static void Prefetch(const void* p) { PrefetchRead(p); }
+
+  // Descends the whole group to leaf level in lockstep. `upper` selects
+  // the in-node search (UpperBound for Find, LowerBound for the
+  // lower-bound iterator), applied uniformly at the branching levels.
+  template <bool kLower>
+  static void DescendGroup(const Tree& tree, const Key* keys, int g,
+                           const NodeBase** cur) {
+    for (int i = 0; i < g; ++i) cur[i] = tree.root_;
+    // One shared root read; all leaves sit at the same depth, so the
+    // group reaches leaf level together.
+    while (!cur[0]->is_leaf) {
+      for (int i = 0; i < g; ++i) {
+        const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
+        inner->keys.PrefetchKeys();
+        Prefetch(inner->children.data());
+      }
+      for (int i = 0; i < g; ++i) {
+        const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
+        const int64_t idx = kLower ? inner->keys.LowerBound(keys[i])
+                                   : inner->keys.UpperBound(keys[i]);
+        const NodeBase* child = inner->children[static_cast<size_t>(idx)];
+        cur[i] = child;
+        Prefetch(child);
+      }
+    }
+    for (int i = 0; i < g; ++i) {
+      static_cast<const LeafNode*>(cur[i])->keys.PrefetchKeys();
+    }
+  }
+
+  static void FindGroup(const Tree& tree, const Key* keys, int g,
+                        const Value** out) {
+    const NodeBase* cur[kMaxBatchGroup];
+    DescendGroup<false>(tree, keys, g, cur);
+    // Leaf resolution, identical to Tree::FindLeafPos: the upper-bound
+    // descent lands in the leaf holding the key's global upper bound; the
+    // occurrence, if any, sits just before it — possibly at the end of
+    // the previous leaf.
+    for (int i = 0; i < g; ++i) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(cur[i]);
+      int64_t pos = leaf->keys.UpperBound(keys[i]);
+      if (pos == 0) {
+        leaf = leaf->prev;
+        if (leaf == nullptr) {
+          out[i] = nullptr;
+          continue;
+        }
+        pos = leaf->keys.count();
+      }
+      out[i] = leaf->keys.At(pos - 1) == keys[i]
+                   ? &leaf->values[static_cast<size_t>(pos - 1)]
+                   : nullptr;
+    }
+  }
+
+  static void LowerBoundGroup(const Tree& tree, const Key* keys, int g,
+                              Iterator* out) {
+    const NodeBase* cur[kMaxBatchGroup];
+    DescendGroup<true>(tree, keys, g, cur);
+    // Leaf resolution, identical to Tree::LowerBoundIter.
+    for (int i = 0; i < g; ++i) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(cur[i]);
+      int64_t pos = leaf->keys.LowerBound(keys[i]);
+      if (pos >= leaf->keys.count()) {  // answer starts in the next leaf
+        leaf = leaf->next;
+        pos = 0;
+      }
+      out[i] = leaf != nullptr ? Iterator(leaf, pos) : Iterator();
+    }
+  }
+};
+
+}  // namespace simdtree::btree
+
+#endif  // SIMDTREE_BTREE_BATCH_DESCENT_H_

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "btree/batch_descent.h"
 #include "util/counters.h"
 
 namespace simdtree::btree {
@@ -69,6 +70,8 @@ class GenericBPlusTree {
   using KeyType = Key;
   using ValueType = Value;
   using Context = typename KeyStore::Context;
+
+  class ConstIterator;
 
   struct Config {
     Context leaf_ctx;
@@ -164,6 +167,27 @@ class GenericBPlusTree {
 
   bool Contains(Key key) const { return FindLeafPos(key).leaf != nullptr; }
 
+  // Batched point lookup: out[i] = pointer to the stored value of some
+  // occurrence of keys[i], or nullptr when absent. Implemented with group
+  // software pipelining (batch_descent.h): `group` queries descend in
+  // lockstep one level at a time with each query's next node prefetched,
+  // overlapping the per-level cache misses that serialize in Find.
+  // Pointers stay valid until the next mutation.
+  void FindBatch(const Key* keys, size_t n, const Value** out,
+                 int group = kDefaultBatchGroup) const {
+    BatchDescent<GenericBPlusTree>::FindBatch(*this, keys, n, out, group);
+  }
+
+  // Batched lower bound: out[i] = iterator at the first pair with
+  // key >= keys[i] (invalid iterator when none), equal to
+  // LowerBoundIter(keys[i]) for every i, with the same pipelined descent
+  // as FindBatch.
+  void LowerBoundBatch(const Key* keys, size_t n, ConstIterator* out,
+                       int group = kDefaultBatchGroup) const {
+    BatchDescent<GenericBPlusTree>::LowerBoundBatch(*this, keys, n, out,
+                                                    group);
+  }
+
   // Instrumented lookup: same result as Find, additionally counting the
   // nodes visited on the root-to-leaf descent (paper: one node search per
   // tree level).
@@ -229,6 +253,8 @@ class GenericBPlusTree {
 
    private:
     friend class GenericBPlusTree;
+    template <typename Tree>
+    friend class BatchDescent;
     ConstIterator(const typename GenericBPlusTree::LeafNode* leaf,
                   int64_t index)
         : leaf_(leaf), index_(index) {}
@@ -384,6 +410,8 @@ class GenericBPlusTree {
   };
 
   friend class ConstIterator;
+  template <typename Tree>
+  friend class BatchDescent;
 
   // --- node helpers -------------------------------------------------------
 

@@ -26,10 +26,13 @@
 #ifndef SIMDTREE_CORE_SIMDTREE_H_
 #define SIMDTREE_CORE_SIMDTREE_H_
 
+#include "btree/batch_descent.h"         // IWYU pragma: export
 #include "btree/btree.h"                 // IWYU pragma: export
+#include "core/batch.h"                  // IWYU pragma: export
 #include "core/serialize.h"              // IWYU pragma: export
 #include "core/synchronized.h"           // IWYU pragma: export
 #include "core/version.h"                // IWYU pragma: export
+#include "kary/batch_search.h"           // IWYU pragma: export
 #include "kary/kary_array.h"             // IWYU pragma: export
 #include "kary/kary_search.h"            // IWYU pragma: export
 #include "kary/linearize.h"              // IWYU pragma: export

@@ -16,6 +16,7 @@
 #ifndef SIMDTREE_CORE_SYNCHRONIZED_H_
 #define SIMDTREE_CORE_SYNCHRONIZED_H_
 
+#include <cstddef>
 #include <optional>
 #include <mutex>
 #include <shared_mutex>
@@ -62,6 +63,29 @@ class SynchronizedIndex {
   bool Contains(KeyType key) const {
     std::shared_lock lock(mutex_);
     return index_.Contains(key);
+  }
+
+  // Batched point lookup: out[i] = value of keys[i] or nullopt. One
+  // shared-lock acquisition covers the whole batch (vs one per key for a
+  // Find loop), and the underlying index runs its group-pipelined
+  // FindBatch under it. Values are copied out while the lock is held, so
+  // the results stay valid after concurrent writers proceed.
+  void FindBatch(const KeyType* keys, size_t n,
+                 std::optional<ValueType>* out) const {
+    constexpr size_t kChunk = 256;
+    const ValueType* ptrs[kChunk];
+    std::shared_lock lock(mutex_);
+    for (size_t off = 0; off < n; off += kChunk) {
+      const size_t m = n - off < kChunk ? n - off : kChunk;
+      index_.FindBatch(keys + off, m, ptrs);
+      for (size_t j = 0; j < m; ++j) {
+        if (ptrs[j] != nullptr) {
+          out[off + j] = *ptrs[j];
+        } else {
+          out[off + j] = std::nullopt;
+        }
+      }
+    }
   }
 
   size_t size() const {

@@ -1,0 +1,223 @@
+// Batched k-ary SIMD search with group software pipelining.
+//
+// A single k-ary descent is latency-bound once the linearized array
+// outgrows the caches: every level is one dependent cache (and possibly
+// TLB) miss, and the SIMD work per node is too small to hide it (the
+// paper's Section 5.4 LLC-miss-bound regime). Batched lookups exploit
+// *inter-query* parallelism instead: a group of G independent probes
+// descends in lockstep, one level at a time, and each probe's next node
+// is prefetched before any of them is touched — so the G misses of a
+// level overlap in the memory system instead of serializing.
+//
+// G trades memory-level parallelism against register pressure and
+// line-fill-buffer occupancy: modern x86 cores sustain 10-16 outstanding
+// L1 misses, so G in the 8-16 range captures most of the available
+// overlap (kDefaultBatchGroup). Group state lives in fixed arrays sized
+// kMaxBatchGroup so the compiler can keep the G broadcast probe
+// registers and positions live across the level loop.
+//
+// The per-level comparison is CompareNodeBatch: G independent
+// load/compare/movemask chains issued back to back (no dependencies
+// between probes), then G bitmask evaluations, reusing the existing
+// Eval policies (bitmask_eval.h) unchanged.
+//
+// Results are bit-identical to the single-query UpperBoundBf/Df loops in
+// kary_search.h for every layout, eval policy, and backend — the batch
+// layer changes the schedule, never the answer.
+
+#ifndef SIMDTREE_KARY_BATCH_SEARCH_H_
+#define SIMDTREE_KARY_BATCH_SEARCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "core/batch.h"
+#include "kary/kary_search.h"
+#include "kary/layout.h"
+#include "simd/bitmask_eval.h"
+#include "simd/simd128.h"
+#include "simd/simd256.h"
+
+namespace simdtree::kary {
+
+// Multi-probe comparison step: g simultaneous node probes, each against
+// its own live broadcast register. The g load/compare/movemask chains are
+// mutually independent, so the out-of-order core overlaps their cache
+// misses; the mask evaluations run after all loads are issued.
+template <typename T, typename Eval, simd::Backend B, int kBits>
+inline void CompareNodeBatch(
+    const T* const* key_ptrs,
+    const typename simd::Ops<T, B, kBits>::Reg* probes, int g, int* out) {
+  using Ops = simd::Ops<T, B, kBits>;
+  uint32_t masks[kMaxBatchGroup];
+  for (int i = 0; i < g; ++i) {
+    const auto node = Ops::LoadUnaligned(key_ptrs[i]);
+    masks[i] = Ops::MoveMask(Ops::CmpGt(node, probes[i]));
+  }
+  for (int i = 0; i < g; ++i) {
+    out[i] = Eval::template Position<T, kBits>(masks[i]);
+  }
+}
+
+// Group-pipelined Algorithm 5 (breadth-first): g probes descend one
+// level per iteration; after each probe's position is known, its node on
+// the *next* level is prefetched, so the next iteration's g loads hit
+// lines that are already in flight.
+//
+// Identical results to UpperBoundBf per probe (g <= kMaxBatchGroup).
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundBfGroup(const T* lin, int64_t stored_slots, int64_t n,
+                       const T* vals, int g, int64_t* out) {
+  using Ops = simd::Ops<T, B, kBits>;
+  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;  // k - 1
+  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;  // k
+  if (n == 0) {
+    for (int i = 0; i < g; ++i) out[i] = 0;
+    return;
+  }
+
+  typename Ops::Reg probe[kMaxBatchGroup];
+  int64_t position[kMaxBatchGroup];
+  bool pruned[kMaxBatchGroup];
+  const T* ptr[kMaxBatchGroup];
+  int step[kMaxBatchGroup];
+  for (int i = 0; i < g; ++i) {
+    probe[i] = Ops::Set1(vals[i]);
+    position[i] = 0;
+    pruned[i] = false;
+  }
+
+  int64_t level_base = 0;   // first slot of the current level
+  int64_t level_nodes = 1;  // node count on the current level
+  while (level_base < stored_slots) {
+    for (int i = 0; i < g; ++i) {
+      const int64_t key_off = level_base + position[i] * kLanes;
+      position[i] *= kArity;
+      if (pruned[i] || key_off >= stored_slots) {
+        // Descent into an unmaterialized all-padding subtree: the answer
+        // is already n (see UpperBoundBf). Probe slot 0 as a harmless
+        // stand-in so the batch compare stays branch-free.
+        pruned[i] = true;
+        ptr[i] = lin;
+      } else {
+        ptr[i] = lin + key_off;
+      }
+    }
+    CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
+    const int64_t next_base = level_base + level_nodes * kLanes;
+    for (int i = 0; i < g; ++i) {
+      position[i] += pruned[i] ? 0 : step[i];
+      PrefetchRead(lin + next_base + position[i] * kLanes);
+    }
+    level_base = next_base;
+    level_nodes *= kArity;
+  }
+  for (int i = 0; i < g; ++i) {
+    out[i] = pruned[i] ? n : std::min(position[i], n);
+  }
+}
+
+// Group-pipelined Algorithm 4 (depth-first, perfect storage): the next
+// key offset is pure arithmetic on the comparison result, so each
+// probe's next subtree start is prefetched as soon as its step is known.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundDfGroup(const T* lin, int64_t perfect_slots, int64_t n,
+                       const T* vals, int g, int64_t* out) {
+  using Ops = simd::Ops<T, B, kBits>;
+  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
+  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
+  if (n == 0) {
+    for (int i = 0; i < g; ++i) out[i] = 0;
+    return;
+  }
+
+  typename Ops::Reg probe[kMaxBatchGroup];
+  int64_t position[kMaxBatchGroup];
+  int64_t key_off[kMaxBatchGroup];
+  const T* ptr[kMaxBatchGroup];
+  int step[kMaxBatchGroup];
+  for (int i = 0; i < g; ++i) {
+    probe[i] = Ops::Set1(vals[i]);
+    position[i] = 0;
+    key_off[i] = 0;
+  }
+
+  int64_t sub_size = perfect_slots;  // keys in the current subtree
+  while (sub_size > 0) {
+    for (int i = 0; i < g; ++i) ptr[i] = lin + key_off[i];
+    CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
+    sub_size = (sub_size - (kArity - 1)) / kArity;  // child subtree keys
+    for (int i = 0; i < g; ++i) {
+      key_off[i] += kLanes + sub_size * step[i];
+      position[i] = position[i] * kArity + step[i];
+      PrefetchRead(lin + key_off[i]);
+    }
+  }
+  for (int i = 0; i < g; ++i) out[i] = std::min(position[i], n);
+}
+
+// Batched upper bound over `count` probes: chunks the batch into
+// pipelined groups of `group` (clamped to [1, kMaxBatchGroup]).
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundBatch(const T* lin, int64_t stored_slots, int64_t n,
+                     Layout layout, const T* vals, size_t count, int64_t* out,
+                     int group = kDefaultBatchGroup) {
+  group = ClampBatchGroup(group);
+  for (size_t off = 0; off < count; off += static_cast<size_t>(group)) {
+    const int g = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(group), count - off));
+    if (layout == Layout::kBreadthFirst) {
+      UpperBoundBfGroup<T, Eval, B, kBits>(lin, stored_slots, n, vals + off,
+                                           g, out + off);
+    } else {
+      UpperBoundDfGroup<T, Eval, B, kBits>(lin, stored_slots, n, vals + off,
+                                           g, out + off);
+    }
+  }
+}
+
+// Batched lower bound via the integer identity lower_bound(v) ==
+// upper_bound(v - 1), with the type-minimum case pinned to 0 (matching
+// LowerBoundFromUpperBound).
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void LowerBoundBatch(const T* lin, int64_t stored_slots, int64_t n,
+                     Layout layout, const T* vals, size_t count, int64_t* out,
+                     int group = kDefaultBatchGroup) {
+  group = ClampBatchGroup(group);
+  T shifted[kMaxBatchGroup];
+  for (size_t off = 0; off < count; off += static_cast<size_t>(group)) {
+    const int g = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(group), count - off));
+    for (int i = 0; i < g; ++i) {
+      const T v = vals[off + static_cast<size_t>(i)];
+      // The minimum has no predecessor; probe it unshifted and overwrite
+      // the result with 0 below.
+      shifted[i] = v == std::numeric_limits<T>::min()
+                       ? v
+                       : static_cast<T>(v - 1);
+    }
+    if (layout == Layout::kBreadthFirst) {
+      UpperBoundBfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, g,
+                                           out + off);
+    } else {
+      UpperBoundDfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, g,
+                                           out + off);
+    }
+    for (int i = 0; i < g; ++i) {
+      if (vals[off + static_cast<size_t>(i)] ==
+          std::numeric_limits<T>::min()) {
+        out[off + static_cast<size_t>(i)] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace simdtree::kary
+
+#endif  // SIMDTREE_KARY_BATCH_SEARCH_H_

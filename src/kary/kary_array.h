@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "kary/batch_search.h"
 #include "kary/kary_search.h"
 #include "kary/linearize.h"
 #include "simd/simd128.h"
@@ -66,6 +67,29 @@ class KaryArray {
   bool Contains(T v) const {
     const int64_t ub = UpperBound<Eval, B>(v);
     return ub > 0 && KeyAtSortedPosition(ub - 1) == v;
+  }
+
+  // Batched upper bound: out[i] = UpperBound(vals[i]) for all i, computed
+  // with group software pipelining (batch_search.h) — groups of `group`
+  // probes descend in lockstep with each probe's next node prefetched one
+  // level ahead, overlapping the per-level cache misses.
+  template <typename Eval = simd::PopcountEval,
+            simd::Backend B = simd::kDefaultBackend>
+  void UpperBoundBatch(const T* vals, size_t count, int64_t* out,
+                       int group = kDefaultBatchGroup) const {
+    kary::UpperBoundBatch<T, Eval, B, kBits>(lin_.data(), stored_slots(), n_,
+                                             layout_kind_, vals, count, out,
+                                             group);
+  }
+
+  // Batched lower bound: out[i] = LowerBound(vals[i]) for all i.
+  template <typename Eval = simd::PopcountEval,
+            simd::Backend B = simd::kDefaultBackend>
+  void LowerBoundBatch(const T* vals, size_t count, int64_t* out,
+                       int group = kDefaultBatchGroup) const {
+    kary::LowerBoundBatch<T, Eval, B, kBits>(lin_.data(), stored_slots(), n_,
+                                             layout_kind_, vals, count, out,
+                                             group);
   }
 
   // Key at logical sorted position p (O(1) via the permutation).

@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/batch.h"
 #include "segtrie/compact_node.h"
 #include "simd/bitmask_eval.h"
 #include "simd/simd128.h"
@@ -246,6 +247,26 @@ class SegTrie {
   }
 
   bool Contains(Key key) const { return Find(key).has_value(); }
+
+  // Batched point lookup: out[i] = pointer to the stored value of
+  // keys[i], or nullptr when absent. A group of `group` queries descends
+  // the trie in lockstep one level at a time; each query's child node —
+  // one compact single-allocation block — is prefetched as soon as it is
+  // known, so the per-level misses of the group overlap instead of
+  // serializing (see btree/batch_descent.h for the pipeline rationale).
+  // The in-node fast paths (empty/single/full node, FindPartial) are
+  // reused unchanged. Queries that terminate early on a missing segment
+  // simply drop out of the group. Pointers stay valid until the next
+  // mutation.
+  void FindBatch(const Key* keys, size_t n, const Value** out,
+                 int group = kDefaultBatchGroup) const {
+    group = ClampBatchGroup(group);
+    for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
+      const int g = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(group), n - off));
+      FindGroup(keys + off, g, out + off);
+    }
+  }
 
   // Instrumented lookup: counts nodes visited and SIMD comparison steps.
   // Verifies the paper's Section 4 claims: at most active_levels() node
@@ -483,6 +504,42 @@ class SegTrie {
                  prefix |
                      (static_cast<Key>(inner->PartialAt(ctx_, i)) << shift),
                  fn);
+    }
+  }
+
+  // One lockstep group of the batched lookup. A compact node is a single
+  // allocation, so two line prefetches (header + linearized root k-ary
+  // node, then the entry area) cover the next level's touch pattern.
+  void FindGroup(const Key* keys, int g, const Value** out) const {
+    const void* node[kMaxBatchGroup];
+    bool done[kMaxBatchGroup];
+    for (int i = 0; i < g; ++i) {
+      done[i] = size_ == 0 ||
+                UpperBits(keys[i], active_levels_) != prefix_bits_;
+      if (done[i]) out[i] = nullptr;
+      node[i] = root_;
+    }
+    for (int level = ActiveTopLevel(); level < kLevels - 1; ++level) {
+      for (int i = 0; i < g; ++i) {
+        if (done[i]) continue;
+        const Inner* inner = static_cast<const Inner*>(node[i]);
+        const int64_t idx = inner->FindPartial(ctx_, Segment(keys[i], level));
+        if (idx < 0) {  // missing segment terminates this query early
+          out[i] = nullptr;
+          done[i] = true;
+          continue;
+        }
+        const void* child = inner->EntryAt(idx);
+        node[i] = child;
+        PrefetchRead(child);
+        PrefetchRead(static_cast<const char*>(child) + 64);
+      }
+    }
+    for (int i = 0; i < g; ++i) {
+      if (done[i]) continue;
+      const Leaf* leaf = static_cast<const Leaf*>(node[i]);
+      const int64_t idx = leaf->FindPartial(ctx_, Segment(keys[i], kLevels - 1));
+      out[i] = idx < 0 ? nullptr : &leaf->EntryAt(idx);
     }
   }
 

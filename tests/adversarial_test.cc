@@ -119,15 +119,16 @@ TEST_P(AdversarialPatternTest, TriesMatchOracle) {
   }
 }
 
+// Kept out of the INSTANTIATE macro: commas inside the braced array
+// initializer would be treated as macro argument separators.
+std::string PatternName(const testing::TestParamInfo<int>& info) {
+  const char* names[] = {"organ_pipe", "bit_reversed", "shared_prefix",
+                         "powers_of_two", "dense_low"};
+  return names[info.param];
+}
+
 INSTANTIATE_TEST_SUITE_P(Patterns, AdversarialPatternTest,
-                         testing::Values(0, 1, 2, 3, 4),
-                         [](const testing::TestParamInfo<int>& info) {
-                           const char* names[] = {
-                               "organ_pipe", "bit_reversed",
-                               "shared_prefix", "powers_of_two",
-                               "dense_low"};
-                           return names[info.param];
-                         });
+                         testing::Values(0, 1, 2, 3, 4), PatternName);
 
 TEST(AdversarialTest, TypeBoundaryKeysEverywhere) {
   const std::vector<uint64_t> keys = {0, 1, 0x7FFFFFFFFFFFFFFFULL,

@@ -8,6 +8,11 @@
 //       number) and writes it as a serialized blob.
 //   simdtree_cli query <index.stix> <key> [key...]
 //       Point lookups against a persisted index (loaded as a Seg-Tree).
+//   simdtree_cli lookup-batch <index.stix> <keys.txt> [--group=N]
+//       Batched point lookups with the group software-pipelined descent:
+//       all keys from the file (one per line) are resolved with one
+//       FindBatch call and printed as "key -> value" lines plus a
+//       hit/miss summary. --group sets the pipeline width (default 12).
 //   simdtree_cli scan <index.stix> <lo> <hi>
 //       Range scan [lo, hi).
 //   simdtree_cli stats <index.stix>
@@ -41,6 +46,8 @@ int Usage() {
                "usage: simdtree_cli build <keys.txt> <index.stix> "
                "[--structure=segtree|btree|segtrie|opttrie]\n"
                "       simdtree_cli query <index.stix> <key> [key...]\n"
+               "       simdtree_cli lookup-batch <index.stix> <keys.txt> "
+               "[--group=N]\n"
                "       simdtree_cli scan <index.stix> <lo> <hi>\n"
                "       simdtree_cli stats <index.stix>\n"
                "       simdtree_cli selftest\n");
@@ -163,6 +170,37 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdLookupBatch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  int group = simdtree::kDefaultBatchGroup;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--group=", 8) == 0) {
+      group = std::atoi(argv[i] + 8);
+    }
+  }
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  std::vector<uint64_t> keys, unused;
+  if (!ReadPairsFile(argv[3], &keys, &unused)) return 1;
+  std::vector<const uint64_t*> results(keys.size());
+  tree->FindBatch(keys.data(), keys.size(), results.data(), group);
+  size_t hits = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (results[i] != nullptr) {
+      ++hits;
+      std::printf("%llu -> %llu\n",
+                  static_cast<unsigned long long>(keys[i]),
+                  static_cast<unsigned long long>(*results[i]));
+    } else {
+      std::printf("%llu -> (absent)\n",
+                  static_cast<unsigned long long>(keys[i]));
+    }
+  }
+  std::printf("(%zu keys, %zu hits, %zu misses, group %d)\n", keys.size(),
+              hits, keys.size() - hits, group);
+  return 0;
+}
+
 int CmdScan(int argc, char** argv) {
   if (argc != 5) return Usage();
   auto tree = LoadIndex(argv[2]);
@@ -241,6 +279,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "build") return CmdBuild(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "lookup-batch") return CmdLookupBatch(argc, argv);
   if (cmd == "scan") return CmdScan(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "selftest") return CmdSelfTest();
