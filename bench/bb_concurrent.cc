@@ -1,0 +1,339 @@
+// Concurrent mixed read/write throughput: ShardedIndex (range-
+// partitioned, per-shard reader/writer locks) versus SynchronizedIndex
+// (one global reader/writer lock) across BPlusTree / SegTree / SegTrie
+// backends — the scaling curve the sharding layer exists for, measured
+// rather than asserted.
+//
+// Sweep: threads x shard count x read fraction, over a ~1M-key index.
+// Each measurement point runs for a fixed wall-clock window with the
+// read fraction expressed as thread roles: at T threads and read
+// fraction r, round(T*(1-r)) threads (at least one) are dedicated
+// writers alternating Insert/Erase over the preloaded population, and
+// the rest are dedicated readers (Find with a periodic shard-aware
+// FindBatch). T==1 degenerates to a single thread mixing both per-op.
+// Reads and writes are counted separately and reported as class
+// throughputs alongside the aggregate.
+//
+// What to expect: with one global lock every writer serializes behind
+// every reader. On many-core hosts the aggregate curve shows it
+// directly: per-shard locks cut the conflict probability to ~1/shards,
+// so the sharded curve holds its throughput as threads rise while the
+// single-lock curve flattens. On few-core hosts the aggregate hides the
+// damage — one core runs one thread at a time either way — but the
+// write-class throughput exposes it: glibc's reader-preferring rwlock
+// hands the global lock back to the reader crowd at every release, so
+// single-lock writers starve (write rates collapse by orders of
+// magnitude) while sharded writers only ever contend with the readers
+// of their own shard. That is exactly the pathology range partitioning
+// removes, so `writes/s` and its `write_speedup_vs_sync` ratio are the
+// honest headline on small machines.
+//
+// Usage: bb_concurrent [--json] [--quick]
+//   --quick trims the sweep (SegTree only, 8 shards, 1/8 threads) for a
+//   fast sanity run; --json emits one line per point as in every other
+//   bench binary.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "core/sharded.h"
+#include "core/synchronized.h"
+#include "segtree/segtree.h"
+#include "segtrie/segtrie.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace simdtree {
+namespace {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+// Keys live in a 2^30 domain: dense enough that the Seg-Trie shares
+// prefixes (realistic memory), sparse enough that uniform sampling
+// rarely collides. Splitters always come from the preload sample, as a
+// bulk-load distribution would supply them.
+constexpr uint64_t kDomain = 1ULL << 30;
+constexpr size_t kPreload = 1'000'000;
+constexpr double kWindowSecs = 0.5;  // per measurement point
+constexpr size_t kBatch = 32;        // periodic FindBatch width
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr size_t kShardCounts[] = {2, 4, 8};
+constexpr int kReadPercents[] = {50, 95};
+
+std::vector<Key> MakePreloadKeys() {
+  Rng rng(2014);
+  std::vector<Key> keys(kPreload);
+  for (auto& k : keys) k = rng.NextBounded(kDomain);
+  return keys;
+}
+
+struct PointCounts {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double secs = 0.0;
+};
+
+// One measurement point: role-split worker threads run against `index`
+// for a fixed window from a common start barrier. Readers are joined
+// before writers so a writer parked on the (reader-preferring) lock can
+// acquire it, finish its in-flight op, observe the stop flag, and exit;
+// that admits at most one post-window op per writer, which only ever
+// flatters the single-lock configuration.
+template <typename IndexLike>
+PointCounts RunPoint(IndexLike& index, const std::vector<Key>& population,
+                     int threads, int read_pct, uint64_t point_seed) {
+  int writers = 0;
+  if (threads >= 2) {
+    writers = static_cast<int>(
+        (static_cast<long>(threads) * (100 - read_pct) + 50) / 100);
+    if (writers < 1) writers = 1;
+    if (writers >= threads) writers = threads - 1;
+  }
+  const int readers = threads - writers;
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> total_writes{0};
+
+  auto wait_for_go = [&] {
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+  };
+
+  std::vector<std::thread> reader_pool;
+  std::vector<std::thread> writer_pool;
+
+  if (threads == 1) {
+    // Single thread: per-op mix at the requested read fraction.
+    writer_pool.emplace_back([&] {
+      Rng rng(point_seed * 1000003 + 1);
+      std::vector<Key> batch(kBatch);
+      std::vector<std::optional<Value>> out(kBatch);
+      uint64_t reads_done = 0, writes_done = 0, sink = 0;
+      wait_for_go();
+      for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        if (rng.NextBounded(100) < static_cast<uint64_t>(read_pct)) {
+          if (i % 41 == 0) {
+            for (auto& b : batch) {
+              b = population[rng.NextBounded(population.size())];
+            }
+            index.FindBatch(batch.data(), batch.size(), out.data());
+            for (const auto& o : out) sink += o.has_value();
+            reads_done += batch.size();
+          } else {
+            const Key k = rng.NextBounded(10) < 7
+                              ? population[rng.NextBounded(population.size())]
+                              : rng.NextBounded(kDomain);
+            const auto v = index.Find(k);
+            sink += v.has_value() ? *v : 0;
+            ++reads_done;
+          }
+        } else {
+          const Key k = population[rng.NextBounded(population.size())];
+          if (rng.NextBounded(2) == 0) {
+            index.Insert(k, k ^ 0xBADC0DEULL);
+          } else {
+            index.Erase(k);
+          }
+          ++writes_done;
+        }
+      }
+      total_reads.fetch_add(reads_done + (sink == ~0ULL ? 1 : 0));
+      total_writes.fetch_add(writes_done);
+    });
+  } else {
+    for (int t = 0; t < readers; ++t) {
+      reader_pool.emplace_back([&, t] {
+        Rng rng(point_seed * 1000003 + static_cast<uint64_t>(t) * 7919 + 1);
+        std::vector<Key> batch(kBatch);
+        std::vector<std::optional<Value>> out(kBatch);
+        uint64_t reads_done = 0, sink = 0;
+        wait_for_go();
+        for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          if (i % 41 == 0) {
+            // Shard-aware batched read: one lock acquisition per shard
+            // touched instead of one per key.
+            for (auto& b : batch) {
+              b = population[rng.NextBounded(population.size())];
+            }
+            index.FindBatch(batch.data(), batch.size(), out.data());
+            for (const auto& o : out) sink += o.has_value();
+            reads_done += batch.size();
+          } else {
+            // 70% present keys, 30% random (mostly missing).
+            const Key k = rng.NextBounded(10) < 7
+                              ? population[rng.NextBounded(population.size())]
+                              : rng.NextBounded(kDomain);
+            const auto v = index.Find(k);
+            sink += v.has_value() ? *v : 0;
+            ++reads_done;
+          }
+        }
+        total_reads.fetch_add(reads_done + (sink == ~0ULL ? 1 : 0));
+      });
+    }
+    for (int t = 0; t < writers; ++t) {
+      writer_pool.emplace_back([&, t] {
+        Rng rng(point_seed * 2000003 + static_cast<uint64_t>(t) * 104729 + 1);
+        uint64_t writes_done = 0;
+        wait_for_go();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key k = population[rng.NextBounded(population.size())];
+          if (rng.NextBounded(2) == 0) {
+            index.Insert(k, k ^ 0xBADC0DEULL);
+          } else {
+            index.Erase(k);
+          }
+          ++writes_done;
+        }
+        total_writes.fetch_add(writes_done);
+      });
+    }
+  }
+
+  while (ready.load() < threads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(kWindowSecs));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : reader_pool) th.join();
+  for (auto& th : writer_pool) th.join();
+  // Rates use the nominal window; see the join-order note above.
+  PointCounts counts;
+  counts.reads = total_reads.load();
+  counts.writes = total_writes.load();
+  counts.secs = kWindowSecs;
+  return counts;
+}
+
+template <typename IndexLike>
+void Preload(IndexLike& index, const std::vector<Key>& keys) {
+  for (Key k : keys) index.Insert(k, k ^ 0xBADC0DEULL);
+}
+
+struct PointResult {
+  std::string wrapper;  // "sync" or "shardN"
+  double ops_per_sec = 0.0;
+  double reads_per_sec = 0.0;
+  double writes_per_sec = 0.0;
+};
+
+template <typename Index>
+void RunBackend(const char* backend, const std::vector<Key>& keys,
+                bool quick, TablePrinter* table) {
+  std::vector<int> threads_sweep(std::begin(kThreadCounts),
+                                 std::end(kThreadCounts));
+  std::vector<size_t> shards_sweep(std::begin(kShardCounts),
+                                   std::end(kShardCounts));
+  if (quick) {
+    threads_sweep = {1, 8};
+    shards_sweep = {8};
+  }
+
+  // One index instance per wrapper, reused across measurement points:
+  // the write mix draws from the preloaded population, so the size
+  // stays near kPreload as points run.
+  SynchronizedIndex<Index> sync_index;
+  Preload(sync_index, keys);
+  std::vector<std::unique_ptr<ShardedIndex<Index>>> sharded;
+  for (size_t s : shards_sweep) {
+    sharded.push_back(std::make_unique<ShardedIndex<Index>>(
+        s, ShardedIndex<Index>::SplittersFromSample(keys.data(), keys.size(),
+                                                    s)));
+    Preload(*sharded.back(), keys);
+  }
+
+  uint64_t point_seed = 1;
+  for (int read_pct : kReadPercents) {
+    for (int threads : threads_sweep) {
+      std::vector<PointResult> results;
+      auto run_one = [&](const std::string& wrapper, auto& index) {
+        const PointCounts c =
+            RunPoint(index, keys, threads, read_pct, point_seed++);
+        PointResult r;
+        r.wrapper = wrapper;
+        r.reads_per_sec = static_cast<double>(c.reads) / c.secs;
+        r.writes_per_sec = static_cast<double>(c.writes) / c.secs;
+        r.ops_per_sec = r.reads_per_sec + r.writes_per_sec;
+        results.push_back(r);
+      };
+      run_one("sync", sync_index);
+      for (size_t si = 0; si < shards_sweep.size(); ++si) {
+        run_one("shard" + std::to_string(shards_sweep[si]), *sharded[si]);
+      }
+      const double sync_ops = results[0].ops_per_sec;
+      const double sync_writes = results[0].writes_per_sec;
+      for (const PointResult& r : results) {
+        const double speedup = r.ops_per_sec / sync_ops;
+        const double wspeedup =
+            sync_writes > 0.0 ? r.writes_per_sec / sync_writes : 0.0;
+        const std::string cfg = std::string(backend) + "/" + r.wrapper +
+                                "/t" + std::to_string(threads) + "/rf" +
+                                std::to_string(read_pct);
+        bench::EmitJson("bb_concurrent", cfg, "ops_per_sec", r.ops_per_sec);
+        bench::EmitJson("bb_concurrent", cfg, "reads_per_sec",
+                        r.reads_per_sec);
+        bench::EmitJson("bb_concurrent", cfg, "writes_per_sec",
+                        r.writes_per_sec);
+        if (r.wrapper != "sync") {
+          bench::EmitJson("bb_concurrent", cfg, "speedup_vs_sync", speedup);
+          bench::EmitJson("bb_concurrent", cfg, "write_speedup_vs_sync",
+                          wspeedup);
+        }
+        table->AddRow({backend, r.wrapper, std::to_string(read_pct) + "%",
+                       std::to_string(threads),
+                       TablePrinter::Fmt(r.ops_per_sec / 1e6, 2),
+                       TablePrinter::Fmt(r.writes_per_sec / 1e3, 1),
+                       TablePrinter::Fmt(speedup, 2),
+                       TablePrinter::Fmt(wspeedup, 1)});
+      }
+      std::fflush(stdout);
+    }
+  }
+}
+
+void Run(bool quick) {
+  bench::PrintBenchHeader(
+      "Concurrent mixed read/write throughput: ShardedIndex vs "
+      "SynchronizedIndex, ~1M uint64 keys");
+  std::printf("hardware threads: %u | window per point: %.1fs | "
+              "write mix: 50%% insert / 50%% erase over the preload set\n\n",
+              std::thread::hardware_concurrency(), kWindowSecs);
+
+  const std::vector<Key> keys = MakePreloadKeys();
+  TablePrinter table({"structure", "wrapper", "reads", "threads", "Mops/s",
+                      "Kwrites/s", "vs sync", "w vs sync"});
+  RunBackend<segtree::SegTree<Key, Value>>("segtree", keys, quick, &table);
+  if (!quick) {
+    RunBackend<btree::BPlusTree<Key, Value>>("btree", keys, quick, &table);
+    RunBackend<segtrie::SegTrie<Key, Value>>("segtrie", keys, quick, &table);
+  }
+  std::printf("\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simdtree
+
+int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  simdtree::Run(quick);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared knobs for the batched-lookup subsystem.
+//
+// Every batched search in the library (kary/batch_search.h,
+// btree/batch_descent.h, the Seg-Trie's FindBatch) uses the same group
+// software-pipelining scheme: G independent queries advance in lockstep
+// one level at a time, and each query's next memory target is prefetched
+// before any of them is touched, so the G per-level misses overlap in
+// the memory system.
+//
+// G trades memory-level parallelism against register pressure and
+// line-fill-buffer occupancy: one x86 core sustains roughly 10-16
+// outstanding L1 misses, so groups in the 8-16 range capture most of the
+// available overlap, and larger groups only add state. The default of 12
+// leaves headroom for the demand loads of the searches themselves;
+// bench/bb_batch_lookup sweeps the choice.
+
+#ifndef SIMDTREE_CORE_BATCH_H_
+#define SIMDTREE_CORE_BATCH_H_
+
+namespace simdtree {
+
+// Upper bound of the lockstep group size (fixed state-array dimension in
+// the pipelined search loops).
+inline constexpr int kMaxBatchGroup = 16;
+
+// Default in-flight group size.
+inline constexpr int kDefaultBatchGroup = 12;
+
+inline constexpr int ClampBatchGroup(int group) {
+  return group < 1 ? 1 : (group > kMaxBatchGroup ? kMaxBatchGroup : group);
+}
+
+// Read prefetch into all cache levels. Prefetches never fault, so the
+// out-of-range addresses a pruned or finished query can compute are safe
+// to issue.
+inline void PrefetchRead(const void* p) { __builtin_prefetch(p, 0, 3); }
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_CORE_BATCH_H_

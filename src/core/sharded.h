@@ -1,0 +1,321 @@
+// Range-partitioned sharded wrapper for any simdtree index.
+//
+// SynchronizedIndex (synchronized.h) makes the structures shareable with
+// one global reader/writer lock, which serializes every writer — the
+// scaling wall the paper's Section 7 future-work note ("the impact of
+// SIMD instructions on concurrently used index structures") leaves open.
+// ShardedIndex takes the simplest scalable step past it: N
+// range-partitioned shards, each an independent Index instance behind
+// its own shared_mutex, so writers to different key ranges proceed in
+// parallel and lock contention drops by ~1/N even when they don't.
+//
+// Partitioning is static and rebalance-free: N-1 sorted splitter keys
+// divide the key domain; shard i owns [splitter[i-1], splitter[i]) (a
+// key equal to a splitter belongs to the shard on its right). The shard
+// count is rounded up to a power of two. Splitters come from either a
+// uniform division of the integral key domain (default constructor) or
+// sample quantiles (SplittersFromSample), matching a bulk-load
+// distribution.
+//
+// Consistency model: each operation is atomic within one shard.
+// Multi-shard operations (size, ScanRange, FindBatch, Clear) lock one
+// shard at a time in ascending shard order, so they see a per-shard
+// snapshot, not a global one — a concurrent writer may land between two
+// shard visits. This is the usual contract of partitioned stores;
+// callers needing a global quiescent view must stop writers first.
+// Deadlock-free by construction: no operation ever holds two shard
+// locks at once.
+//
+// ScanRange stitches results across shard boundaries: shards are
+// visited in key order and each shard only stores keys of its own
+// range, so the callback still observes keys in globally ascending
+// order. FindBatch is shard-aware: the query batch is partitioned by
+// shard, each shard's keys run through the underlying group-pipelined
+// FindBatch (btree/batch_descent.h, kary/batch_search.h, the trie's
+// FindBatch) under ONE lock acquisition per shard, and results scatter
+// back to the caller's order.
+
+#ifndef SIMDTREE_CORE_SHARDED_H_
+#define SIMDTREE_CORE_SHARDED_H_
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace simdtree {
+
+template <typename Index>
+class ShardedIndex {
+ public:
+  using KeyType = typename Index::KeyType;
+  using ValueType = typename Index::ValueType;
+
+  // num_shards is rounded up to a power of two. Splitters divide the
+  // full integral key domain uniformly — the right default for the
+  // uniform-random and full-domain workloads of the paper's evaluation.
+  explicit ShardedIndex(size_t num_shards = kDefaultShards)
+      : ShardedIndex(RoundUpShards(num_shards),
+                     UniformSplitters(RoundUpShards(num_shards))) {}
+
+  // Explicit splitters: must be sorted, size == num_shards - 1. Equal
+  // adjacent splitters are allowed and simply leave a shard empty.
+  ShardedIndex(size_t num_shards, std::vector<KeyType> splitters)
+      : splitters_(std::move(splitters)) {
+    num_shards = RoundUpShards(num_shards);
+    assert(splitters_.size() == num_shards - 1);
+    assert(std::is_sorted(splitters_.begin(), splitters_.end()));
+    shards_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  // Splitter keys at the sample's quantiles, for key distributions that
+  // a uniform domain division would skew (e.g. clustered bulk loads).
+  // The sample is copied and sorted; n may be zero (falls back to the
+  // uniform division).
+  static std::vector<KeyType> SplittersFromSample(const KeyType* sample,
+                                                  size_t n,
+                                                  size_t num_shards) {
+    num_shards = RoundUpShards(num_shards);
+    if (n == 0) return UniformSplitters(num_shards);
+    std::vector<KeyType> sorted(sample, sample + n);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<KeyType> splitters;
+    splitters.reserve(num_shards - 1);
+    for (size_t s = 1; s < num_shards; ++s) {
+      splitters.push_back(sorted[s * n / num_shards]);
+    }
+    return splitters;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<KeyType>& splitters() const { return splitters_; }
+
+  // Shard owning `key` (upper bound over the splitters: a key equal to
+  // a splitter goes right).
+  size_t ShardOf(KeyType key) const {
+    return static_cast<size_t>(
+        std::upper_bound(splitters_.begin(), splitters_.end(), key) -
+        splitters_.begin());
+  }
+
+  // --- writers ----------------------------------------------------------
+
+  auto Insert(KeyType key, ValueType value) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::unique_lock lock(shard.mutex);
+    return shard.index.Insert(key, std::move(value));
+  }
+
+  bool Erase(KeyType key) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::unique_lock lock(shard.mutex);
+    return shard.index.Erase(key);
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::unique_lock lock(shard->mutex);
+      shard->index.Clear();
+    }
+  }
+
+  // --- readers ----------------------------------------------------------
+
+  std::optional<ValueType> Find(KeyType key) const {
+    const Shard& shard = *shards_[ShardOf(key)];
+    std::shared_lock lock(shard.mutex);
+    return shard.index.Find(key);
+  }
+
+  bool Contains(KeyType key) const {
+    const Shard& shard = *shards_[ShardOf(key)];
+    std::shared_lock lock(shard.mutex);
+    return shard.index.Contains(key);
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      total += shard->index.size();
+    }
+    return total;
+  }
+
+  // Batched point lookup, shard-aware: out[i] = value of keys[i] or
+  // nullopt. The batch is partitioned by shard (counting sort on shard
+  // id, preserving caller order within each shard), each shard's
+  // sub-batch runs the underlying group-pipelined FindBatch under one
+  // shared-lock acquisition, and the values are copied back to the
+  // caller's positions while that shard's lock is held — so the results
+  // stay valid after concurrent writers proceed.
+  void FindBatch(const KeyType* keys, size_t n,
+                 std::optional<ValueType>* out) const {
+    if (n == 0) return;
+    const size_t num = shards_.size();
+    // Pass 1: shard id per key + per-shard counts.
+    std::vector<uint32_t> shard_of(n);
+    std::vector<size_t> start(num + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t s = ShardOf(keys[i]);
+      shard_of[i] = static_cast<uint32_t>(s);
+      ++start[s + 1];
+    }
+    for (size_t s = 0; s < num; ++s) start[s + 1] += start[s];
+    // Pass 2: scatter keys and original positions into shard order.
+    std::vector<KeyType> skeys(n);
+    std::vector<size_t> spos(n);
+    {
+      std::vector<size_t> fill(start.begin(), start.end() - 1);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t at = fill[shard_of[i]]++;
+        skeys[at] = keys[i];
+        spos[at] = i;
+      }
+    }
+    // Pass 3: per shard, one lock, chunked pipelined FindBatch.
+    constexpr size_t kChunk = 256;
+    const ValueType* ptrs[kChunk];
+    for (size_t s = 0; s < num; ++s) {
+      const size_t lo = start[s], hi = start[s + 1];
+      if (lo == hi) continue;
+      std::shared_lock lock(shards_[s]->mutex);
+      for (size_t off = lo; off < hi; off += kChunk) {
+        const size_t m = hi - off < kChunk ? hi - off : kChunk;
+        shards_[s]->index.FindBatch(skeys.data() + off, m, ptrs);
+        for (size_t j = 0; j < m; ++j) {
+          if (ptrs[j] != nullptr) {
+            out[spos[off + j]] = *ptrs[j];
+          } else {
+            out[spos[off + j]] = std::nullopt;
+          }
+        }
+      }
+    }
+  }
+
+  // Runs fn(key, value) over [lo, hi) (or [lo, hi] when hi_inclusive)
+  // in globally ascending key order, stitching across shard boundaries:
+  // shards intersecting the range are visited in key order, each under
+  // its shared lock. fn must not call back into this index. The scan is
+  // atomic per shard, not across shards (see the consistency note
+  // above).
+  template <typename Fn>
+  void ScanRange(KeyType lo, KeyType hi, Fn fn,
+                 bool hi_inclusive = false) const {
+    if (!hi_inclusive && lo >= hi) return;
+    const size_t first = ShardOf(lo);
+    const size_t last = ShardOf(hi);
+    for (size_t s = first; s <= last; ++s) {
+      std::shared_lock lock(shards_[s]->mutex);
+      shards_[s]->index.ScanRange(
+          lo, hi, [&fn](KeyType k, const ValueType& v) { fn(k, v); },
+          hi_inclusive);
+    }
+  }
+
+  // Read-only access to one shard's index under its shared lock.
+  template <typename Fn>
+  auto WithShardRead(size_t shard, Fn fn) const {
+    std::shared_lock lock(shards_[shard]->mutex);
+    return fn(static_cast<const Index&>(shards_[shard]->index));
+  }
+
+  // Mutating access to one shard's index under its exclusive lock.
+  template <typename Fn>
+  auto WithShardWrite(size_t shard, Fn fn) {
+    std::unique_lock lock(shards_[shard]->mutex);
+    return fn(shards_[shard]->index);
+  }
+
+  // fn(shard_id, const Index&) for every shard, one shared lock at a
+  // time in ascending order (per-shard snapshot semantics).
+  template <typename Fn>
+  void ForEachShardRead(Fn fn) const {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::shared_lock lock(shards_[s]->mutex);
+      fn(s, static_cast<const Index&>(shards_[s]->index));
+    }
+  }
+
+  // Every shard's structural invariants plus the partition invariant:
+  // all keys of shard i lie in [splitter[i-1], splitter[i]).
+  bool Validate() const {
+    bool ok = true;
+    ForEachShardRead([&](size_t s, const Index& index) {
+      if (!index.Validate()) ok = false;
+      const KeyType lo = s == 0 ? std::numeric_limits<KeyType>::min()
+                                : splitters_[s - 1];
+      const KeyType hi = s + 1 == shards_.size()
+                             ? std::numeric_limits<KeyType>::max()
+                             : splitters_[s];
+      index.ScanRange(
+          std::numeric_limits<KeyType>::min(),
+          std::numeric_limits<KeyType>::max(),
+          [&](KeyType k, const ValueType&) {
+            if (k < lo || (s + 1 < shards_.size() && k >= hi)) ok = false;
+          },
+          /*hi_inclusive=*/true);
+    });
+    return ok;
+  }
+
+ private:
+  static constexpr size_t kDefaultShards = 8;
+  static constexpr size_t kMaxShards = 1u << 16;
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    Index index;
+  };
+
+  static size_t RoundUpShards(size_t n) {
+    if (n < 1) n = 1;
+    if (n > kMaxShards) n = kMaxShards;
+    return std::bit_ceil(n);
+  }
+
+  // Splitters dividing the full integral domain into num_shards equal
+  // ranges. Signed keys are handled by stepping through the unsigned
+  // image of the domain (same trick as the SIMD layer's sign-bit flip).
+  static std::vector<KeyType> UniformSplitters(size_t num_shards) {
+    static_assert(std::is_integral_v<KeyType>,
+                  "default splitters need an integral key; pass explicit "
+                  "splitters (e.g. SplittersFromSample) otherwise");
+    using U = std::make_unsigned_t<KeyType>;
+    assert(std::countr_zero(num_shards) < std::numeric_limits<U>::digits &&
+           "more shards than distinct keys in the domain");
+    std::vector<KeyType> splitters;
+    splitters.reserve(num_shards - 1);
+    const int shift =
+        std::numeric_limits<U>::digits - std::countr_zero(num_shards);
+    const U base = static_cast<U>(std::numeric_limits<KeyType>::min());
+    for (size_t s = 1; s < num_shards; ++s) {
+      splitters.push_back(
+          static_cast<KeyType>(base + (static_cast<U>(s) << shift)));
+    }
+    return splitters;
+  }
+
+  std::vector<KeyType> splitters_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace simdtree
+
+#endif  // SIMDTREE_CORE_SHARDED_H_

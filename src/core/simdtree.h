@@ -11,6 +11,7 @@
 //   segtrie::AdaptedSegTrie — trie over signed/float keys via codecs
 //   kary::KaryArray         — standalone linearized SIMD dictionary
 //   SynchronizedIndex       — coarse reader/writer thread-safe wrapper
+//   ShardedIndex            — range-partitioned shards, per-shard locks
 //   io::Serialize/Load*     — portable binary persistence
 //
 // Quickstart:
@@ -30,6 +31,7 @@
 #include "btree/btree.h"                 // IWYU pragma: export
 #include "core/batch.h"                  // IWYU pragma: export
 #include "core/serialize.h"              // IWYU pragma: export
+#include "core/sharded.h"                // IWYU pragma: export
 #include "core/synchronized.h"           // IWYU pragma: export
 #include "core/version.h"                // IWYU pragma: export
 #include "kary/batch_search.h"           // IWYU pragma: export

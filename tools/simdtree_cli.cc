@@ -8,11 +8,15 @@
 //       number) and writes it as a serialized blob.
 //   simdtree_cli query <index.stix> <key> [key...]
 //       Point lookups against a persisted index (loaded as a Seg-Tree).
-//   simdtree_cli lookup-batch <index.stix> <keys.txt> [--group=N]
+//   simdtree_cli lookup-batch <index.stix> <keys.txt> [--group=N] [--shards=N]
 //       Batched point lookups with the group software-pipelined descent:
 //       all keys from the file (one per line) are resolved with one
 //       FindBatch call and printed as "key -> value" lines plus a
 //       hit/miss summary. --group sets the pipeline width (default 12).
+//       --shards=N rebuilds the loaded index as a range-partitioned
+//       ShardedIndex (splitters at the loaded keys' quantiles) and runs
+//       the shard-aware FindBatch — one lock acquisition per shard —
+//       e.g.: simdtree_cli lookup-batch idx.stix probes.txt --shards=8
 //   simdtree_cli scan <index.stix> <lo> <hi>
 //       Range scan [lo, hi).
 //   simdtree_cli stats <index.stix>
@@ -47,7 +51,9 @@ int Usage() {
                "[--structure=segtree|btree|segtrie|opttrie]\n"
                "       simdtree_cli query <index.stix> <key> [key...]\n"
                "       simdtree_cli lookup-batch <index.stix> <keys.txt> "
-               "[--group=N]\n"
+               "[--group=N] [--shards=N]\n"
+               "         (--shards=N: shard-aware batched lookup through a\n"
+               "          range-partitioned ShardedIndex, e.g. --shards=8)\n"
                "       simdtree_cli scan <index.stix> <lo> <hi>\n"
                "       simdtree_cli stats <index.stix>\n"
                "       simdtree_cli selftest\n");
@@ -173,18 +179,60 @@ int CmdQuery(int argc, char** argv) {
 int CmdLookupBatch(int argc, char** argv) {
   if (argc < 4) return Usage();
   int group = simdtree::kDefaultBatchGroup;
+  int shards = 0;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--group=", 8) == 0) {
       group = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
     }
   }
   auto tree = LoadIndex(argv[2]);
   if (!tree.has_value()) return 1;
   std::vector<uint64_t> keys, unused;
   if (!ReadPairsFile(argv[3], &keys, &unused)) return 1;
+  size_t hits = 0;
+  if (shards > 0) {
+    // Redistribute the loaded pairs into a range-partitioned
+    // ShardedIndex (splitters at the stored keys' quantiles) and
+    // resolve the batch with the shard-aware FindBatch.
+    std::vector<uint64_t> stored_keys;
+    stored_keys.reserve(tree->size());
+    tree->ScanRange(0, ~0ULL,
+                    [&stored_keys](uint64_t k, const uint64_t&) {
+                      stored_keys.push_back(k);
+                    },
+                    /*hi_inclusive=*/true);
+    simdtree::ShardedIndex<Tree> sharded(
+        static_cast<size_t>(shards),
+        simdtree::ShardedIndex<Tree>::SplittersFromSample(
+            stored_keys.data(), stored_keys.size(),
+            static_cast<size_t>(shards)));
+    tree->ScanRange(0, ~0ULL,
+                    [&sharded](uint64_t k, const uint64_t& v) {
+                      sharded.Insert(k, v);
+                    },
+                    /*hi_inclusive=*/true);
+    std::vector<std::optional<uint64_t>> results(keys.size());
+    sharded.FindBatch(keys.data(), keys.size(), results.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (results[i].has_value()) {
+        ++hits;
+        std::printf("%llu -> %llu\n",
+                    static_cast<unsigned long long>(keys[i]),
+                    static_cast<unsigned long long>(*results[i]));
+      } else {
+        std::printf("%llu -> (absent)\n",
+                    static_cast<unsigned long long>(keys[i]));
+      }
+    }
+    std::printf("(%zu keys, %zu hits, %zu misses, group %d, %zu shards)\n",
+                keys.size(), hits, keys.size() - hits, group,
+                sharded.num_shards());
+    return 0;
+  }
   std::vector<const uint64_t*> results(keys.size());
   tree->FindBatch(keys.data(), keys.size(), results.data(), group);
-  size_t hits = 0;
   for (size_t i = 0; i < keys.size(); ++i) {
     if (results[i] != nullptr) {
       ++hits;
