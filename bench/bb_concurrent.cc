@@ -45,11 +45,15 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/hw_section.h"
 #include "btree/btree.h"
 #include "core/sharded.h"
 #include "core/synchronized.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "segtree/segtree.h"
 #include "segtrie/segtrie.h"
+#include "util/cycle_timer.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 
@@ -305,6 +309,105 @@ void RunBackend(const char* backend, const std::vector<Key>& keys,
   }
 }
 
+// Observability phase: per-read latency distribution under write
+// contention, recorded concurrently into one lock-free LogHistogram
+// (obs/histogram.h), plus a hardware-counter section for the uncontended
+// read path and a dump of the wrapper's own metrics registry entries.
+// The tail percentiles (p99/p99.9) are where the single-lock wrapper's
+// reader/writer convoys live — means hide them entirely.
+void LatencyPhase(const std::vector<Key>& keys, bool quick) {
+  using Index = segtree::SegTree<Key, Value>;
+  constexpr size_t kShards = 8;
+  ShardedIndex<Index> index(
+      kShards,
+      ShardedIndex<Index>::SplittersFromSample(keys.data(), keys.size(),
+                                               kShards));
+  index.EnableMetrics("bb_concurrent.shard8");
+  Preload(index, keys);
+
+  // Hardware profile of the uncontended sharded read path (counters are
+  // per calling thread, so this phase stays single-threaded).
+  {
+    Rng rng(7);
+    std::vector<Key> probes(10000);
+    for (auto& p : probes) p = keys[rng.NextBounded(keys.size())];
+    uint64_t sink = 0;
+    bench::HwSection("bb_concurrent", "hw/segtree_shard8/find",
+                     static_cast<double>(probes.size()), [&] {
+                       for (Key p : probes) {
+                         const auto v = index.Find(p);
+                         sink += v.has_value() ? *v : 0;
+                       }
+                     });
+    if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
+  }
+
+  // Concurrent latency recording: readers time every Find with RDTSC and
+  // record nanoseconds into the shared histogram while a writer churns.
+  obs::LogHistogram hist;
+  const double window = quick ? 0.15 : 0.5;
+  std::atomic<bool> stop{false};
+  const int reader_count = 3;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < reader_count; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(4000 + static_cast<uint64_t>(t));
+      uint64_t sink = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key k = keys[rng.NextBounded(keys.size())];
+        const uint64_t start = CycleTimer::Now();
+        const auto v = index.Find(k);
+        hist.Record(static_cast<uint64_t>(
+            CycleTimer::ToNanoseconds(CycleTimer::Now() - start)));
+        sink += v.has_value() ? *v : 0;
+      }
+      if (sink == ~0ULL) std::fprintf(stderr, "\n");
+    });
+  }
+  pool.emplace_back([&] {
+    Rng rng(5000);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Key k = keys[rng.NextBounded(keys.size())];
+      if (rng.NextBounded(2) == 0) {
+        index.Insert(k, k ^ 0xBADC0DEULL);
+      } else {
+        index.Erase(k);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::duration<double>(window));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+
+  std::printf(
+      "read latency under contention (segtree, 8 shards, %d readers + 1 "
+      "writer, %zu samples):\n"
+      "  p50 %llu ns  p95 %llu ns  p99 %llu ns  p99.9 %llu ns  "
+      "mean %.0f ns  max %llu ns\n\n",
+      reader_count, static_cast<size_t>(hist.Count()),
+      static_cast<unsigned long long>(hist.Percentile(0.50)),
+      static_cast<unsigned long long>(hist.Percentile(0.95)),
+      static_cast<unsigned long long>(hist.Percentile(0.99)),
+      static_cast<unsigned long long>(hist.Percentile(0.999)), hist.Mean(),
+      static_cast<unsigned long long>(hist.Max()));
+  const std::string cfg = "segtree/shard8/latency";
+  bench::EmitJson("bb_concurrent", cfg, "read_latency_ns_p50",
+                  hist.Percentile(0.50));
+  bench::EmitJson("bb_concurrent", cfg, "read_latency_ns_p95",
+                  hist.Percentile(0.95));
+  bench::EmitJson("bb_concurrent", cfg, "read_latency_ns_p99",
+                  hist.Percentile(0.99));
+  bench::EmitJson("bb_concurrent", cfg, "read_latency_ns_p999",
+                  hist.Percentile(0.999));
+  bench::EmitJson("bb_concurrent", cfg, "read_latency_samples",
+                  static_cast<double>(hist.Count()));
+  if (bench::JsonEnabled()) {
+    std::printf("{\"bench\":\"bb_concurrent\",\"config\":\"registry\","
+                "\"metrics\":%s}\n",
+                obs::MetricsRegistry::Global().ToJson().c_str());
+  }
+}
+
 void Run(bool quick) {
   bench::PrintBenchHeader(
       "Concurrent mixed read/write throughput: ShardedIndex vs "
@@ -314,6 +417,7 @@ void Run(bool quick) {
               std::thread::hardware_concurrency(), kWindowSecs);
 
   const std::vector<Key> keys = MakePreloadKeys();
+  LatencyPhase(keys, quick);
   TablePrinter table({"structure", "wrapper", "reads", "threads", "Mops/s",
                       "Kwrites/s", "vs sync", "w vs sync"});
   RunBackend<segtree::SegTree<Key, Value>>("segtree", keys, quick, &table);

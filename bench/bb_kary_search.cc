@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/gbench_json.h"
+#include "bench/hw_section.h"
 #include "kary/kary_array.h"
 #include "kary/scalar_search.h"
 #include "util/rng.h"
@@ -83,9 +84,43 @@ BENCHMARK(BM_BinarySearch<int32_t>)->SIZE_ARGS;
 BENCHMARK(BM_BinarySearch<int64_t>)->SIZE_ARGS;
 BENCHMARK(BM_SequentialSearch<int32_t>)->RangeMultiplier(4)->Range(16, 1024);
 
+// Hardware view of the headline comparison (paper Figures 9 and 11):
+// k-ary SIMD search should retire fewer instructions and far fewer
+// branch mispredictions per search than scalar binary search on the
+// same array. Runs before the timed benchmarks; emits "hw":null lines
+// when perf_event_open is unavailable.
+void HwPhase() {
+  constexpr int kPasses = 16;
+  constexpr int64_t kN = 1 << 16;
+  const FlatData<int32_t> data(kN);
+  const double ops =
+      static_cast<double>(data.probes.size()) * static_cast<double>(kPasses);
+
+  kary::KaryArray<int32_t> arr(data.sorted, kary::Layout::kBreadthFirst);
+  uint64_t sink = 0;
+  bench::HwSection("bb_kary_search", "hw/kary_bf/int32/64K", ops, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (int32_t p : data.probes) {
+        sink += static_cast<uint64_t>(arr.UpperBound(p));
+      }
+    }
+  });
+  bench::HwSection("bb_kary_search", "hw/binary/int32/64K", ops, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (int32_t p : data.probes) {
+        sink += static_cast<uint64_t>(kary::BinaryUpperBound(
+            data.sorted.data(), static_cast<int64_t>(data.sorted.size()), p));
+      }
+    }
+  });
+  if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
+}
+
 }  // namespace
 }  // namespace simdtree
 
 int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
+  simdtree::HwPhase();
   return simdtree::bench::GBenchMain(argc, argv, "bb_kary_search");
 }

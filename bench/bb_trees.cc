@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/gbench_json.h"
+#include "bench/hw_section.h"
 #include "btree/btree.h"
 #include "segtree/segtree.h"
 #include "segtrie/compressed_segtrie.h"
@@ -123,9 +124,47 @@ BENCHMARK(BM_TreeInsertAscending<SegBF>)
 BENCHMARK(BM_TreeRangeScan1000<BTree>)->Name("RangeScan1000/BPlusTree");
 BENCHMARK(BM_TreeRangeScan1000<SegBF>)->Name("RangeScan1000/SegTree_bf");
 
+// Hardware view of the end-to-end lookup phase: instructions, LLC
+// misses, and branch mispredictions per Find for the binary-search
+// B+-Tree against the SIMD Seg-Tree on the shared 1M-key data set —
+// the per-structure half of the paper's Figures 9-11 story.
+void HwPhase() {
+  constexpr int kPasses = 8;
+  const Data& d = SharedData();
+  const double ops =
+      static_cast<double>(d.probes.size()) * static_cast<double>(kPasses);
+
+  uint64_t sink = 0;
+  {
+    BTree tree =
+        BTree::BulkLoad(d.keys.data(), d.values.data(), d.keys.size());
+    bench::HwSection("bb_trees", "hw/Find/BPlusTree_binary", ops, [&] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (uint64_t p : d.probes) {
+          sink += static_cast<uint64_t>(tree.Contains(p));
+        }
+      }
+    });
+  }
+  {
+    SegBF tree =
+        SegBF::BulkLoad(d.keys.data(), d.values.data(), d.keys.size());
+    bench::HwSection("bb_trees", "hw/Find/SegTree_bf", ops, [&] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (uint64_t p : d.probes) {
+          sink += static_cast<uint64_t>(tree.Contains(p));
+        }
+      }
+    });
+  }
+  if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
+}
+
 }  // namespace
 }  // namespace simdtree
 
 int main(int argc, char** argv) {
+  simdtree::bench::ParseBenchArgs(argc, argv);
+  simdtree::HwPhase();
   return simdtree::bench::GBenchMain(argc, argv, "bb_trees");
 }

@@ -1,0 +1,78 @@
+// Hardware-counter sections for the bench binaries.
+//
+// Wraps obs::PerfCounterGroup (perf_event_open) in the bench JSON-line
+// protocol: a measured phase emits one line per hardware metric when the
+// counters are available, and a single `"hw":null` line when they are
+// not (perf_event_open denied — unprivileged containers, CI runners, or
+// SIMDTREE_DISABLE_PERF=1). Collectors can therefore always distinguish
+// "counters absent" from "bench did not run".
+//
+//   {"bench":"bb_hw_profile","config":"btree/5MB","metric":"instructions_per_op","value":312.5}
+//   ...
+//   {"bench":"bb_hw_profile","config":"btree/5MB","hw":null}
+
+#ifndef SIMDTREE_BENCH_HW_SECTION_H_
+#define SIMDTREE_BENCH_HW_SECTION_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "obs/perf_counters.h"
+
+namespace simdtree::bench {
+
+// Emits the unavailability marker line (no-op unless --json).
+inline void EmitHwNull(const std::string& bench, const std::string& config) {
+  if (!JsonEnabled()) return;
+  std::printf("{\"bench\":\"%s\",\"config\":\"%s\",\"hw\":null}\n",
+              JsonEscape(bench).c_str(), JsonEscape(config).c_str());
+}
+
+// Emits the per-operation hardware metrics of a measured phase as JSON
+// lines, or the `"hw":null` marker when `counts` is invalid. Also prints
+// a compact human-readable line to the table output.
+inline void ReportHwSection(const std::string& bench,
+                            const std::string& config,
+                            const obs::HwCounts& counts, double ops) {
+  if (!counts.valid || ops <= 0) {
+    std::printf("  hw[%s]: n/a (perf_event_open unavailable)\n",
+                config.c_str());
+    EmitHwNull(bench, config);
+    return;
+  }
+  std::printf(
+      "  hw[%s]: %.1f instr/op  %.1f cycles/op  IPC %.2f  "
+      "%.3f LLC-miss/op  %.3f br-miss/op  (scale %.2f)\n",
+      config.c_str(), counts.instructions / ops, counts.cycles / ops,
+      counts.ipc(), counts.llc_misses / ops, counts.branch_misses / ops,
+      counts.scale);
+  EmitJson(bench, config, "hw_instructions_per_op", counts.instructions / ops);
+  EmitJson(bench, config, "hw_cycles_per_op", counts.cycles / ops);
+  EmitJson(bench, config, "hw_ipc", counts.ipc());
+  EmitJson(bench, config, "hw_llc_misses_per_op", counts.llc_misses / ops);
+  EmitJson(bench, config, "hw_branch_misses_per_op",
+           counts.branch_misses / ops);
+  EmitJson(bench, config, "hw_multiplex_scale", counts.scale);
+}
+
+// Measures `fn()` (which should perform `ops` operations) under the
+// hardware counter group and reports the per-op metrics. When the
+// counters are unavailable, `fn` still runs once so the section's side
+// effects (checksums) stay identical, and the null marker is emitted.
+template <typename Fn>
+void HwSection(const std::string& bench, const std::string& config,
+               double ops, Fn&& fn) {
+  if (!obs::PerfCounterGroup::Available()) {
+    fn();
+    ReportHwSection(bench, config, obs::HwCounts{}, ops);
+    return;
+  }
+  obs::PerfCounterGroup group;
+  const obs::HwCounts counts = group.Measure(fn);
+  ReportHwSection(bench, config, counts, ops);
+}
+
+}  // namespace simdtree::bench
+
+#endif  // SIMDTREE_BENCH_HW_SECTION_H_

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate the bench harness's JSON-line output.
+
+The benches interleave human-readable tables with machine-readable JSON
+lines (every line starting with '{' must parse as a standalone JSON
+document — see bench/bench_util.h). This checker is the CI gate for
+that contract: pipe a bench's stdout through it and it fails on the
+first malformed line.
+
+Usage:
+  ./build/bench/bb_hw_profile --smoke --json | scripts/check_bench_json.py
+  ... | scripts/check_bench_json.py --require-hw-null
+
+--require-hw-null additionally asserts that at least one line carries
+"hw": null — the marker a bench emits when hardware counters are
+unavailable (perf_event_open denied, or SIMDTREE_DISABLE_PERF=1). CI
+runs the benches with the override set, so the marker must be present;
+its absence means the fallback path silently stopped reporting.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--require-hw-null",
+        action="store_true",
+        help='fail unless at least one JSON line has "hw": null',
+    )
+    parser.add_argument(
+        "--min-lines",
+        type=int,
+        default=1,
+        help="minimum number of JSON lines expected (default 1)",
+    )
+    args = parser.parse_args()
+
+    json_lines = 0
+    hw_null_lines = 0
+    for lineno, line in enumerate(sys.stdin, start=1):
+        stripped = line.strip()
+        if not stripped.startswith("{"):
+            continue
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError as err:
+            print(f"line {lineno}: invalid JSON ({err}): {stripped[:200]}",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(doc, dict):
+            print(f"line {lineno}: JSON line is not an object: "
+                  f"{stripped[:200]}", file=sys.stderr)
+            return 1
+        json_lines += 1
+        if "hw" in doc and doc["hw"] is None:
+            hw_null_lines += 1
+
+    if json_lines < args.min_lines:
+        print(f"expected at least {args.min_lines} JSON line(s), "
+              f"got {json_lines}", file=sys.stderr)
+        return 1
+    if args.require_hw_null and hw_null_lines == 0:
+        print('no line with "hw": null — the perf-counter fallback marker '
+              "is missing", file=sys.stderr)
+        return 1
+
+    print(f"ok: {json_lines} JSON lines"
+          + (f", {hw_null_lines} hw-null markers" if hw_null_lines else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@
 #include <cstdint>
 
 #include "core/batch.h"
+#include "util/counters.h"
 
 namespace simdtree::btree {
 
@@ -48,9 +49,13 @@ class BatchDescent {
 
   // out[i] = pointer to the stored value of some occurrence of keys[i],
   // or nullptr when absent — the batched form of Tree::Find. Pointers are
-  // valid until the next mutation of the tree.
+  // valid until the next mutation of the tree. A non-null `counters`
+  // accumulates nodes_visited exactly as the per-key FindCounted would:
+  // one per level of each descent, plus one when a query steps into the
+  // previous leaf.
   static void FindBatch(const Tree& tree, const Key* keys, size_t n,
-                        const Value** out, int group) {
+                        const Value** out, int group,
+                        SearchCounters* counters = nullptr) {
     group = ClampBatchGroup(group);
     if (tree.root_ == nullptr) {
       for (size_t i = 0; i < n; ++i) out[i] = nullptr;
@@ -59,14 +64,17 @@ class BatchDescent {
     for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
       const int g = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(group), n - off));
-      FindGroup(tree, keys + off, g, out + off);
+      FindGroup(tree, keys + off, g, out + off, counters);
     }
   }
 
   // out[i] = iterator at the first pair with key >= keys[i] (invalid when
-  // none) — the batched form of Tree::LowerBoundIter.
+  // none) — the batched form of Tree::LowerBoundIter. Counter semantics
+  // mirror FindBatch: one node per level per query, plus one when a query
+  // steps into the next leaf. The logical cost is independent of `group`.
   static void LowerBoundBatch(const Tree& tree, const Key* keys, size_t n,
-                              Iterator* out, int group) {
+                              Iterator* out, int group,
+                              SearchCounters* counters = nullptr) {
     group = ClampBatchGroup(group);
     if (tree.root_ == nullptr) {
       for (size_t i = 0; i < n; ++i) out[i] = Iterator();
@@ -75,7 +83,7 @@ class BatchDescent {
     for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
       const int g = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(group), n - off));
-      LowerBoundGroup(tree, keys + off, g, out + off);
+      LowerBoundGroup(tree, keys + off, g, out + off, counters);
     }
   }
 
@@ -91,11 +99,12 @@ class BatchDescent {
   // lower-bound iterator), applied uniformly at the branching levels.
   template <bool kLower>
   static void DescendGroup(const Tree& tree, const Key* keys, int g,
-                           const NodeBase** cur) {
+                           const NodeBase** cur, SearchCounters* counters) {
     for (int i = 0; i < g; ++i) cur[i] = tree.root_;
     // One shared root read; all leaves sit at the same depth, so the
     // group reaches leaf level together.
     while (!cur[0]->is_leaf) {
+      if (counters != nullptr) counters->nodes_visited += g;
       for (int i = 0; i < g; ++i) {
         const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
         inner->keys.PrefetchKeys();
@@ -116,9 +125,10 @@ class BatchDescent {
   }
 
   static void FindGroup(const Tree& tree, const Key* keys, int g,
-                        const Value** out) {
+                        const Value** out, SearchCounters* counters) {
     const NodeBase* cur[kMaxBatchGroup];
-    DescendGroup<false>(tree, keys, g, cur);
+    DescendGroup<false>(tree, keys, g, cur, counters);
+    if (counters != nullptr) counters->nodes_visited += g;  // leaf level
     // Leaf resolution, identical to Tree::FindLeafPos: the upper-bound
     // descent lands in the leaf holding the key's global upper bound; the
     // occurrence, if any, sits just before it — possibly at the end of
@@ -132,6 +142,7 @@ class BatchDescent {
           out[i] = nullptr;
           continue;
         }
+        if (counters != nullptr) ++counters->nodes_visited;
         pos = leaf->keys.count();
       }
       out[i] = leaf->keys.At(pos - 1) == keys[i]
@@ -141,15 +152,19 @@ class BatchDescent {
   }
 
   static void LowerBoundGroup(const Tree& tree, const Key* keys, int g,
-                              Iterator* out) {
+                              Iterator* out, SearchCounters* counters) {
     const NodeBase* cur[kMaxBatchGroup];
-    DescendGroup<true>(tree, keys, g, cur);
+    DescendGroup<true>(tree, keys, g, cur, counters);
+    if (counters != nullptr) counters->nodes_visited += g;  // leaf level
     // Leaf resolution, identical to Tree::LowerBoundIter.
     for (int i = 0; i < g; ++i) {
       const LeafNode* leaf = static_cast<const LeafNode*>(cur[i]);
       int64_t pos = leaf->keys.LowerBound(keys[i]);
       if (pos >= leaf->keys.count()) {  // answer starts in the next leaf
         leaf = leaf->next;
+        if (leaf != nullptr && counters != nullptr) {
+          ++counters->nodes_visited;
+        }
         pos = 0;
       }
       out[i] = leaf != nullptr ? Iterator(leaf, pos) : Iterator();

@@ -172,10 +172,14 @@ class GenericBPlusTree {
   // software pipelining (batch_descent.h): `group` queries descend in
   // lockstep one level at a time with each query's next node prefetched,
   // overlapping the per-level cache misses that serialize in Find.
-  // Pointers stay valid until the next mutation.
+  // Pointers stay valid until the next mutation. A non-null `counters`
+  // accumulates nodes_visited identically to summing FindCounted over
+  // the batch.
   void FindBatch(const Key* keys, size_t n, const Value** out,
-                 int group = kDefaultBatchGroup) const {
-    BatchDescent<GenericBPlusTree>::FindBatch(*this, keys, n, out, group);
+                 int group = kDefaultBatchGroup,
+                 SearchCounters* counters = nullptr) const {
+    BatchDescent<GenericBPlusTree>::FindBatch(*this, keys, n, out, group,
+                                              counters);
   }
 
   // Batched lower bound: out[i] = iterator at the first pair with
@@ -183,9 +187,10 @@ class GenericBPlusTree {
   // LowerBoundIter(keys[i]) for every i, with the same pipelined descent
   // as FindBatch.
   void LowerBoundBatch(const Key* keys, size_t n, ConstIterator* out,
-                       int group = kDefaultBatchGroup) const {
+                       int group = kDefaultBatchGroup,
+                       SearchCounters* counters = nullptr) const {
     BatchDescent<GenericBPlusTree>::LowerBoundBatch(*this, keys, n, out,
-                                                    group);
+                                                    group, counters);
   }
 
   // Instrumented lookup: same result as Find, additionally counting the

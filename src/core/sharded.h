@@ -48,9 +48,12 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace simdtree {
 
@@ -105,6 +108,16 @@ class ShardedIndex {
   size_t num_shards() const { return shards_.size(); }
   const std::vector<KeyType>& splitters() const { return splitters_; }
 
+  // Starts recording per-operation metrics under "<prefix>.*" in the
+  // global registry (obs/metrics.h): read/write op counters, batch-size
+  // histogram, lock-hold-time histograms, and a per-shard imbalance
+  // gauge updated on every FindBatch (max shard share / perfectly even
+  // share; 1.0 = balanced). Call before sharing across threads —
+  // enabling is not synchronized against in-flight operations.
+  void EnableMetrics(const std::string& prefix) {
+    metrics_ = obs::IndexMetrics::Register(prefix);
+  }
+
   // Shard owning `key` (upper bound over the splitters: a key equal to
   // a splitter goes right).
   size_t ShardOf(KeyType key) const {
@@ -116,20 +129,27 @@ class ShardedIndex {
   // --- writers ----------------------------------------------------------
 
   auto Insert(KeyType key, ValueType value) {
+    if (metrics_) metrics_->writes->Add();
     Shard& shard = *shards_[ShardOf(key)];
     std::unique_lock lock(shard.mutex);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns : nullptr);
     return shard.index.Insert(key, std::move(value));
   }
 
   bool Erase(KeyType key) {
+    if (metrics_) metrics_->writes->Add();
     Shard& shard = *shards_[ShardOf(key)];
     std::unique_lock lock(shard.mutex);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns : nullptr);
     return shard.index.Erase(key);
   }
 
   void Clear() {
+    if (metrics_) metrics_->writes->Add();
     for (auto& shard : shards_) {
       std::unique_lock lock(shard->mutex);
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns
+                                          : nullptr);
       shard->index.Clear();
     }
   }
@@ -137,14 +157,18 @@ class ShardedIndex {
   // --- readers ----------------------------------------------------------
 
   std::optional<ValueType> Find(KeyType key) const {
+    if (metrics_) metrics_->reads->Add();
     const Shard& shard = *shards_[ShardOf(key)];
     std::shared_lock lock(shard.mutex);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return shard.index.Find(key);
   }
 
   bool Contains(KeyType key) const {
+    if (metrics_) metrics_->reads->Add();
     const Shard& shard = *shards_[ShardOf(key)];
     std::shared_lock lock(shard.mutex);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return shard.index.Contains(key);
   }
 
@@ -177,6 +201,20 @@ class ShardedIndex {
       ++start[s + 1];
     }
     for (size_t s = 0; s < num; ++s) start[s + 1] += start[s];
+    if (metrics_) {
+      metrics_->batches->Add();
+      metrics_->batch_keys->Add(n);
+      metrics_->batch_size->Record(n);
+      // Imbalance of this batch across shards: the largest shard's key
+      // count relative to a perfectly even split (1.0 = balanced,
+      // num_shards = everything on one shard).
+      size_t max_count = 0;
+      for (size_t s = 0; s < num; ++s) {
+        max_count = std::max(max_count, start[s + 1] - start[s]);
+      }
+      metrics_->shard_imbalance->Set(static_cast<double>(max_count * num) /
+                                     static_cast<double>(n));
+    }
     // Pass 2: scatter keys and original positions into shard order.
     std::vector<KeyType> skeys(n);
     std::vector<size_t> spos(n);
@@ -195,6 +233,8 @@ class ShardedIndex {
       const size_t lo = start[s], hi = start[s + 1];
       if (lo == hi) continue;
       std::shared_lock lock(shards_[s]->mutex);
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
       for (size_t off = lo; off < hi; off += kChunk) {
         const size_t m = hi - off < kChunk ? hi - off : kChunk;
         shards_[s]->index.FindBatch(skeys.data() + off, m, ptrs);
@@ -314,6 +354,7 @@ class ShardedIndex {
 
   std::vector<KeyType> splitters_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::optional<obs::IndexMetrics> metrics_;
 };
 
 }  // namespace simdtree

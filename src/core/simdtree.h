@@ -13,6 +13,9 @@
 //   SynchronizedIndex       — coarse reader/writer thread-safe wrapper
 //   ShardedIndex            — range-partitioned shards, per-shard locks
 //   io::Serialize/Load*     — portable binary persistence
+//   obs::PerfCounterGroup   — hardware counters via perf_event_open
+//   obs::LogHistogram       — lock-free log-bucketed latency histogram
+//   obs::MetricsRegistry    — named counters/gauges/histograms + JSON
 //
 // Quickstart:
 //
@@ -35,6 +38,9 @@
 #include "core/synchronized.h"           // IWYU pragma: export
 #include "core/version.h"                // IWYU pragma: export
 #include "kary/batch_search.h"           // IWYU pragma: export
+#include "obs/histogram.h"               // IWYU pragma: export
+#include "obs/metrics.h"                 // IWYU pragma: export
+#include "obs/perf_counters.h"           // IWYU pragma: export
 #include "kary/kary_array.h"             // IWYU pragma: export
 #include "kary/kary_search.h"            // IWYU pragma: export
 #include "kary/linearize.h"              // IWYU pragma: export

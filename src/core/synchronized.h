@@ -20,7 +20,10 @@
 #include <optional>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace simdtree {
 
@@ -36,32 +39,52 @@ class SynchronizedIndex {
   SynchronizedIndex(const SynchronizedIndex&) = delete;
   SynchronizedIndex& operator=(const SynchronizedIndex&) = delete;
 
+  // Starts recording per-operation metrics under "<prefix>.*" in the
+  // global registry (obs/metrics.h): read/write op counters, batch-size
+  // histogram, and lock-hold-time histograms. Recording costs a few
+  // relaxed atomic adds per op; disabled (the default) it costs one
+  // predictable branch. Call before sharing the index across threads —
+  // enabling is not synchronized against in-flight operations.
+  void EnableMetrics(const std::string& prefix) {
+    metrics_ = obs::IndexMetrics::Register(prefix);
+  }
+
   // --- writers ----------------------------------------------------------
 
   auto Insert(KeyType key, ValueType value) {
+    if (metrics_) metrics_->writes->Add();
     std::unique_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns : nullptr);
     return index_.Insert(key, std::move(value));
   }
 
   bool Erase(KeyType key) {
+    if (metrics_) metrics_->writes->Add();
     std::unique_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns : nullptr);
     return index_.Erase(key);
   }
 
   void Clear() {
+    if (metrics_) metrics_->writes->Add();
     std::unique_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->write_lock_ns : nullptr);
     index_.Clear();
   }
 
   // --- readers ----------------------------------------------------------
 
   std::optional<ValueType> Find(KeyType key) const {
+    if (metrics_) metrics_->reads->Add();
     std::shared_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return index_.Find(key);
   }
 
   bool Contains(KeyType key) const {
+    if (metrics_) metrics_->reads->Add();
     std::shared_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return index_.Contains(key);
   }
 
@@ -72,9 +95,15 @@ class SynchronizedIndex {
   // the results stay valid after concurrent writers proceed.
   void FindBatch(const KeyType* keys, size_t n,
                  std::optional<ValueType>* out) const {
+    if (metrics_) {
+      metrics_->batches->Add();
+      metrics_->batch_keys->Add(n);
+      metrics_->batch_size->Record(n);
+    }
     constexpr size_t kChunk = 256;
     const ValueType* ptrs[kChunk];
     std::shared_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     for (size_t off = 0; off < n; off += kChunk) {
       const size_t m = n - off < kChunk ? n - off : kChunk;
       index_.FindBatch(keys + off, m, ptrs);
@@ -119,6 +148,7 @@ class SynchronizedIndex {
  private:
   mutable std::shared_mutex mutex_;
   Index index_;
+  std::optional<obs::IndexMetrics> metrics_;
 };
 
 }  // namespace simdtree

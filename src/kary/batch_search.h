@@ -70,7 +70,8 @@ inline void CompareNodeBatch(
 template <typename T, typename Eval = simd::PopcountEval,
           simd::Backend B = simd::kDefaultBackend, int kBits = 128>
 void UpperBoundBfGroup(const T* lin, int64_t stored_slots, int64_t n,
-                       const T* vals, int g, int64_t* out) {
+                       const T* vals, int g, int64_t* out,
+                       SearchCounters* counters = nullptr) {
   using Ops = simd::Ops<T, B, kBits>;
   constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;  // k - 1
   constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;  // k
@@ -106,6 +107,13 @@ void UpperBoundBfGroup(const T* lin, int64_t stored_slots, int64_t n,
         ptr[i] = lin + key_off;
       }
     }
+    if (counters != nullptr) {
+      // Logical cost mirrors UpperBoundBfCounted: pruned probes issue a
+      // physical stand-in compare but do no logical work.
+      for (int i = 0; i < g; ++i) {
+        if (!pruned[i]) ++counters->simd_comparisons;
+      }
+    }
     CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
     const int64_t next_base = level_base + level_nodes * kLanes;
     for (int i = 0; i < g; ++i) {
@@ -126,7 +134,8 @@ void UpperBoundBfGroup(const T* lin, int64_t stored_slots, int64_t n,
 template <typename T, typename Eval = simd::PopcountEval,
           simd::Backend B = simd::kDefaultBackend, int kBits = 128>
 void UpperBoundDfGroup(const T* lin, int64_t perfect_slots, int64_t n,
-                       const T* vals, int g, int64_t* out) {
+                       const T* vals, int g, int64_t* out,
+                       SearchCounters* counters = nullptr) {
   using Ops = simd::Ops<T, B, kBits>;
   constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
   constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
@@ -149,6 +158,7 @@ void UpperBoundDfGroup(const T* lin, int64_t perfect_slots, int64_t n,
   int64_t sub_size = perfect_slots;  // keys in the current subtree
   while (sub_size > 0) {
     for (int i = 0; i < g; ++i) ptr[i] = lin + key_off[i];
+    if (counters != nullptr) counters->simd_comparisons += g;
     CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
     sub_size = (sub_size - (kArity - 1)) / kArity;  // child subtree keys
     for (int i = 0; i < g; ++i) {
@@ -166,54 +176,61 @@ template <typename T, typename Eval = simd::PopcountEval,
           simd::Backend B = simd::kDefaultBackend, int kBits = 128>
 void UpperBoundBatch(const T* lin, int64_t stored_slots, int64_t n,
                      Layout layout, const T* vals, size_t count, int64_t* out,
-                     int group = kDefaultBatchGroup) {
+                     int group = kDefaultBatchGroup,
+                     SearchCounters* counters = nullptr) {
   group = ClampBatchGroup(group);
   for (size_t off = 0; off < count; off += static_cast<size_t>(group)) {
     const int g = static_cast<int>(
         std::min<size_t>(static_cast<size_t>(group), count - off));
     if (layout == Layout::kBreadthFirst) {
       UpperBoundBfGroup<T, Eval, B, kBits>(lin, stored_slots, n, vals + off,
-                                           g, out + off);
+                                           g, out + off, counters);
     } else {
       UpperBoundDfGroup<T, Eval, B, kBits>(lin, stored_slots, n, vals + off,
-                                           g, out + off);
+                                           g, out + off, counters);
     }
   }
 }
 
 // Batched lower bound via the integer identity lower_bound(v) ==
 // upper_bound(v - 1), with the type-minimum case pinned to 0 (matching
-// LowerBoundFromUpperBound).
+// LowerBoundFromUpperBound). Type-minimum probes are compacted out of
+// the pipelined group: they resolve to 0 without descending, so — like
+// the single-query identity — they contribute no comparisons.
 template <typename T, typename Eval = simd::PopcountEval,
           simd::Backend B = simd::kDefaultBackend, int kBits = 128>
 void LowerBoundBatch(const T* lin, int64_t stored_slots, int64_t n,
                      Layout layout, const T* vals, size_t count, int64_t* out,
-                     int group = kDefaultBatchGroup) {
+                     int group = kDefaultBatchGroup,
+                     SearchCounters* counters = nullptr) {
   group = ClampBatchGroup(group);
   T shifted[kMaxBatchGroup];
+  int64_t sub_out[kMaxBatchGroup];
+  int src[kMaxBatchGroup];
   for (size_t off = 0; off < count; off += static_cast<size_t>(group)) {
     const int g = static_cast<int>(
         std::min<size_t>(static_cast<size_t>(group), count - off));
+    int gc = 0;
     for (int i = 0; i < g; ++i) {
       const T v = vals[off + static_cast<size_t>(i)];
-      // The minimum has no predecessor; probe it unshifted and overwrite
-      // the result with 0 below.
-      shifted[i] = v == std::numeric_limits<T>::min()
-                       ? v
-                       : static_cast<T>(v - 1);
-    }
-    if (layout == Layout::kBreadthFirst) {
-      UpperBoundBfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, g,
-                                           out + off);
-    } else {
-      UpperBoundDfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, g,
-                                           out + off);
-    }
-    for (int i = 0; i < g; ++i) {
-      if (vals[off + static_cast<size_t>(i)] ==
-          std::numeric_limits<T>::min()) {
+      if (v == std::numeric_limits<T>::min()) {
         out[off + static_cast<size_t>(i)] = 0;
+        continue;
       }
+      shifted[gc] = static_cast<T>(v - 1);
+      src[gc] = i;
+      ++gc;
+    }
+    if (gc == 0) continue;
+    if (layout == Layout::kBreadthFirst) {
+      UpperBoundBfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, gc,
+                                           sub_out, counters);
+    } else {
+      UpperBoundDfGroup<T, Eval, B, kBits>(lin, stored_slots, n, shifted, gc,
+                                           sub_out, counters);
+    }
+    for (int i = 0; i < gc; ++i) {
+      out[off + static_cast<size_t>(src[i])] = sub_out[i];
     }
   }
 }

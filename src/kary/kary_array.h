@@ -73,23 +73,28 @@ class KaryArray {
   // with group software pipelining (batch_search.h) — groups of `group`
   // probes descend in lockstep with each probe's next node prefetched one
   // level ahead, overlapping the per-level cache misses.
+  // With a non-null `counters`, accumulates the batch's logical search
+  // cost (one SIMD comparison per level per probe, pruned subtrees
+  // excluded) — identical to summing the single-query counted variants.
   template <typename Eval = simd::PopcountEval,
             simd::Backend B = simd::kDefaultBackend>
   void UpperBoundBatch(const T* vals, size_t count, int64_t* out,
-                       int group = kDefaultBatchGroup) const {
+                       int group = kDefaultBatchGroup,
+                       SearchCounters* counters = nullptr) const {
     kary::UpperBoundBatch<T, Eval, B, kBits>(lin_.data(), stored_slots(), n_,
                                              layout_kind_, vals, count, out,
-                                             group);
+                                             group, counters);
   }
 
   // Batched lower bound: out[i] = LowerBound(vals[i]) for all i.
   template <typename Eval = simd::PopcountEval,
             simd::Backend B = simd::kDefaultBackend>
   void LowerBoundBatch(const T* vals, size_t count, int64_t* out,
-                       int group = kDefaultBatchGroup) const {
+                       int group = kDefaultBatchGroup,
+                       SearchCounters* counters = nullptr) const {
     kary::LowerBoundBatch<T, Eval, B, kBits>(lin_.data(), stored_slots(), n_,
                                              layout_kind_, vals, count, out,
-                                             group);
+                                             group, counters);
   }
 
   // Key at logical sorted position p (O(1) via the permutation).

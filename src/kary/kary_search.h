@@ -170,6 +170,34 @@ int64_t UpperBoundBfCounted(const T* lin, int64_t stored_slots, int64_t n,
   return std::min(position, n);
 }
 
+// Instrumented variant of UpperBoundDf: identical result, counting one
+// SIMD comparison per level (the depth-first descent always walks the
+// full perfect height; there is no pruned-subtree early exit).
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+int64_t UpperBoundDfCounted(const T* lin, int64_t perfect_slots, int64_t n,
+                            T v, SearchCounters* counters) {
+  if (n == 0) return 0;
+  using Ops = simd::Ops<T, B, kBits>;
+  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
+  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
+
+  const auto probe = Ops::Set1(v);
+  int64_t position = 0;
+  int64_t sub_size = perfect_slots;
+  int64_t key_off = 0;
+  while (sub_size > 0) {
+    position *= kArity;
+    sub_size = (sub_size - (kArity - 1)) / kArity;
+    ++counters->simd_comparisons;
+    const int pos = CompareNode<T, Eval, B, kBits>(lin + key_off, probe);
+    key_off += kLanes;
+    key_off += sub_size * pos;
+    position += pos;
+  }
+  return std::min(position, n);
+}
+
 // Lower bound on top of the upper-bound primitive: the index of the first
 // key >= v. For integers, lower_bound(v) == upper_bound(v - 1) when v has
 // a predecessor, and 0 when v is the type minimum.

@@ -1,0 +1,156 @@
+// Fixed-size log-bucketed latency histogram (HDR-style).
+//
+// Collecting raw per-operation samples in a multi-threaded bench means a
+// vector push per op — allocation, cache traffic, and a merge step that
+// dwarfs the measured work. LogHistogram is the standard alternative: a
+// fixed array of atomic buckets whose widths grow geometrically, so
+// recording is one relaxed fetch_add and the whole histogram is a few KB
+// regardless of sample count.
+//
+// Bucketing (the HDR scheme): values below 2^(P+1) get one bucket each
+// (exact). Above that, each power-of-two range [2^m, 2^(m+1)) is split
+// into 2^P equal sub-buckets, so the bucket width at value v is at most
+// v * 2^-P — a guaranteed relative error bound of 2^-P per recorded
+// value (P = kPrecisionBits = 5 gives ~3.1%). Percentile() reports the
+// midpoint of the selected bucket, halving the worst-case error again.
+//
+// Concurrency: Record is wait-free (relaxed atomic increments; counts
+// are independent, no cross-bucket invariant). Readers (Percentile,
+// Count, Merge) take a racy snapshot — exact once recording threads are
+// quiescent, and off by at most the in-flight ops otherwise, which is
+// the usual contract for monitoring reads.
+
+#ifndef SIMDTREE_OBS_HISTOGRAM_H_
+#define SIMDTREE_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace simdtree::obs {
+
+class LogHistogram {
+ public:
+  // Sub-bucket precision: relative quantization error <= 2^-kPrecisionBits.
+  static constexpr int kPrecisionBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kPrecisionBits;
+  // Exact region [0, 2^(P+1)) + one 2^P-wide block per remaining
+  // power-of-two range of the 64-bit domain.
+  static constexpr size_t kBuckets =
+      static_cast<size_t>((64 - kPrecisionBits + 1) * kSubBuckets);
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  // Wait-free; safe from any number of threads concurrently.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  double Mean() const {
+    const uint64_t n = Count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+
+  // Smallest recorded bucket's representative value (0 when empty).
+  uint64_t Min() const {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+        return BucketMid(b);
+      }
+    }
+    return 0;
+  }
+
+  uint64_t Max() const {
+    for (size_t b = kBuckets; b-- > 0;) {
+      if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+        return BucketMid(b);
+      }
+    }
+    return 0;
+  }
+
+  // Value at quantile q in [0, 1]: the midpoint of the bucket holding
+  // the rank-floor(q * (count - 1)) sample. Returns 0 on an empty
+  // histogram. Accuracy: within one log bucket of the exact sample
+  // percentile, i.e. relative error <= 2^-kPrecisionBits.
+  uint64_t Percentile(double q) const {
+    const uint64_t total = Count();
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen > rank) return BucketMid(b);
+    }
+    return BucketMid(kBuckets - 1);
+  }
+
+  // Adds other's counts into this histogram (bucket layouts are
+  // identical by construction). Racy-snapshot semantics as for readers.
+  void Merge(const LogHistogram& other) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+      if (n > 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      buckets_[b].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  // --- bucket geometry (exposed for tests) -------------------------------
+
+  static size_t BucketIndex(uint64_t v) {
+    if (v < 2 * kSubBuckets) return static_cast<size_t>(v);  // exact region
+    const int msb = 63 - std::countl_zero(v);  // >= kPrecisionBits + 1
+    const int shift = msb - kPrecisionBits;    // >= 1
+    const uint64_t mantissa = (v >> shift) - kSubBuckets;  // [0, 2^P)
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(shift) + 1) * kSubBuckets + mantissa);
+  }
+
+  // Inclusive lower edge of bucket b.
+  static uint64_t BucketLow(size_t b) {
+    if (b < 2 * kSubBuckets) return b;
+    const uint64_t shift = b / kSubBuckets - 1;
+    const uint64_t mantissa = b % kSubBuckets;
+    return (kSubBuckets + mantissa) << shift;
+  }
+
+  // Midpoint representative of bucket b.
+  static uint64_t BucketMid(size_t b) {
+    if (b < 2 * kSubBuckets) return b;  // width-1 buckets are exact
+    const uint64_t shift = b / kSubBuckets - 1;
+    return BucketLow(b) + ((uint64_t{1} << shift) >> 1);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_HISTOGRAM_H_

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace simdtree::obs {
+
+namespace {
+
+// Minimal escaping for metric names (quotes and backslashes only; names
+// are ASCII identifiers by convention).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FmtU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LogHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FmtU64(counter->Get());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FmtDouble(gauge->Get());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + FmtU64(hist->Count());
+    out += ",\"mean\":" + FmtDouble(hist->Mean());
+    out += ",\"p50\":" + FmtU64(hist->Percentile(0.50));
+    out += ",\"p95\":" + FmtU64(hist->Percentile(0.95));
+    out += ",\"p99\":" + FmtU64(hist->Percentile(0.99));
+    out += ",\"p999\":" + FmtU64(hist->Percentile(0.999));
+    out += ",\"max\":" + FmtU64(hist->Max());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+IndexMetrics IndexMetrics::Register(const std::string& prefix) {
+  // Warm the TSC calibration here, on the cold path: ScopedDurationNs
+  // converts cycles to ns inside instrumented operations, and the first
+  // CyclesPerSecond() call spins ~20ms — uncached, that spin would land
+  // inside the caller's first timed operation as a 20ms latency outlier.
+  CycleTimer::CyclesPerSecond();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  IndexMetrics m;
+  m.reads = reg.GetCounter(prefix + ".reads");
+  m.writes = reg.GetCounter(prefix + ".writes");
+  m.batches = reg.GetCounter(prefix + ".batches");
+  m.batch_keys = reg.GetCounter(prefix + ".batch_keys");
+  m.batch_size = reg.GetHistogram(prefix + ".batch_size");
+  m.read_lock_ns = reg.GetHistogram(prefix + ".read_lock_ns");
+  m.write_lock_ns = reg.GetHistogram(prefix + ".write_lock_ns");
+  m.shard_imbalance = reg.GetGauge(prefix + ".shard_imbalance");
+  return m;
+}
+
+}  // namespace simdtree::obs

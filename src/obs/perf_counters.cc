@@ -1,0 +1,150 @@
+#include "obs/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace simdtree::obs {
+
+namespace {
+
+bool DisabledByEnv() {
+  const char* env = std::getenv("SIMDTREE_DISABLE_PERF");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#if defined(__linux__)
+
+// The fixed event set, leader first. Order must match the fds_ array and
+// the read layout below.
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+constexpr EventSpec kEventSpecs[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int OpenEvent(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid = 0, cpu = -1: this thread, on whatever CPU it runs.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+bool ProbeOnce() {
+  // Opening just the leader is enough to learn whether the syscall is
+  // permitted; a denied PMU fails here with EACCES/EPERM/ENOSYS.
+  const int fd = OpenEvent(kEventSpecs[0], -1);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+bool PerfCounterGroup::Available() {
+  if (DisabledByEnv()) return false;
+#if defined(__linux__)
+  static const bool probed = ProbeOnce();
+  return probed;
+#else
+  return false;
+#endif
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+#if defined(__linux__)
+  if (!Available()) return;
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = OpenEvent(kEventSpecs[i], i == 0 ? -1 : fds_[0]);
+    if (fds_[i] < 0) {
+      // Partial group (e.g. LLC event unsupported on this PMU): tear
+      // down and degrade rather than report a lopsided sample.
+      for (int j = 0; j < i; ++j) {
+        close(fds_[j]);
+        fds_[j] = -1;
+      }
+      return;
+    }
+  }
+  leader_fd_ = fds_[0];
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+#endif
+}
+
+void PerfCounterGroup::Start() {
+#if defined(__linux__)
+  if (!ok()) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+}
+
+HwCounts PerfCounterGroup::Stop() {
+  HwCounts out;
+#if defined(__linux__)
+  if (!ok()) return out;
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  struct {
+    uint64_t nr;
+    uint64_t time_enabled;
+    uint64_t time_running;
+    uint64_t values[kEvents];
+  } reading;
+  const ssize_t got = read(leader_fd_, &reading, sizeof(reading));
+  if (got != static_cast<ssize_t>(sizeof(reading)) ||
+      reading.nr != kEvents) {
+    return out;
+  }
+  // Multiplex extrapolation: the group ran time_running of the
+  // time_enabled window; counts scale by the inverse ratio.
+  double scale = 1.0;
+  if (reading.time_running > 0 &&
+      reading.time_running < reading.time_enabled) {
+    scale = static_cast<double>(reading.time_enabled) /
+            static_cast<double>(reading.time_running);
+  } else if (reading.time_running == 0) {
+    return out;  // never scheduled: no data to extrapolate from
+  }
+  out.valid = true;
+  out.scale = scale;
+  out.cycles = static_cast<double>(reading.values[0]) * scale;
+  out.instructions = static_cast<double>(reading.values[1]) * scale;
+  out.llc_misses = static_cast<double>(reading.values[2]) * scale;
+  out.branch_misses = static_cast<double>(reading.values[3]) * scale;
+#endif
+  return out;
+}
+
+}  // namespace simdtree::obs

@@ -1,0 +1,103 @@
+// Hardware performance counters via perf_event_open.
+//
+// The paper's evaluation argues in hardware terms — instructions
+// retired, last-level-cache misses, and branch mispredictions per search
+// (Figures 9-11) — not just wall-clock time. PerfCounterGroup samples
+// exactly those events around a measured region so the bench harness can
+// reproduce the paper's per-operation hardware profiles directly.
+//
+// Design:
+//   * One perf event *group* (cycles leader + instructions +
+//     LLC-load-misses + branch-misses) so all four events are scheduled
+//     onto the PMU together and read atomically with one read(2).
+//   * Multiplexing-aware: the kernel time-shares the PMU when more
+//     groups are open than there are hardware counters; the read format
+//     includes time_enabled/time_running and every count is scaled by
+//     their ratio (the standard perf extrapolation). HwCounts::scale
+//     reports the ratio so callers can see how much was extrapolated
+//     (1.0 = the group was on the PMU the whole time).
+//   * Graceful degradation: perf_event_open is often denied in
+//     containers and CI (perf_event_paranoid, seccomp). Available()
+//     probes once and callers get HwCounts{valid = false} instead of an
+//     error, so benches and the CLI run everywhere and report "hw":
+//     null where the hardware view is missing. The environment override
+//     SIMDTREE_DISABLE_PERF=1 forces the fallback path (tested in CI,
+//     where the syscall may or may not be available).
+//
+// Usage:
+//   obs::PerfCounterGroup group;            // opens the events (or not)
+//   group.Start();
+//   ... measured region ...
+//   const obs::HwCounts hw = group.Stop();
+//   if (hw.valid) report(hw.instructions / ops);
+//
+// Counts are per *calling thread* (pid = 0, cpu = -1): the group follows
+// the thread across CPUs and excludes other threads, which is the right
+// scope for per-operation profiles of a single-threaded measured loop.
+
+#ifndef SIMDTREE_OBS_PERF_COUNTERS_H_
+#define SIMDTREE_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace simdtree::obs {
+
+// One sample of the fixed event set over a measured region. Counts are
+// already multiplex-scaled; `scale` records the applied
+// time_enabled/time_running ratio (>= 1.0, exactly 1.0 when the group
+// was never multiplexed off the PMU).
+struct HwCounts {
+  bool valid = false;  // false: counters unavailable, all counts zero
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double llc_misses = 0.0;     // LLC-load-misses (demand loads)
+  double branch_misses = 0.0;  // mispredicted retired branches
+  double scale = 1.0;
+
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+};
+
+// RAII group of the four paper events around a measured region. Not
+// thread-safe; create one per measuring thread.
+class PerfCounterGroup {
+ public:
+  // Opens the event group for the calling thread. Failure is not an
+  // error: ok() turns false and Start/Stop degrade to no-ops that
+  // return HwCounts{valid = false}.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // Whether this process can open the event group at all. Probes the
+  // syscall once and caches the verdict; SIMDTREE_DISABLE_PERF=1 forces
+  // false (checked on every call, so tests can flip it).
+  static bool Available();
+
+  bool ok() const { return leader_fd_ >= 0; }
+
+  // Resets and enables the group. No-op when !ok().
+  void Start();
+
+  // Disables the group and reads the scaled counts. HwCounts::valid is
+  // false when the group is unavailable or the read failed.
+  HwCounts Stop();
+
+  // Convenience: Start(), run fn(), Stop().
+  template <typename Fn>
+  HwCounts Measure(Fn&& fn) {
+    Start();
+    fn();
+    return Stop();
+  }
+
+ private:
+  static constexpr int kEvents = 4;
+  int leader_fd_ = -1;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_PERF_COUNTERS_H_

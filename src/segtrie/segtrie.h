@@ -257,14 +257,18 @@ class SegTrie {
   // The in-node fast paths (empty/single/full node, FindPartial) are
   // reused unchanged. Queries that terminate early on a missing segment
   // simply drop out of the group. Pointers stay valid until the next
-  // mutation.
+  // mutation. A non-null `counters` accumulates the batch's logical cost
+  // (nodes visited, SIMD/scalar comparisons) identically to summing
+  // FindCounted over the batch — early-terminated queries stop counting
+  // where the single-query descent would.
   void FindBatch(const Key* keys, size_t n, const Value** out,
-                 int group = kDefaultBatchGroup) const {
+                 int group = kDefaultBatchGroup,
+                 SearchCounters* counters = nullptr) const {
     group = ClampBatchGroup(group);
     for (size_t off = 0; off < n; off += static_cast<size_t>(group)) {
       const int g = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(group), n - off));
-      FindGroup(keys + off, g, out + off);
+      FindGroup(keys + off, g, out + off, counters);
     }
   }
 
@@ -510,7 +514,8 @@ class SegTrie {
   // One lockstep group of the batched lookup. A compact node is a single
   // allocation, so two line prefetches (header + linearized root k-ary
   // node, then the entry area) cover the next level's touch pattern.
-  void FindGroup(const Key* keys, int g, const Value** out) const {
+  void FindGroup(const Key* keys, int g, const Value** out,
+                 SearchCounters* counters = nullptr) const {
     const void* node[kMaxBatchGroup];
     bool done[kMaxBatchGroup];
     for (int i = 0; i < g; ++i) {
@@ -523,7 +528,13 @@ class SegTrie {
       for (int i = 0; i < g; ++i) {
         if (done[i]) continue;
         const Inner* inner = static_cast<const Inner*>(node[i]);
-        const int64_t idx = inner->FindPartial(ctx_, Segment(keys[i], level));
+        int64_t idx;
+        if (counters != nullptr) {
+          ++counters->nodes_visited;
+          idx = FindPartialCounted(inner, Segment(keys[i], level), counters);
+        } else {
+          idx = inner->FindPartial(ctx_, Segment(keys[i], level));
+        }
         if (idx < 0) {  // missing segment terminates this query early
           out[i] = nullptr;
           done[i] = true;
@@ -538,7 +549,14 @@ class SegTrie {
     for (int i = 0; i < g; ++i) {
       if (done[i]) continue;
       const Leaf* leaf = static_cast<const Leaf*>(node[i]);
-      const int64_t idx = leaf->FindPartial(ctx_, Segment(keys[i], kLevels - 1));
+      int64_t idx;
+      if (counters != nullptr) {
+        ++counters->nodes_visited;
+        idx = FindPartialCounted(leaf, Segment(keys[i], kLevels - 1),
+                                 counters);
+      } else {
+        idx = leaf->FindPartial(ctx_, Segment(keys[i], kLevels - 1));
+      }
       out[i] = idx < 0 ? nullptr : &leaf->EntryAt(idx);
     }
   }

@@ -38,6 +38,8 @@ SampleSummary Summarize(std::vector<double> samples) {
   s.max = samples.back();
   s.p50 = PercentileSorted(samples, 0.50);
   s.p95 = PercentileSorted(samples, 0.95);
+  s.p99 = PercentileSorted(samples, 0.99);
+  s.p999 = PercentileSorted(samples, 0.999);
   return s;
 }
 

@@ -15,6 +15,8 @@ struct SampleSummary {
   double min = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;  // p99.9, the tail the latency histograms report
   double max = 0.0;
 };
 
@@ -23,6 +25,7 @@ struct SampleSummary {
 SampleSummary Summarize(std::vector<double> samples);
 
 // Linear-interpolation percentile of a sorted sample, q in [0, 1].
+// Safe on empty input (returns 0); q is clamped to [0, 1].
 double PercentileSorted(const std::vector<double>& sorted, double q);
 
 }  // namespace simdtree

@@ -17,10 +17,12 @@
 #include "gtest/gtest.h"
 #include "kary/batch_search.h"
 #include "kary/kary_array.h"
+#include "kary/linearize.h"
 #include "segtree/segtree.h"
 #include "segtrie/segtrie.h"
 #include "simd/bitmask_eval.h"
 #include "simd/simd256.h"
+#include "util/counters.h"
 #include "util/rng.h"
 
 namespace simdtree {
@@ -330,6 +332,192 @@ TEST(BatchTrieTest, OptimizedSegTrie64) {
 
 TEST(BatchTrieTest, PlainSegTrie32) {
   CheckTrieBatches<segtrie::SegTrie<uint32_t, uint64_t>>();
+}
+
+// --- logical search cost: batch counters vs single-query counted ----------
+//
+// The counted batch paths must report exactly the logical cost of
+// running every probe through the single-query counted variant — the
+// pipeline changes the memory schedule, never the amount of logical
+// work. The cost must also be independent of the group width.
+
+template <typename T>
+void CheckKaryBatchCounters(const std::vector<T>& keys, Layout layout,
+                            Storage storage) {
+  KaryArray<T> arr(keys, layout, storage);
+  // Rebuild the linearized array exactly as KaryArray does, so the
+  // low-level counted singles can serve as the oracle.
+  kary::KaryShape shape = kary::KaryShape::For(
+      simd::LaneTraits<T>::kArity, keys.empty() ? 1 : keys.size());
+  const kary::KaryLayout kl(shape, layout);
+  const int64_t stored =
+      kl.StoredSlots(static_cast<int64_t>(keys.size()), storage);
+  std::vector<T> lin(static_cast<size_t>(stored));
+  kl.Linearize(keys.data(), static_cast<int64_t>(keys.size()), lin.data(),
+               stored, kary::PadValue<T>());
+
+  Rng rng(77);
+  const auto probes = MakeProbes<T>(keys, 300, rng);
+  const int64_t n = static_cast<int64_t>(keys.size());
+
+  SearchCounters want;
+  std::vector<int64_t> want_ub(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    want_ub[i] =
+        layout == Layout::kBreadthFirst
+            ? kary::UpperBoundBfCounted<T>(lin.data(), stored, n, probes[i],
+                                           &want)
+            : kary::UpperBoundDfCounted<T>(lin.data(), stored, n, probes[i],
+                                           &want);
+  }
+
+  std::vector<int64_t> out(probes.size());
+  for (int group : {1, 6, kMaxBatchGroup}) {
+    SearchCounters got;
+    arr.UpperBoundBatch(probes.data(), probes.size(), out.data(), group,
+                        &got);
+    EXPECT_EQ(got.simd_comparisons, want.simd_comparisons)
+        << "group=" << group;
+    EXPECT_EQ(got.nodes_visited, want.nodes_visited) << "group=" << group;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(out[i], want_ub[i]) << "i=" << i;
+    }
+  }
+
+  // Lower bound: each non-minimum probe costs exactly one counted
+  // upper-bound descent on v - 1; type-minimum probes resolve to 0
+  // without touching the array (LowerBoundFromUpperBound contract).
+  SearchCounters want_lb;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (probes[i] == std::numeric_limits<T>::min()) continue;
+    const T v = static_cast<T>(probes[i] - 1);
+    if (layout == Layout::kBreadthFirst) {
+      kary::UpperBoundBfCounted<T>(lin.data(), stored, n, v, &want_lb);
+    } else {
+      kary::UpperBoundDfCounted<T>(lin.data(), stored, n, v, &want_lb);
+    }
+  }
+  for (int group : {1, kMaxBatchGroup}) {
+    SearchCounters got;
+    arr.LowerBoundBatch(probes.data(), probes.size(), out.data(), group,
+                        &got);
+    EXPECT_EQ(got.simd_comparisons, want_lb.simd_comparisons)
+        << "group=" << group;
+  }
+}
+
+TEST(BatchCountersTest, KaryArrayMatchesCountedSingles) {
+  Rng rng(123);
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{100}, int64_t{5000}}) {
+    std::vector<uint32_t> keys(static_cast<size_t>(n));
+    for (auto& k : keys) k = static_cast<uint32_t>(rng.Next());
+    std::sort(keys.begin(), keys.end());
+    CheckKaryBatchCounters<uint32_t>(keys, Layout::kBreadthFirst,
+                                     Storage::kTruncated);
+    CheckKaryBatchCounters<uint32_t>(keys, Layout::kBreadthFirst,
+                                     Storage::kPerfect);
+    CheckKaryBatchCounters<uint32_t>(keys, Layout::kDepthFirst,
+                                     Storage::kPerfect);
+  }
+}
+
+TEST(BatchCountersTest, KaryTypeMinProbesCostNothing) {
+  Rng rng(9);
+  std::vector<uint32_t> keys(1000);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  KaryArray<uint32_t> arr(keys, Layout::kBreadthFirst, Storage::kTruncated);
+
+  const std::vector<uint32_t> probes(64, std::numeric_limits<uint32_t>::min());
+  std::vector<int64_t> out(probes.size(), -1);
+  SearchCounters c;
+  arr.LowerBoundBatch(probes.data(), probes.size(), out.data(),
+                      kDefaultBatchGroup, &c);
+  EXPECT_EQ(c.simd_comparisons, 0u);
+  EXPECT_EQ(c.nodes_visited, 0u);
+  for (int64_t v : out) EXPECT_EQ(v, 0);
+}
+
+template <typename TreeT>
+void CheckTreeBatchCounters() {
+  using Key = typename TreeT::KeyType;
+  Rng rng(17);
+  TreeT tree(8);  // small fanout: depth, so nodes_visited is interesting
+  std::vector<Key> keys;
+  for (int i = 0; i < 4000; ++i) {
+    const Key k = static_cast<Key>(rng.NextBounded(2000));
+    keys.push_back(k);
+    tree.Insert(k, static_cast<uint64_t>(i));
+  }
+  std::sort(keys.begin(), keys.end());
+  const auto probes = MakeProbes<Key>(keys, 500, rng);
+
+  SearchCounters want;
+  for (Key p : probes) tree.FindCounted(p, &want);
+  ASSERT_GT(want.nodes_visited, probes.size());  // depth > 1
+
+  std::vector<const uint64_t*> out(probes.size());
+  for (int group : {1, 5, kMaxBatchGroup}) {
+    SearchCounters got;
+    tree.FindBatch(probes.data(), probes.size(), out.data(), group, &got);
+    EXPECT_EQ(got.nodes_visited, want.nodes_visited) << "group=" << group;
+  }
+
+  // LowerBoundBatch has no single-query counted twin; its logical cost
+  // contract is group-invariance.
+  std::vector<typename TreeT::ConstIterator> its(probes.size());
+  SearchCounters lb1, lb16;
+  tree.LowerBoundBatch(probes.data(), probes.size(), its.data(), 1, &lb1);
+  tree.LowerBoundBatch(probes.data(), probes.size(), its.data(), 16, &lb16);
+  EXPECT_GT(lb1.nodes_visited, 0u);
+  EXPECT_EQ(lb1.nodes_visited, lb16.nodes_visited);
+}
+
+TEST(BatchCountersTest, BPlusTreeMatchesFindCounted) {
+  CheckTreeBatchCounters<btree::BPlusTree<uint32_t, uint64_t>>();
+}
+
+TEST(BatchCountersTest, SegTreeMatchesFindCounted) {
+  CheckTreeBatchCounters<segtree::SegTree<uint32_t, uint64_t>>();
+  CheckTreeBatchCounters<
+      segtree::SegTree<uint32_t, uint64_t, Layout::kDepthFirst>>();
+}
+
+template <typename TrieT>
+void CheckTrieBatchCounters() {
+  using Key = typename TrieT::KeyType;
+  Rng rng(29);
+  TrieT trie;
+  std::vector<Key> keys;
+  for (int i = 0; i < 3000; ++i) {
+    // Shared-prefix clusters plus full-width keys: some probes
+    // terminate early on a missing segment, some reach the leaf.
+    const Key k = i % 2 == 0 ? static_cast<Key>(rng.NextBounded(4096))
+                             : static_cast<Key>(rng.Next());
+    keys.push_back(k);
+    trie.Insert(k, static_cast<uint64_t>(i));
+  }
+  const auto probes = MakeProbes<Key>(keys, 400, rng);
+
+  SearchCounters want;
+  for (Key p : probes) trie.FindCounted(p, &want);
+  ASSERT_GT(want.nodes_visited, 0u);
+
+  std::vector<const uint64_t*> out(probes.size());
+  for (int group : {1, 7, kMaxBatchGroup}) {
+    SearchCounters got;
+    trie.FindBatch(probes.data(), probes.size(), out.data(), group, &got);
+    EXPECT_EQ(got.nodes_visited, want.nodes_visited) << "group=" << group;
+    EXPECT_EQ(got.simd_comparisons, want.simd_comparisons)
+        << "group=" << group;
+    EXPECT_EQ(got.scalar_comparisons, want.scalar_comparisons)
+        << "group=" << group;
+  }
+}
+
+TEST(BatchCountersTest, SegTrieMatchesFindCounted) {
+  CheckTrieBatchCounters<segtrie::SegTrie<uint64_t, uint64_t>>();
+  CheckTrieBatchCounters<segtrie::OptimizedSegTrie<uint64_t, uint64_t>>();
 }
 
 // --- SynchronizedIndex ----------------------------------------------------

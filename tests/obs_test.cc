@@ -1,0 +1,336 @@
+// Observability subsystem tests: LogHistogram bucket geometry and the
+// quantization error bound (including the acceptance check that
+// percentiles from concurrent recording agree with raw-sample
+// percentiles within one log bucket), MetricsRegistry get-or-create and
+// JSON export, PerfCounterGroup graceful degradation under
+// SIMDTREE_DISABLE_PERF, and the per-operation metrics hooks of the
+// concurrent index wrappers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded.h"
+#include "core/synchronized.h"
+#include "gtest/gtest.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "segtree/segtree.h"
+#include "util/rng.h"
+
+namespace simdtree {
+namespace {
+
+using obs::LogHistogram;
+
+// --- LogHistogram geometry ------------------------------------------------
+
+TEST(HistogramTest, ExactRegionIsExact) {
+  // Values below 2 * kSubBuckets get one bucket each; the representative
+  // is the value itself.
+  for (uint64_t v = 0; v < 2 * LogHistogram::kSubBuckets; ++v) {
+    const size_t b = LogHistogram::BucketIndex(v);
+    EXPECT_EQ(b, static_cast<size_t>(v));
+    EXPECT_EQ(LogHistogram::BucketLow(b), v);
+    EXPECT_EQ(LogHistogram::BucketMid(b), v);
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotoneAndCoversDomain) {
+  // Bucket lower edges must round-trip and bucket indices must be
+  // monotone in the value, across the full 64-bit range.
+  size_t prev = 0;
+  for (uint64_t v = 1; v != 0; v = v < (uint64_t{1} << 62) ? v * 3 + 1 : 0) {
+    const size_t b = LogHistogram::BucketIndex(v);
+    ASSERT_LT(b, LogHistogram::kBuckets);
+    ASSERT_GE(b, prev);
+    prev = b;
+    // v lies inside its bucket: low <= v and (if not the last bucket)
+    // v < next bucket's low.
+    EXPECT_LE(LogHistogram::BucketLow(b), v);
+    if (b + 1 < LogHistogram::kBuckets) {
+      EXPECT_LT(v, LogHistogram::BucketLow(b + 1));
+    }
+  }
+  EXPECT_LT(LogHistogram::BucketIndex(~uint64_t{0}), LogHistogram::kBuckets);
+}
+
+TEST(HistogramTest, RelativeErrorBound) {
+  // The representative midpoint is within 2^-kPrecisionBits of the true
+  // value everywhere (and within half that in the geometric region).
+  Rng rng(7);
+  constexpr double kBound = 1.0 / (1 << LogHistogram::kPrecisionBits);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Next() % 40);
+    const uint64_t mid = LogHistogram::BucketMid(LogHistogram::BucketIndex(v));
+    if (v == 0) {
+      EXPECT_EQ(mid, 0u);
+      continue;
+    }
+    const double rel =
+        std::abs(static_cast<double>(mid) - static_cast<double>(v)) /
+        static_cast<double>(v);
+    EXPECT_LE(rel, kBound) << "v=" << v << " mid=" << mid;
+  }
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(0.999), 0u);
+}
+
+TEST(HistogramTest, BasicRecording) {
+  LogHistogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 3u);
+  EXPECT_EQ(h.Percentile(0.0), 1u);  // exact region: values exact
+  EXPECT_EQ(h.Percentile(0.5), 2u);
+  EXPECT_EQ(h.Percentile(1.0), 3u);
+
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  LogHistogram a, b, all;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Next() % 1000000;
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_DOUBLE_EQ(a.Mean(), all.Mean());
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), all.Percentile(q)) << "q=" << q;
+  }
+}
+
+// Acceptance check: percentiles computed from a histogram recorded
+// *concurrently* agree with percentiles of the raw sample set within
+// one log bucket of relative error (<= 2^-kPrecisionBits).
+TEST(HistogramTest, ConcurrentRecordingMatchesRawPercentiles) {
+  constexpr int kThreads = 4;
+  constexpr size_t kPerThread = 50000;
+  LogHistogram h;
+
+  // Deterministic per-thread streams; the union is the reference sample.
+  std::vector<std::vector<uint64_t>> streams(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + static_cast<uint64_t>(t));
+    streams[t].reserve(kPerThread);
+    for (size_t i = 0; i < kPerThread; ++i) {
+      // Heavy-tailed: mostly small latencies, occasional large spikes —
+      // the shape the histogram exists for.
+      const uint64_t v = (rng.Next() % 5000) + 1;
+      streams[t].push_back(rng.Next() % 100 == 0 ? v * 1000 : v);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &streams, t] {
+      for (uint64_t v : streams[t]) h.Record(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<uint64_t> raw;
+  raw.reserve(kThreads * kPerThread);
+  for (const auto& s : streams) raw.insert(raw.end(), s.begin(), s.end());
+  std::sort(raw.begin(), raw.end());
+
+  ASSERT_EQ(h.Count(), raw.size());
+  constexpr double kBound = 1.0 / (1 << LogHistogram::kPrecisionBits);
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    // Same rank rule as LogHistogram::Percentile.
+    const uint64_t exact =
+        raw[static_cast<size_t>(q * static_cast<double>(raw.size() - 1))];
+    const uint64_t approx = h.Percentile(q);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LE(rel, kBound) << "q=" << q << " exact=" << exact
+                           << " approx=" << approx;
+  }
+  // Mean is exact (a plain sum), not quantized.
+  double sum = 0.0;
+  for (uint64_t v : raw) sum += static_cast<double>(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), sum / static_cast<double>(raw.size()));
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsTest, GetOrCreateReturnsStablePointers) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c1 = reg.GetCounter("a.reads");
+  obs::Counter* c2 = reg.GetCounter("a.reads");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.GetCounter("a.writes"), c1);
+  obs::Gauge* g = reg.GetGauge("a.ratio");
+  EXPECT_EQ(reg.GetGauge("a.ratio"), g);
+  obs::LogHistogram* h = reg.GetHistogram("a.lat");
+  EXPECT_EQ(reg.GetHistogram("a.lat"), h);
+
+  c1->Add(41);
+  c1->Add();
+  EXPECT_EQ(c2->Get(), 42u);
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("a.ratio")->Get(), 1.5);
+}
+
+TEST(MetricsTest, ToJsonExportsEverything) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("z.count")->Add(7);
+  reg.GetGauge("z.gauge")->Set(0.5);
+  obs::LogHistogram* h = reg.GetHistogram("z.hist");
+  h->Record(10);
+  h->Record(20);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"z.count\":7}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"z.gauge\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"z.hist\":{\"count\":2,\"mean\":15"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p50\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":20"), std::string::npos) << json;
+
+  reg.Clear();
+  EXPECT_EQ(reg.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsTest, GlobalIsSingletonAndRegisterWiresAllMetrics) {
+  EXPECT_EQ(&obs::MetricsRegistry::Global(), &obs::MetricsRegistry::Global());
+  const obs::IndexMetrics m = obs::IndexMetrics::Register("obs_test.reg");
+  ASSERT_NE(m.reads, nullptr);
+  ASSERT_NE(m.writes, nullptr);
+  ASSERT_NE(m.batches, nullptr);
+  ASSERT_NE(m.batch_keys, nullptr);
+  ASSERT_NE(m.batch_size, nullptr);
+  ASSERT_NE(m.read_lock_ns, nullptr);
+  ASSERT_NE(m.write_lock_ns, nullptr);
+  ASSERT_NE(m.shard_imbalance, nullptr);
+  // Same prefix resolves to the same objects.
+  const obs::IndexMetrics m2 = obs::IndexMetrics::Register("obs_test.reg");
+  EXPECT_EQ(m.reads, m2.reads);
+  EXPECT_EQ(m.batch_size, m2.batch_size);
+}
+
+// --- PerfCounterGroup fallback --------------------------------------------
+
+TEST(PerfCountersTest, DisableEnvForcesFallback) {
+  setenv("SIMDTREE_DISABLE_PERF", "1", 1);
+  EXPECT_FALSE(obs::PerfCounterGroup::Available());
+  obs::PerfCounterGroup group;
+  EXPECT_FALSE(group.ok());
+  group.Start();  // must be a harmless no-op
+  const obs::HwCounts hw = group.Stop();
+  EXPECT_FALSE(hw.valid);
+  EXPECT_DOUBLE_EQ(hw.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(hw.instructions, 0.0);
+  EXPECT_DOUBLE_EQ(hw.ipc(), 0.0);
+  unsetenv("SIMDTREE_DISABLE_PERF");
+}
+
+TEST(PerfCountersTest, MeasureWhenAvailable) {
+  unsetenv("SIMDTREE_DISABLE_PERF");
+  if (!obs::PerfCounterGroup::Available()) {
+    GTEST_SKIP() << "perf_event_open denied on this host";
+  }
+  obs::PerfCounterGroup group;
+  ASSERT_TRUE(group.ok());
+  volatile uint64_t sink = 0;
+  const obs::HwCounts hw = group.Measure([&] {
+    for (uint64_t i = 0; i < 1000000; ++i) sink = sink + i;
+  });
+  EXPECT_TRUE(hw.valid);
+  EXPECT_GT(hw.instructions, 1e6);  // at least one instruction per add
+  EXPECT_GT(hw.cycles, 0.0);
+  EXPECT_GE(hw.scale, 1.0);
+  EXPECT_GT(hw.ipc(), 0.0);
+}
+
+// --- index wrapper hooks --------------------------------------------------
+
+using SegTree64 = segtree::SegTree<uint64_t, uint64_t>;
+
+TEST(IndexMetricsHookTest, SynchronizedIndexCountsOps) {
+  SynchronizedIndex<SegTree64> index;
+  index.EnableMetrics("obs_test.sync");
+  const obs::IndexMetrics m = obs::IndexMetrics::Register("obs_test.sync");
+  const uint64_t reads0 = m.reads->Get();
+  const uint64_t writes0 = m.writes->Get();
+
+  for (uint64_t k = 0; k < 100; ++k) index.Insert(k, k * 10);
+  EXPECT_EQ(m.writes->Get() - writes0, 100u);
+
+  for (uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(index.Contains(k));
+  EXPECT_EQ(index.Find(7), std::optional<uint64_t>(70));
+  EXPECT_EQ(m.reads->Get() - reads0, 51u);
+  EXPECT_GT(m.read_lock_ns->Count(), 0u);
+  EXPECT_GT(m.write_lock_ns->Count(), 0u);
+
+  const uint64_t batches0 = m.batches->Get();
+  std::vector<uint64_t> keys = {1, 2, 3, 999};
+  std::vector<std::optional<uint64_t>> out(keys.size());
+  index.FindBatch(keys.data(), keys.size(), out.data());
+  EXPECT_EQ(out[0], std::optional<uint64_t>(10));
+  EXPECT_FALSE(out[3].has_value());
+  EXPECT_EQ(m.batches->Get() - batches0, 1u);
+  EXPECT_GE(m.batch_keys->Get(), keys.size());
+  EXPECT_GT(m.batch_size->Count(), 0u);
+}
+
+TEST(IndexMetricsHookTest, ShardedIndexRecordsImbalance) {
+  ShardedIndex<SegTree64> index(4);
+  index.EnableMetrics("obs_test.shard");
+  const obs::IndexMetrics m = obs::IndexMetrics::Register("obs_test.shard");
+
+  for (uint64_t k = 0; k < 256; ++k) {
+    index.Insert(k << 56, k);  // spread across the uniform splitters
+  }
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 256; ++k) keys.push_back(k << 56);
+  std::vector<std::optional<uint64_t>> out(keys.size());
+  const uint64_t batches0 = m.batches->Get();
+  index.FindBatch(keys.data(), keys.size(), out.data());
+  for (uint64_t k = 0; k < 256; ++k) {
+    ASSERT_TRUE(out[k].has_value());
+    EXPECT_EQ(*out[k], k);
+  }
+  EXPECT_EQ(m.batches->Get() - batches0, 1u);
+  // Keys spread evenly over 4 shards: imbalance gauge near 1.0, and
+  // never below it by construction (max share >= even share).
+  EXPECT_GE(m.shard_imbalance->Get(), 1.0);
+  EXPECT_LT(m.shard_imbalance->Get(), 1.5);
+
+  // A batch aimed at one shard maxes the gauge at num_shards.
+  std::vector<uint64_t> skew(64, uint64_t{3});
+  std::vector<std::optional<uint64_t>> out2(skew.size());
+  index.FindBatch(skew.data(), skew.size(), out2.data());
+  EXPECT_DOUBLE_EQ(m.shard_imbalance->Get(), 4.0);
+}
+
+}  // namespace
+}  // namespace simdtree

@@ -69,6 +69,32 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 10.0);
 }
 
+TEST(StatsTest, PercentileEmptyAndClamped) {
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.5), 0.0);
+  const std::vector<double> sorted = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, -1.0), 1.0);  // clamped to 0
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 2.0), 3.0);   // clamped to 1
+}
+
+TEST(StatsTest, TailPercentiles) {
+  // 0..999: rank-interpolated p99 = 989.01, p99.9 = 998.001.
+  std::vector<double> samples(1000);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<double>(i);
+  }
+  const SampleSummary s = Summarize(samples);
+  EXPECT_NEAR(s.p99, 989.01, 1e-9);
+  EXPECT_NEAR(s.p999, 998.001, 1e-9);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_LE(s.p999, s.max);
+
+  // Degenerate inputs stay safe: empty summary reports zero tails.
+  EXPECT_DOUBLE_EQ(Summarize({}).p99, 0.0);
+  EXPECT_DOUBLE_EQ(Summarize({}).p999, 0.0);
+  EXPECT_DOUBLE_EQ(Summarize({7.0}).p999, 7.0);
+}
+
 TEST(WorkloadTest, AscendingKeys) {
   const auto keys = AscendingKeys<int32_t>(5, 10);
   EXPECT_EQ(keys, (std::vector<int32_t>{10, 11, 12, 13, 14}));

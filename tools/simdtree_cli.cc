@@ -21,6 +21,13 @@
 //       Range scan [lo, hi).
 //   simdtree_cli stats <index.stix>
 //       Blob header + rebuilt-structure statistics.
+//   simdtree_cli profile <index.stix> <keys.txt> [--passes=N] [--json]
+//       Profiles point lookups of all keys in the file against the
+//       loaded index: per-lookup latency percentiles (lock-free
+//       LogHistogram), hardware counters per lookup (perf_event_open;
+//       reported as "hw": null when the syscall is denied), and the
+//       instrumented wrapper's metrics registry. --json replaces the
+//       human summary with one JSON document on stdout.
 //   simdtree_cli selftest
 //       Runs a quick build/query/scan round trip on synthetic data.
 
@@ -56,6 +63,8 @@ int Usage() {
                "          range-partitioned ShardedIndex, e.g. --shards=8)\n"
                "       simdtree_cli scan <index.stix> <lo> <hi>\n"
                "       simdtree_cli stats <index.stix>\n"
+               "       simdtree_cli profile <index.stix> <keys.txt> "
+               "[--passes=N] [--json]\n"
                "       simdtree_cli selftest\n");
   return 2;
 }
@@ -293,6 +302,108 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Profiles the workload in argv[3] against the index in argv[2]: every
+// lookup is timed into an obs::LogHistogram, the whole run is measured
+// under an obs::PerfCounterGroup, and the index runs through the
+// instrumented SynchronizedIndex so its registry metrics populate too.
+int CmdProfile(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  int passes = 3;
+  bool json = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--passes=", 9) == 0) {
+      passes = std::atoi(argv[i] + 9);
+      if (passes < 1) passes = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    }
+  }
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  std::vector<uint64_t> probes, unused;
+  if (!ReadPairsFile(argv[3], &probes, &unused)) return 1;
+  if (probes.empty()) {
+    std::fprintf(stderr, "no probe keys in %s\n", argv[3]);
+    return 1;
+  }
+
+  simdtree::SynchronizedIndex<Tree> index(std::move(*tree));
+  index.EnableMetrics("cli.profile");
+
+  simdtree::obs::LogHistogram latency;
+  const bool hw_available = simdtree::obs::PerfCounterGroup::Available();
+  simdtree::obs::PerfCounterGroup group;  // degrades to no-ops when denied
+  size_t hits = 0;
+
+  group.Start();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const uint64_t key : probes) {
+      const uint64_t start = simdtree::CycleTimer::Now();
+      const auto v = index.Find(key);
+      latency.Record(
+          static_cast<uint64_t>(simdtree::CycleTimer::ToNanoseconds(
+              simdtree::CycleTimer::Now() - start)));
+      if (pass == 0 && v.has_value()) ++hits;
+    }
+  }
+  const simdtree::obs::HwCounts hw = group.Stop();
+  const double ops = static_cast<double>(probes.size()) *
+                     static_cast<double>(passes);
+
+  if (json) {
+    std::printf("{\"index\":\"%s\",\"probes\":%zu,\"passes\":%d,"
+                "\"hits\":%zu,",
+                argv[2], probes.size(), passes, hits);
+    std::printf("\"latency_ns\":{\"count\":%llu,\"mean\":%.17g,"
+                "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"p999\":%llu,"
+                "\"max\":%llu},",
+                static_cast<unsigned long long>(latency.Count()),
+                latency.Mean(),
+                static_cast<unsigned long long>(latency.Percentile(0.50)),
+                static_cast<unsigned long long>(latency.Percentile(0.95)),
+                static_cast<unsigned long long>(latency.Percentile(0.99)),
+                static_cast<unsigned long long>(latency.Percentile(0.999)),
+                static_cast<unsigned long long>(latency.Max()));
+    if (hw.valid) {
+      std::printf("\"hw\":{\"instructions_per_op\":%.17g,"
+                  "\"cycles_per_op\":%.17g,\"ipc\":%.17g,"
+                  "\"llc_misses_per_op\":%.17g,"
+                  "\"branch_misses_per_op\":%.17g,\"scale\":%.17g},",
+                  hw.instructions / ops, hw.cycles / ops, hw.ipc(),
+                  hw.llc_misses / ops, hw.branch_misses / ops, hw.scale);
+    } else {
+      std::printf("\"hw\":null,");
+    }
+    std::printf("\"registry\":%s}\n",
+                simdtree::obs::MetricsRegistry::Global().ToJson().c_str());
+    return 0;
+  }
+
+  std::printf("profiled %zu probes x %d passes against %s "
+              "(%zu hits, %zu misses)\n",
+              probes.size(), passes, argv[2], hits, probes.size() - hits);
+  std::printf("latency: p50 %llu ns  p95 %llu ns  p99 %llu ns  "
+              "p99.9 %llu ns  mean %.0f ns  max %llu ns\n",
+              static_cast<unsigned long long>(latency.Percentile(0.50)),
+              static_cast<unsigned long long>(latency.Percentile(0.95)),
+              static_cast<unsigned long long>(latency.Percentile(0.99)),
+              static_cast<unsigned long long>(latency.Percentile(0.999)),
+              latency.Mean(),
+              static_cast<unsigned long long>(latency.Max()));
+  if (hw.valid) {
+    std::printf("hw: %.1f instr/op  %.1f cycles/op  IPC %.2f  "
+                "%.3f LLC-miss/op  %.3f br-miss/op  (scale %.2f)\n",
+                hw.instructions / ops, hw.cycles / ops, hw.ipc(),
+                hw.llc_misses / ops, hw.branch_misses / ops, hw.scale);
+  } else if (hw_available) {
+    std::printf("hw: counter read failed\n");
+  } else {
+    std::printf("hw: unavailable (perf_event_open denied or "
+                "SIMDTREE_DISABLE_PERF set)\n");
+  }
+  return 0;
+}
+
 int CmdSelfTest() {
   simdtree::Rng rng(1);
   Tree tree;
@@ -330,6 +441,7 @@ int main(int argc, char** argv) {
   if (cmd == "lookup-batch") return CmdLookupBatch(argc, argv);
   if (cmd == "scan") return CmdScan(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "profile") return CmdProfile(argc, argv);
   if (cmd == "selftest") return CmdSelfTest();
   return Usage();
 }
