@@ -1,15 +1,18 @@
 // Hardware profile sweep (paper Figures 9-11): per-search instructions,
-// LLC misses, and branch mispredictions for every index structure, via
-// perf_event_open (obs/perf_counters.h).
+// LLC misses, branch mispredictions, and dTLB misses for every index
+// structure, via perf_event_open (obs/perf_counters.h).
 //
-// The paper explains its cycle counts through exactly these three
-// hardware axes: SIMD reduces instructions per search (Figure 9), the
-// linearized layouts trade LLC misses (Figure 10), and k-ary search
-// eliminates the hard-to-predict branches of binary search (Figure 11).
-// This bench reproduces those per-operation profiles on the live
-// machine: each structure x size point runs the probe loop under a
-// cycles/instructions/LLC-load-miss/branch-miss counter group and
-// reports every event divided by the number of searches.
+// The paper explains its cycle counts through exactly these hardware
+// axes: SIMD reduces instructions per search (Figure 9), the linearized
+// layouts trade LLC misses (Figure 10), and k-ary search eliminates the
+// hard-to-predict branches of binary search (Figure 11). This bench
+// reproduces those per-operation profiles on the live machine: each
+// structure x size point runs the probe loop under the counter group
+// and reports every event divided by the number of searches. The dTLB
+// axis and the per-point `mem` JSON lines exist for the arena allocator
+// (mem/arena.h): hugepage-backed slabs should show fewer dTLB and LLC
+// misses per search than the heap baseline (SIMDTREE_DISABLE_ARENA=1)
+// on the out-of-cache sizes.
 //
 // Usage:
 //   bb_hw_profile [--json] [--smoke]
@@ -31,6 +34,7 @@
 #include "bench/bench_util.h"
 #include "bench/hw_section.h"
 #include "btree/btree.h"
+#include "mem/arena.h"
 #include "segtree/segtree.h"
 #include "segtrie/segtrie.h"
 #include "util/rng.h"
@@ -45,14 +49,15 @@ constexpr const char* kBench = "bb_hw_profile";
 // instructions to dominate the counter read overhead.
 constexpr int kPasses = 8;
 
+template <typename Key>
 struct Workload {
-  std::vector<uint64_t> keys;
-  std::vector<uint64_t> values;
-  std::vector<uint64_t> probes;
+  std::vector<Key> keys;
+  std::vector<Key> values;
+  std::vector<Key> probes;
 
   explicit Workload(size_t n) {
     Rng rng(2014);
-    keys = UniformDistinctKeys<uint64_t>(n, rng);
+    keys = UniformDistinctKeys<Key>(n, rng);
     values.assign(keys.begin(), keys.end());
     probes = SamplePresentProbes(keys, bench::kProbeCount, rng);
   }
@@ -60,8 +65,9 @@ struct Workload {
 
 // Measures `lookup(probe)` over kPasses x probes: wall-clock cycles per
 // search plus the hardware profile, all emitted under `config`.
-template <typename Fn>
-void ProfilePoint(const std::string& config, const Workload& w, Fn&& lookup) {
+template <typename Key, typename Fn>
+void ProfilePoint(const std::string& config, const Workload<Key>& w,
+                  Fn&& lookup) {
   uint64_t checksum = 0;
   const double cycles = bench::CyclesPerOp(w.probes, lookup, &checksum);
   std::printf("%-24s %10.1f cycles/search  (checksum %016llx)\n",
@@ -74,7 +80,7 @@ void ProfilePoint(const std::string& config, const Workload& w, Fn&& lookup) {
   uint64_t sink = 0;
   bench::HwSection(kBench, config, ops, [&] {
     for (int pass = 0; pass < kPasses; ++pass) {
-      for (const uint64_t p : w.probes) {
+      for (const Key p : w.probes) {
         sink += static_cast<uint64_t>(lookup(p));
       }
     }
@@ -82,39 +88,45 @@ void ProfilePoint(const std::string& config, const Workload& w, Fn&& lookup) {
   if (sink == 0xDEADBEEFDEADBEEFULL) std::fprintf(stderr, "\n");
 }
 
-void RunSweep(size_t n, const char* size_name) {
-  const Workload w(n);
-  std::printf("-- %s keys: %zu --\n", size_name, n);
+template <typename Key>
+void RunSweep(size_t n, const char* size_name, const char* suffix) {
+  const Workload<Key> w(n);
+  std::printf("-- %s keys: %zu (%zu-byte) --\n", size_name, n, sizeof(Key));
 
   {
-    btree::BPlusTree<uint64_t, uint64_t> tree =
-        btree::BPlusTree<uint64_t, uint64_t>::BulkLoad(
-            w.keys.data(), w.values.data(), w.keys.size());
-    ProfilePoint(std::string("btree_binary/") + size_name, w,
-                 [&](uint64_t p) { return tree.Contains(p); });
+    auto tree = btree::BPlusTree<Key, Key>::BulkLoad(
+        w.keys.data(), w.values.data(), w.keys.size());
+    const std::string config =
+        std::string("btree_binary") + suffix + "/" + size_name;
+    ProfilePoint(config, w, [&](Key p) { return tree.Contains(p); });
+    bench::EmitMemJson(kBench, config, mem::IndexMemStats(tree));
   }
   {
-    segtree::SegTree<uint64_t, uint64_t, kary::Layout::kBreadthFirst> tree =
-        segtree::SegTree<uint64_t, uint64_t, kary::Layout::kBreadthFirst>::
-            BulkLoad(w.keys.data(), w.values.data(), w.keys.size());
-    ProfilePoint(std::string("segtree_bf/") + size_name, w,
-                 [&](uint64_t p) { return tree.Contains(p); });
+    auto tree = segtree::SegTree<Key, Key, kary::Layout::kBreadthFirst>::
+        BulkLoad(w.keys.data(), w.values.data(), w.keys.size());
+    const std::string config =
+        std::string("segtree_bf") + suffix + "/" + size_name;
+    ProfilePoint(config, w, [&](Key p) { return tree.Contains(p); });
+    bench::EmitMemJson(kBench, config, mem::IndexMemStats(tree));
   }
   {
-    segtree::SegTree<uint64_t, uint64_t, kary::Layout::kDepthFirst> tree =
-        segtree::SegTree<uint64_t, uint64_t, kary::Layout::kDepthFirst>::
-            BulkLoad(w.keys.data(), w.values.data(), w.keys.size());
-    ProfilePoint(std::string("segtree_df/") + size_name, w,
-                 [&](uint64_t p) { return tree.Contains(p); });
+    auto tree = segtree::SegTree<Key, Key, kary::Layout::kDepthFirst>::
+        BulkLoad(w.keys.data(), w.values.data(), w.keys.size());
+    const std::string config =
+        std::string("segtree_df") + suffix + "/" + size_name;
+    ProfilePoint(config, w, [&](Key p) { return tree.Contains(p); });
+    bench::EmitMemJson(kBench, config, mem::IndexMemStats(tree));
   }
   {
-    using Trie = segtrie::OptimizedSegTrie<uint64_t, uint64_t>;
+    using Trie = segtrie::OptimizedSegTrie<Key, Key>;
     auto trie = std::make_unique<Trie>();
     for (size_t i = 0; i < w.keys.size(); ++i) {
       trie->Insert(w.keys[i], w.values[i]);
     }
-    ProfilePoint(std::string("segtrie_opt/") + size_name, w,
-                 [&](uint64_t p) { return trie->Contains(p); });
+    const std::string config =
+        std::string("segtrie_opt") + suffix + "/" + size_name;
+    ProfilePoint(config, w, [&](Key p) { return trie->Contains(p); });
+    bench::EmitMemJson(kBench, config, mem::IndexMemStats(*trie));
   }
   std::printf("\n");
 }
@@ -130,6 +142,13 @@ int main(int argc, char** argv) {
   }
 
   simdtree::bench::PrintBenchHeader("bb_hw_profile: hardware counters per search");
+  std::printf("node arenas: %s | hugepages: %s\n",
+              simdtree::mem::ArenaEnabled()
+                  ? "on"
+                  : "off (SIMDTREE_DISABLE_ARENA)",
+              simdtree::mem::HugepagesEnabled()
+                  ? "madvise"
+                  : "off (SIMDTREE_DISABLE_HUGEPAGES)");
   if (simdtree::obs::PerfCounterGroup::Available()) {
     std::printf("perf_event_open: available\n\n");
   } else {
@@ -139,12 +158,16 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    simdtree::RunSweep(1u << 14, "16K");
+    simdtree::RunSweep<uint64_t>(1u << 14, "16K", "");
   } else {
     // The paper's in-cache and out-of-cache regimes (Section 5.2): a
     // structure around the L2/L3 boundary and one far beyond the LLC.
-    simdtree::RunSweep(1u << 18, "256K");
-    simdtree::RunSweep(1u << 22, "4M");
+    simdtree::RunSweep<uint64_t>(1u << 18, "256K", "");
+    simdtree::RunSweep<uint64_t>(1u << 22, "4M", "");
+    // 16M 4-byte keys: the arena-vs-heap LLC/dTLB comparison point (a
+    // ~700 MB working set for the trees — far out of cache, where
+    // hugepage-backed slabs pay off).
+    simdtree::RunSweep<uint32_t>(1u << 24, "16M", "_u32");
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/arena.h"
 #include "simd/cpu_features.h"
 #include "util/cycle_timer.h"
 #include "util/rng.h"
@@ -61,6 +62,27 @@ inline void EmitJson(const std::string& bench, const std::string& config,
   std::printf("{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}\n",
               JsonEscape(bench).c_str(), JsonEscape(config).c_str(),
               JsonEscape(metric).c_str(), value);
+}
+
+// One arena-occupancy point (mem/arena.h) as a single JSON line with a
+// `mem` object — the shape scripts/check_bench_json.py validates:
+//
+//   {"bench":"mem_footprint","config":"segtree/100MB",
+//    "mem":{"arena_bytes":104857600,"utilization":0.93,"slab_count":50,
+//           "arena_mode":1,"live_blocks":12345,"free_list_blocks":0}}
+//
+// No-op unless --json. Heap-mode stats (SIMDTREE_DISABLE_ARENA=1) emit
+// arena_mode 0 with reserved == live bytes and one "slab" per block.
+inline void EmitMemJson(const std::string& bench, const std::string& config,
+                        const mem::ArenaStats& s) {
+  if (!JsonEnabled()) return;
+  std::printf(
+      "{\"bench\":\"%s\",\"config\":\"%s\",\"mem\":{"
+      "\"arena_bytes\":%zu,\"utilization\":%.17g,\"slab_count\":%zu,"
+      "\"arena_mode\":%d,\"live_blocks\":%zu,\"free_list_blocks\":%zu}}\n",
+      JsonEscape(bench).c_str(), JsonEscape(config).c_str(),
+      s.reserved_bytes, s.utilization(), s.slab_count,
+      s.arena_mode ? 1 : 0, s.live_blocks, s.free_list_blocks);
 }
 
 inline constexpr size_t kProbeCount = 10000;  // the paper's x

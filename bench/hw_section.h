@@ -43,16 +43,18 @@ inline void ReportHwSection(const std::string& bench,
   }
   std::printf(
       "  hw[%s]: %.1f instr/op  %.1f cycles/op  IPC %.2f  "
-      "%.3f LLC-miss/op  %.3f br-miss/op  (scale %.2f)\n",
+      "%.3f LLC-miss/op  %.3f br-miss/op  %.3f dTLB-miss/op  "
+      "(scale %.2f)\n",
       config.c_str(), counts.instructions / ops, counts.cycles / ops,
       counts.ipc(), counts.llc_misses / ops, counts.branch_misses / ops,
-      counts.scale);
+      counts.dtlb_misses / ops, counts.scale);
   EmitJson(bench, config, "hw_instructions_per_op", counts.instructions / ops);
   EmitJson(bench, config, "hw_cycles_per_op", counts.cycles / ops);
   EmitJson(bench, config, "hw_ipc", counts.ipc());
   EmitJson(bench, config, "hw_llc_misses_per_op", counts.llc_misses / ops);
   EmitJson(bench, config, "hw_branch_misses_per_op",
            counts.branch_misses / ops);
+  EmitJson(bench, config, "hw_dtlb_misses_per_op", counts.dtlb_misses / ops);
   EmitJson(bench, config, "hw_multiplex_scale", counts.scale);
 }
 

@@ -12,14 +12,22 @@
 // structure by a wide margin (paper: 14x speedup, 8x memory reduction;
 // our byte-accurate accounting of both structures yields a smaller but
 // still large memory factor — see EXPERIMENTS.md).
+//
+// Every structure additionally reports its node-arena occupancy
+// (mem/arena.h): reserved slab bytes, utilization (live block bytes /
+// reserved), and slab count — the fragmentation view of the arena
+// allocator. --json emits these as `mem` lines (bench_util.h
+// EmitMemJson); --smoke shrinks the workload for CI.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "btree/btree.h"
+#include "mem/arena.h"
 #include "segtree/segtree.h"
 #include "segtrie/segtrie.h"
 #include "util/table_printer.h"
@@ -30,18 +38,21 @@ namespace {
 
 using bench::kProbeCount;
 constexpr size_t kN = 1638400;
+constexpr size_t kSmokeN = 65536;
 
 struct Row {
   const char* name;
   double cycles;
   size_t bytes;
+  mem::ArenaStats arena;
 };
 
-void Run() {
+void Run(size_t n) {
   bench::PrintBenchHeader(
-      "Headline: optimized Seg-Trie vs B+-Tree, 1.6M consecutive 64-bit "
-      "keys");
-  const std::vector<uint64_t> keys = AscendingKeys<uint64_t>(kN, 0);
+      "Headline: optimized Seg-Trie vs B+-Tree, consecutive 64-bit keys");
+  std::printf("keys: %zu | arena mode: %s\n\n", n,
+              mem::ArenaEnabled() ? "on" : "off (SIMDTREE_DISABLE_ARENA)");
+  const std::vector<uint64_t> keys = AscendingKeys<uint64_t>(n, 0);
   const std::vector<uint64_t> values = keys;
   Rng rng(23);
   const std::vector<uint64_t> probes =
@@ -51,55 +62,55 @@ void Run() {
 
   {
     btree::BPlusTree<uint64_t, uint64_t> bt;
-    for (size_t i = 0; i < kN; ++i) bt.Insert(keys[i], values[i]);
+    for (size_t i = 0; i < n; ++i) bt.Insert(keys[i], values[i]);
     rows.push_back({"B+Tree binary (insert-built)",
                     bench::CyclesPerOp(probes,
                                        [&bt](uint64_t p) {
                                          return bt.Contains(p) ? 1u : 0u;
                                        }),
-                    bt.MemoryBytes()});
+                    bt.MemoryBytes(), mem::IndexMemStats(bt)});
   }
   {
     auto bt = btree::BPlusTree<uint64_t, uint64_t>::BulkLoad(
-        keys.data(), values.data(), kN);
+        keys.data(), values.data(), n);
     rows.push_back({"B+Tree binary (bulk, 100% fill)",
                     bench::CyclesPerOp(probes,
                                        [&bt](uint64_t p) {
                                          return bt.Contains(p) ? 1u : 0u;
                                        }),
-                    bt.MemoryBytes()});
+                    bt.MemoryBytes(), mem::IndexMemStats(bt)});
   }
   {
     auto st =
         segtree::SegTree<uint64_t, uint64_t>::BulkLoad(keys.data(),
-                                                       values.data(), kN);
+                                                       values.data(), n);
     rows.push_back({"Seg-Tree BF (bulk)",
                     bench::CyclesPerOp(probes,
                                        [&st](uint64_t p) {
                                          return st.Contains(p) ? 1u : 0u;
                                        }),
-                    st.MemoryBytes()});
+                    st.MemoryBytes(), mem::IndexMemStats(st)});
   }
   {
     auto trie = std::make_unique<segtrie::SegTrie<uint64_t, uint64_t>>();
-    for (size_t i = 0; i < kN; ++i) trie->Insert(keys[i], values[i]);
+    for (size_t i = 0; i < n; ++i) trie->Insert(keys[i], values[i]);
     rows.push_back({"Seg-Trie (8 levels)",
                     bench::CyclesPerOp(probes,
                                        [&trie](uint64_t p) {
                                          return trie->Contains(p) ? 1u : 0u;
                                        }),
-                    trie->MemoryBytes()});
+                    trie->MemoryBytes(), mem::IndexMemStats(*trie)});
   }
   {
     auto opt =
         std::make_unique<segtrie::OptimizedSegTrie<uint64_t, uint64_t>>();
-    for (size_t i = 0; i < kN; ++i) opt->Insert(keys[i], values[i]);
+    for (size_t i = 0; i < n; ++i) opt->Insert(keys[i], values[i]);
     rows.push_back({"optimized Seg-Trie",
                     bench::CyclesPerOp(probes,
                                        [&opt](uint64_t p) {
                                          return opt->Contains(p) ? 1u : 0u;
                                        }),
-                    opt->MemoryBytes()});
+                    opt->MemoryBytes(), mem::IndexMemStats(*opt)});
     std::printf("optimized Seg-Trie active levels: %d of %d\n\n",
                 opt->active_levels(),
                 segtrie::OptimizedSegTrie<uint64_t, uint64_t>::max_levels());
@@ -108,20 +119,27 @@ void Run() {
   const double base_cycles = rows[0].cycles;
   const double base_bytes = static_cast<double>(rows[0].bytes);
   TablePrinter table({"structure", "cycles/find", "speedup", "MB",
-                      "bytes/key", "mem reduction"});
+                      "bytes/key", "mem reduction", "arena MB", "util",
+                      "slabs"});
   for (const Row& r : rows) {
     bench::EmitJson("mem_footprint", r.name, "cycles_per_find", r.cycles);
     bench::EmitJson("mem_footprint", r.name, "memory_bytes",
                     static_cast<double>(r.bytes));
+    bench::EmitMemJson("mem_footprint", r.name, r.arena);
     table.AddRow({r.name, TablePrinter::Fmt(r.cycles, 0),
                   TablePrinter::Fmt(base_cycles / r.cycles, 2),
                   TablePrinter::Fmt(static_cast<double>(r.bytes) / 1e6, 1),
                   TablePrinter::Fmt(static_cast<double>(r.bytes) /
-                                        static_cast<double>(kN),
+                                        static_cast<double>(n),
                                     1),
                   TablePrinter::Fmt(base_bytes /
                                         static_cast<double>(r.bytes),
-                                    2)});
+                                    2),
+                  TablePrinter::Fmt(
+                      static_cast<double>(r.arena.reserved_bytes) / 1e6, 1),
+                  TablePrinter::Fmt(r.arena.utilization(), 2),
+                  TablePrinter::Fmt(static_cast<double>(r.arena.slab_count),
+                                    0)});
   }
   table.Print();
   std::printf(
@@ -136,6 +154,10 @@ void Run() {
 
 int main(int argc, char** argv) {
   simdtree::bench::ParseBenchArgs(argc, argv);
-  simdtree::Run();
+  size_t n = simdtree::kN;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) n = simdtree::kSmokeN;
+  }
+  simdtree::Run(n);
   return 0;
 }

@@ -10,17 +10,50 @@ first malformed line.
 Usage:
   ./build/bench/bb_hw_profile --smoke --json | scripts/check_bench_json.py
   ... | scripts/check_bench_json.py --require-hw-null
+  ./build/bench/mem_footprint --smoke --json | \
+      scripts/check_bench_json.py --require-mem
 
 --require-hw-null additionally asserts that at least one line carries
 "hw": null — the marker a bench emits when hardware counters are
 unavailable (perf_event_open denied, or SIMDTREE_DISABLE_PERF=1). CI
 runs the benches with the override set, so the marker must be present;
 its absence means the fallback path silently stopped reporting.
+
+--require-mem asserts that at least one line carries a well-formed
+"mem" section (bench_util.h EmitMemJson): an object with numeric
+arena_bytes, utilization in [0, 1], and slab_count. Every "mem" section
+present is validated regardless of the flag.
 """
 
 import argparse
 import json
 import sys
+
+
+def check_mem_section(doc: dict, lineno: int) -> bool:
+    """Validates one {"mem": {...}} line; prints and returns False on error."""
+    mem = doc["mem"]
+    if not isinstance(mem, dict):
+        print(f'line {lineno}: "mem" is not an object', file=sys.stderr)
+        return False
+    for field in ("arena_bytes", "utilization", "slab_count"):
+        if field not in mem:
+            print(f'line {lineno}: "mem" missing "{field}"', file=sys.stderr)
+            return False
+        if not isinstance(mem[field], (int, float)) or isinstance(
+                mem[field], bool):
+            print(f'line {lineno}: "mem".{field} is not numeric',
+                  file=sys.stderr)
+            return False
+        if mem[field] < 0:
+            print(f'line {lineno}: "mem".{field} is negative',
+                  file=sys.stderr)
+            return False
+    if not 0.0 <= mem["utilization"] <= 1.0:
+        print(f'line {lineno}: "mem".utilization out of [0, 1]: '
+              f'{mem["utilization"]}', file=sys.stderr)
+        return False
+    return True
 
 
 def main() -> int:
@@ -29,6 +62,11 @@ def main() -> int:
         "--require-hw-null",
         action="store_true",
         help='fail unless at least one JSON line has "hw": null',
+    )
+    parser.add_argument(
+        "--require-mem",
+        action="store_true",
+        help='fail unless at least one JSON line has a valid "mem" section',
     )
     parser.add_argument(
         "--min-lines",
@@ -40,6 +78,7 @@ def main() -> int:
 
     json_lines = 0
     hw_null_lines = 0
+    mem_lines = 0
     for lineno, line in enumerate(sys.stdin, start=1):
         stripped = line.strip()
         if not stripped.startswith("{"):
@@ -57,6 +96,10 @@ def main() -> int:
         json_lines += 1
         if "hw" in doc and doc["hw"] is None:
             hw_null_lines += 1
+        if "mem" in doc:
+            if not check_mem_section(doc, lineno):
+                return 1
+            mem_lines += 1
 
     if json_lines < args.min_lines:
         print(f"expected at least {args.min_lines} JSON line(s), "
@@ -66,9 +109,17 @@ def main() -> int:
         print('no line with "hw": null — the perf-counter fallback marker '
               "is missing", file=sys.stderr)
         return 1
+    if args.require_mem and mem_lines == 0:
+        print('no line with a "mem" section — the arena occupancy report '
+              "is missing", file=sys.stderr)
+        return 1
 
-    print(f"ok: {json_lines} JSON lines"
-          + (f", {hw_null_lines} hw-null markers" if hw_null_lines else ""))
+    parts = [f"ok: {json_lines} JSON lines"]
+    if hw_null_lines:
+        parts.append(f"{hw_null_lines} hw-null markers")
+    if mem_lines:
+        parts.append(f"{mem_lines} mem sections")
+    print(", ".join(parts))
     return 0
 
 

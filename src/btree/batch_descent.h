@@ -15,12 +15,15 @@
 // Every level runs two passes over the group:
 //
 //   1. prefetch pass — each query's current node block arrived via the
-//      previous level's prefetch; touch it to read the key-store and
-//      child-array pointers and prefetch both heap buffers (the second
-//      dependent miss of a node visit);
+//      previous level's prefetch; touch it to prefetch the key-slot and
+//      child-ref lines of the block (keys and children live inline in
+//      the node's arena block, see generic_btree.h, but a wide node
+//      spans several cache lines);
 //   2. search pass — run the key store's UpperBound (scalar or SIMD; the
-//      store decides), step to the child, and immediately prefetch the
-//      child's node block for the next level.
+//      store decides), decode the 32-bit child reference through the
+//      tree's node pool (a load from the small, hot slab table — the
+//      address is computable before the child is touched), and
+//      immediately prefetch the child's block for the next level.
 //
 // All leaves of a B+-Tree sit at the same depth, so the lockstep never
 // diverges. Results are exactly those of per-key Find / LowerBoundIter.
@@ -114,7 +117,8 @@ class BatchDescent {
         const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
         const int64_t idx = kLower ? inner->keys.LowerBound(keys[i])
                                    : inner->keys.UpperBound(keys[i]);
-        const NodeBase* child = inner->children[static_cast<size_t>(idx)];
+        const NodeBase* child =
+            tree.DecodeRef(inner->children[static_cast<size_t>(idx)]);
         cur[i] = child;
         Prefetch(child);
       }

@@ -4,7 +4,7 @@
 // commonly binary search to k-ary search" while "the traversal across the
 // nodes from the root to the leaves keeps unchanged compared to B+-Trees"
 // (Section 3.1). This file is that shared, unchanged structure: branching
-// nodes hold separator keys and child pointers, leaves hold keys and
+// nodes hold separator keys and child references, leaves hold keys and
 // values and are chained for range scans. The key-store policy decides how
 // a node's keys are stored and searched:
 //
@@ -13,7 +13,10 @@
 //
 // KeyStore policy contract (duck-typed, see plain_key_store.h):
 //   struct Context;                    // shared per-tree, per-node-kind
-//   explicit KeyStore(const Context&);
+//     int64_t key_storage_slots();     // physical Key slots per node
+//   explicit KeyStore(const Context&); // standalone: owns its storage
+//   KeyStore(const Context&, Key*);    // in-node: external storage of
+//                                      // key_storage_slots() Keys
 //   int64_t count() / capacity();
 //   Key At(int64_t logical_pos);       // logical == sorted position
 //   int64_t UpperBound(Key) / LowerBound(Key);
@@ -22,9 +25,21 @@
 //   void MoveSuffixTo(KeyStore& dst, from) / AppendFrom(KeyStore& src);
 //   size_t MemoryBytes();
 //
-// Child pointers and values stay in logical (sorted) order regardless of
-// the key store's physical layout — the paper's locality property that
-// keeps updates node-local.
+// Memory layout (PR 4): every node is one fixed-size block from a
+// per-tree mem::NodePool — [node header | keys | values/children] — so a
+// node's separators and child references share the node's cache lines,
+// and the whole tree lives in a few hugepage-backed slabs instead of one
+// heap allocation per node. Inner nodes store children as **32-bit
+// compressed references** (mem::NodePool slots, top bit = leaf pool):
+// half the pointer width of the heap design, decoded with one load from
+// the pool's slab table. Leaf chain pointers stay raw (slabs never
+// move). Clear()/teardown release slabs in O(slabs) without visiting
+// nodes. SIMDTREE_DISABLE_ARENA=1 falls back to one allocation per
+// block — same layout, heap placement — as the A/B baseline.
+//
+// Child references and values stay in logical (sorted) order regardless
+// of the key store's physical layout — the paper's locality property
+// that keeps updates node-local.
 //
 // Semantics: a multimap. Insert allows duplicate keys; Find returns some
 // occurrence's value; Erase removes one occurrence. Separator invariant is
@@ -42,14 +57,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <new>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "btree/batch_descent.h"
+#include "mem/arena.h"
 #include "util/counters.h"
 
 namespace simdtree::btree {
@@ -62,6 +81,7 @@ struct TreeStats {
   size_t keys = 0;
   size_t memory_bytes = 0;
   double avg_leaf_fill = 0.0;
+  mem::ArenaStats arena;  // merged leaf + inner pool occupancy
 };
 
 template <typename Key, typename Value, typename KeyStore>
@@ -71,18 +91,47 @@ class GenericBPlusTree {
   using ValueType = Value;
   using Context = typename KeyStore::Context;
 
+  // Compressed node reference: a mem::NodePool slot with the top bit
+  // distinguishing the leaf pool from the inner pool.
+  using NodeRef = uint32_t;
+  static constexpr NodeRef kLeafBit = 0x80000000u;
+
   class ConstIterator;
 
   struct Config {
     Context leaf_ctx;
     Context inner_ctx;
+    mem::ArenaOptions arena{};
   };
 
   // Contexts are heap-allocated because nodes keep stable pointers to
-  // them; moving the tree must not move the contexts.
+  // them; moving the tree must not move the contexts. Pool block sizes
+  // derive from the contexts: one block holds the node header, the key
+  // store's physical slots, and the values / child-ref array.
   explicit GenericBPlusTree(Config config)
       : leaf_ctx_(std::make_unique<Context>(std::move(config.leaf_ctx))),
-        inner_ctx_(std::make_unique<Context>(std::move(config.inner_ctx))) {
+        inner_ctx_(std::make_unique<Context>(std::move(config.inner_ctx))),
+        leaf_keys_off_(
+            mem::internal::AlignUp(sizeof(LeafNode), kKeyStorageAlign)),
+        leaf_values_off_(mem::internal::AlignUp(
+            leaf_keys_off_ +
+                static_cast<size_t>(leaf_ctx_->key_storage_slots()) *
+                    sizeof(Key),
+            alignof(Value))),
+        inner_keys_off_(
+            mem::internal::AlignUp(sizeof(InnerNode), kKeyStorageAlign)),
+        inner_children_off_(mem::internal::AlignUp(
+            inner_keys_off_ +
+                static_cast<size_t>(inner_ctx_->key_storage_slots()) *
+                    sizeof(Key),
+            alignof(NodeRef))),
+        leaf_pool_(leaf_values_off_ +
+                       static_cast<size_t>(leaf_ctx_->capacity) * sizeof(Value),
+                   config.arena.slab_bytes, RefPayloadBits(config.arena)),
+        inner_pool_(inner_children_off_ +
+                        (static_cast<size_t>(inner_ctx_->capacity) + 1) *
+                            sizeof(NodeRef),
+                    config.arena.slab_bytes, RefPayloadBits(config.arena)) {
     assert(leaf_ctx_->capacity >= 3);
     assert(inner_ctx_->capacity >= 3);
   }
@@ -92,6 +141,12 @@ class GenericBPlusTree {
   GenericBPlusTree(GenericBPlusTree&& other) noexcept
       : leaf_ctx_(std::move(other.leaf_ctx_)),
         inner_ctx_(std::move(other.inner_ctx_)),
+        leaf_keys_off_(other.leaf_keys_off_),
+        leaf_values_off_(other.leaf_values_off_),
+        inner_keys_off_(other.inner_keys_off_),
+        inner_children_off_(other.inner_children_off_),
+        leaf_pool_(std::move(other.leaf_pool_)),
+        inner_pool_(std::move(other.inner_pool_)),
         root_(other.root_),
         first_leaf_(other.first_leaf_),
         size_(other.size_) {
@@ -104,6 +159,12 @@ class GenericBPlusTree {
       Clear();
       leaf_ctx_ = std::move(other.leaf_ctx_);
       inner_ctx_ = std::move(other.inner_ctx_);
+      leaf_keys_off_ = other.leaf_keys_off_;
+      leaf_values_off_ = other.leaf_values_off_;
+      inner_keys_off_ = other.inner_keys_off_;
+      inner_children_off_ = other.inner_children_off_;
+      leaf_pool_ = std::move(other.leaf_pool_);
+      inner_pool_ = std::move(other.inner_pool_);
       root_ = other.root_;
       first_leaf_ = other.first_leaf_;
       size_ = other.size_;
@@ -119,12 +180,14 @@ class GenericBPlusTree {
   // --- modification ------------------------------------------------------
 
   // Inserts a key/value pair; duplicate keys are allowed and keep
-  // insertion order among equals.
+  // insertion order among equals. Throws std::bad_alloc if the 32-bit
+  // reference space of a pool is exhausted (≈2^31 nodes per kind at the
+  // default ArenaOptions).
   void Insert(Key key, Value value) {
     if (root_ == nullptr) {
       LeafNode* leaf = NewLeaf();
       leaf->keys.InsertAt(0, key);
-      leaf->values.insert(leaf->values.begin(), std::move(value));
+      leaf->values.insert(0, std::move(value));
       root_ = leaf;
       first_leaf_ = leaf;
       size_ = 1;
@@ -132,7 +195,7 @@ class GenericBPlusTree {
     }
     if (IsFull(root_)) {
       InnerNode* new_root = NewInner();
-      new_root->children.push_back(root_);
+      new_root->children.push_back(root_->self);
       SplitChild(new_root, 0);
       root_ = new_root;
     }
@@ -149,8 +212,18 @@ class GenericBPlusTree {
     return true;
   }
 
+  // O(slabs), not O(nodes): both pools release their slabs wholesale.
+  // Node destructors are skipped (nodes own nothing — keys and children
+  // live inside the block); values are destroyed only when Value has a
+  // non-trivial destructor.
   void Clear() {
-    if (root_ != nullptr) DeleteSubtree(root_);
+    if constexpr (!std::is_trivially_destructible_v<Value>) {
+      for (LeafNode* l = first_leaf_; l != nullptr; l = l->next) {
+        l->values.DestroyAll();
+      }
+    }
+    leaf_pool_.Reset();
+    inner_pool_.Reset();
     root_ = nullptr;
     first_leaf_ = nullptr;
     size_ = 0;
@@ -202,7 +275,8 @@ class GenericBPlusTree {
     while (!node->is_leaf) {
       ++counters->nodes_visited;
       const InnerNode* inner = static_cast<const InnerNode*>(node);
-      node = inner->children[static_cast<size_t>(inner->keys.UpperBound(key))];
+      node = DecodeRef(
+          inner->children[static_cast<size_t>(inner->keys.UpperBound(key))]);
     }
     ++counters->nodes_visited;
     const LeafNode* leaf = static_cast<const LeafNode*>(node);
@@ -280,7 +354,7 @@ class GenericBPlusTree {
     while (!node->is_leaf) {
       const InnerNode* inner = static_cast<const InnerNode*>(node);
       const int64_t idx = inner->keys.LowerBound(lo);
-      node = inner->children[static_cast<size_t>(idx)];
+      node = DecodeRef(inner->children[static_cast<size_t>(idx)]);
     }
     const LeafNode* leaf = static_cast<const LeafNode*>(node);
     int64_t pos = leaf->keys.LowerBound(lo);
@@ -299,8 +373,9 @@ class GenericBPlusTree {
   int height() const {
     int h = 0;
     for (const NodeBase* n = root_; n != nullptr;
-         n = n->is_leaf ? nullptr
-                        : static_cast<const InnerNode*>(n)->children[0]) {
+         n = n->is_leaf
+                 ? nullptr
+                 : DecodeRef(static_cast<const InnerNode*>(n)->children[0])) {
       ++h;
     }
     return h;
@@ -316,23 +391,28 @@ class GenericBPlusTree {
       if (node->is_leaf) {
         const LeafNode* leaf = static_cast<const LeafNode*>(node);
         ++s.leaf_nodes;
-        s.memory_bytes += sizeof(LeafNode) + leaf->keys.MemoryBytes() +
-                          leaf->values.capacity() * sizeof(Value);
+        s.memory_bytes += leaf_pool_.block_bytes();
         fill_sum += static_cast<double>(leaf->keys.count()) /
                     static_cast<double>(leaf->keys.capacity());
       } else {
-        const InnerNode* inner = static_cast<const InnerNode*>(node);
         ++s.inner_nodes;
-        s.memory_bytes += sizeof(InnerNode) + inner->keys.MemoryBytes() +
-                          inner->children.capacity() * sizeof(NodeBase*);
+        s.memory_bytes += inner_pool_.block_bytes();
       }
     });
     s.avg_leaf_fill =
         s.leaf_nodes > 0 ? fill_sum / static_cast<double>(s.leaf_nodes) : 0.0;
+    s.arena = MemStats();
     return s;
   }
 
   size_t MemoryBytes() const { return Stats().memory_bytes; }
+
+  // Merged occupancy of the leaf and inner pools; O(slabs).
+  mem::ArenaStats MemStats() const {
+    mem::ArenaStats s = leaf_pool_.Stats();
+    s.Merge(inner_pool_.Stats());
+    return s;
+  }
 
   // Checks every structural invariant; returns false (and stops) on the
   // first violation. Used heavily by the randomized model tests.
@@ -392,24 +472,125 @@ class GenericBPlusTree {
 
  private:
   struct NodeBase {
-    explicit NodeBase(bool leaf) : is_leaf(leaf) {}
+    NodeBase(bool leaf, NodeRef self_ref) : self(self_ref), is_leaf(leaf) {}
+    const NodeRef self;  // this node's compressed reference
     const bool is_leaf;
   };
 
-  struct InnerNode : NodeBase {
-    explicit InnerNode(const Context& ctx) : NodeBase(false), keys(ctx) {
-      children.reserve(static_cast<size_t>(ctx.capacity) + 1);
+  // Fixed-capacity array of child references living inside the node
+  // block (storage follows the key slots; capacity+1 entries). Explicit
+  // size because the count+1 invariant is checked by Validate.
+  class ChildArray {
+   public:
+    explicit ChildArray(NodeRef* storage) : data_(storage) {}
+    size_t size() const { return static_cast<size_t>(size_); }
+    const NodeRef* data() const { return data_; }
+    NodeRef operator[](size_t i) const { return data_[i]; }
+    NodeRef front() const { return data_[0]; }
+    NodeRef back() const { return data_[size_ - 1]; }
+    void push_back(NodeRef r) { data_[size_++] = r; }
+    void pop_back() { --size_; }
+    void insert(int64_t pos, NodeRef r) {
+      std::memmove(data_ + pos + 1, data_ + pos,
+                   static_cast<size_t>(size_ - pos) * sizeof(NodeRef));
+      data_[pos] = r;
+      ++size_;
     }
+    void erase(int64_t pos) {
+      std::memmove(data_ + pos, data_ + pos + 1,
+                   static_cast<size_t>(size_ - pos - 1) * sizeof(NodeRef));
+      --size_;
+    }
+    // this := src[from..); used by inner-node split.
+    void AssignTail(const ChildArray& src, int64_t from) {
+      size_ = static_cast<int32_t>(src.size_ - from);
+      std::memcpy(data_, src.data_ + from,
+                  static_cast<size_t>(size_) * sizeof(NodeRef));
+    }
+    void AppendAll(const ChildArray& src) {
+      std::memcpy(data_ + size_, src.data_,
+                  static_cast<size_t>(src.size_) * sizeof(NodeRef));
+      size_ += src.size_;
+    }
+    void truncate(int64_t n) { size_ = static_cast<int32_t>(n); }
+
+   private:
+    NodeRef* data_;
+    int32_t size_ = 0;
+  };
+
+  // Fixed-capacity value array living inside the leaf block (storage
+  // follows the key slots). Elements in [0, size) are constructed.
+  class ValueArray {
+   public:
+    explicit ValueArray(Value* storage) : data_(storage) {}
+    size_t size() const { return static_cast<size_t>(size_); }
+    Value& operator[](size_t i) { return data_[i]; }
+    const Value& operator[](size_t i) const { return data_[i]; }
+    Value& front() { return data_[0]; }
+    Value& back() { return data_[size_ - 1]; }
+    void push_back(Value v) { new (data_ + size_++) Value(std::move(v)); }
+    void pop_back() { data_[--size_].~Value(); }
+    void insert(int64_t pos, Value v) {
+      if (pos == size_) {
+        new (data_ + size_) Value(std::move(v));
+      } else {
+        new (data_ + size_) Value(std::move(data_[size_ - 1]));
+        for (int64_t i = size_ - 1; i > pos; --i) {
+          data_[i] = std::move(data_[i - 1]);
+        }
+        data_[pos] = std::move(v);
+      }
+      ++size_;
+    }
+    void erase(int64_t pos) {
+      for (int64_t i = pos; i + 1 < size_; ++i) {
+        data_[i] = std::move(data_[i + 1]);
+      }
+      data_[--size_].~Value();
+    }
+    // Moves src[from..) onto the end of this array and truncates src;
+    // used by leaf split (from = mid) and merge (from = 0).
+    void MoveTailFrom(ValueArray& src, int64_t from) {
+      for (int64_t i = from; i < src.size_; ++i) {
+        new (data_ + size_++) Value(std::move(src.data_[i]));
+        src.data_[i].~Value();
+      }
+      src.size_ = from;
+    }
+    void AssignCopy(const Value* src, int64_t n) {
+      assert(size_ == 0);
+      for (int64_t i = 0; i < n; ++i) new (data_ + i) Value(src[i]);
+      size_ = n;
+    }
+    void DestroyAll() {
+      for (int64_t i = 0; i < size_; ++i) data_[i].~Value();
+      size_ = 0;
+    }
+
+   private:
+    Value* data_;
+    int64_t size_ = 0;
+  };
+
+  struct InnerNode : NodeBase {
+    InnerNode(const Context& ctx, NodeRef self_ref, Key* key_storage,
+              NodeRef* child_storage)
+        : NodeBase(false, self_ref),
+          keys(ctx, key_storage),
+          children(child_storage) {}
     KeyStore keys;
-    std::vector<NodeBase*> children;  // count() + 1 entries, logical order
+    ChildArray children;  // count() + 1 entries, logical order
   };
 
   struct LeafNode : NodeBase {
-    explicit LeafNode(const Context& ctx) : NodeBase(true), keys(ctx) {
-      values.reserve(static_cast<size_t>(ctx.capacity));
-    }
+    LeafNode(const Context& ctx, NodeRef self_ref, Key* key_storage,
+             Value* value_storage)
+        : NodeBase(true, self_ref),
+          keys(ctx, key_storage),
+          values(value_storage) {}
     KeyStore keys;
-    std::vector<Value> values;  // parallel to logical key order
+    ValueArray values;  // parallel to logical key order
     LeafNode* next = nullptr;
     LeafNode* prev = nullptr;
   };
@@ -420,8 +601,59 @@ class GenericBPlusTree {
 
   // --- node helpers -------------------------------------------------------
 
-  LeafNode* NewLeaf() { return new LeafNode(*leaf_ctx_); }
-  InnerNode* NewInner() { return new InnerNode(*inner_ctx_); }
+  // Key slots are 16-byte aligned inside the block so the SIMD key
+  // stores keep the load alignment the heap allocator used to provide.
+  static constexpr size_t kKeyStorageAlign =
+      alignof(Key) > 16 ? alignof(Key) : 16;
+  static_assert(alignof(Value) <= mem::kCacheLine);
+  static_assert(alignof(Key) <= mem::kCacheLine);
+
+  // Pools get at most 31 payload bits: the 32nd bit of a NodeRef is the
+  // leaf/inner tag.
+  static uint32_t RefPayloadBits(const mem::ArenaOptions& opts) {
+    return std::min<uint32_t>(opts.max_slot_bits, 31);
+  }
+
+  NodeBase* DecodeRef(NodeRef ref) const {
+    return (ref & kLeafBit) != 0
+               ? static_cast<NodeBase*>(static_cast<LeafNode*>(
+                     leaf_pool_.Decode(ref & ~kLeafBit)))
+               : static_cast<NodeBase*>(
+                     static_cast<InnerNode*>(inner_pool_.Decode(ref)));
+  }
+
+  LeafNode* NewLeaf() {
+    uint32_t slot = 0;
+    void* block = leaf_pool_.Alloc(&slot);
+    if (block == nullptr) throw std::bad_alloc();  // ref space exhausted
+    char* base = static_cast<char*>(block);
+    return new (block)
+        LeafNode(*leaf_ctx_, slot | kLeafBit,
+                 reinterpret_cast<Key*>(base + leaf_keys_off_),
+                 reinterpret_cast<Value*>(base + leaf_values_off_));
+  }
+  InnerNode* NewInner() {
+    uint32_t slot = 0;
+    void* block = inner_pool_.Alloc(&slot);
+    if (block == nullptr) throw std::bad_alloc();  // ref space exhausted
+    char* base = static_cast<char*>(block);
+    return new (block)
+        InnerNode(*inner_ctx_, slot,
+                  reinterpret_cast<Key*>(base + inner_keys_off_),
+                  reinterpret_cast<NodeRef*>(base + inner_children_off_));
+  }
+
+  void FreeLeaf(LeafNode* leaf) {
+    const NodeRef ref = leaf->self;
+    leaf->values.DestroyAll();
+    leaf->~LeafNode();
+    leaf_pool_.Free(leaf, ref & ~kLeafBit);
+  }
+  void FreeInner(InnerNode* inner) {
+    const NodeRef ref = inner->self;
+    inner->~InnerNode();
+    inner_pool_.Free(inner, ref);
+  }
 
   int64_t CapacityOf(const NodeBase* n) const {
     return n->is_leaf ? leaf_ctx_->capacity : inner_ctx_->capacity;
@@ -438,21 +670,11 @@ class GenericBPlusTree {
   // and leaves ceil/floor halves of cap-1 keys.
   int64_t MinKeys(const NodeBase* n) const { return (CapacityOf(n) - 1) / 2; }
 
-  void DeleteSubtree(NodeBase* node) {
-    if (node->is_leaf) {
-      delete static_cast<LeafNode*>(node);
-      return;
-    }
-    InnerNode* inner = static_cast<InnerNode*>(node);
-    for (NodeBase* child : inner->children) DeleteSubtree(child);
-    delete inner;
-  }
-
   const LeafNode* LeftmostLeaf() const {
     const NodeBase* n = root_;
     if (n == nullptr) return nullptr;
     while (!n->is_leaf) {
-      n = static_cast<const InnerNode*>(n)->children[0];
+      n = DecodeRef(static_cast<const InnerNode*>(n)->children[0]);
     }
     return static_cast<const LeafNode*>(n);
   }
@@ -461,7 +683,7 @@ class GenericBPlusTree {
 
   // Splits the full child at `idx` of `parent` (which has spare room).
   void SplitChild(InnerNode* parent, int64_t idx) {
-    NodeBase* child = parent->children[static_cast<size_t>(idx)];
+    NodeBase* child = DecodeRef(parent->children[static_cast<size_t>(idx)]);
     Key separator;
     NodeBase* right_node = nullptr;
     if (child->is_leaf) {
@@ -469,11 +691,7 @@ class GenericBPlusTree {
       LeafNode* right = NewLeaf();
       const int64_t mid = left->keys.count() / 2;
       left->keys.MoveSuffixTo(right->keys, mid);
-      right->values.assign(
-          std::make_move_iterator(left->values.begin() +
-                                  static_cast<ptrdiff_t>(mid)),
-          std::make_move_iterator(left->values.end()));
-      left->values.resize(static_cast<size_t>(mid));
+      right->values.MoveTailFrom(left->values, mid);
       right->next = left->next;
       if (right->next != nullptr) right->next->prev = right;
       right->prev = left;
@@ -485,37 +703,34 @@ class GenericBPlusTree {
       InnerNode* right = NewInner();
       const int64_t mid = left->keys.count() / 2;
       // Promote the middle separator; keys right of it move to the new
-      // node together with their child pointers.
+      // node together with their child references.
       separator = left->keys.At(mid);
       left->keys.MoveSuffixTo(right->keys, mid + 1);
-      right->children.assign(
-          left->children.begin() + static_cast<ptrdiff_t>(mid + 1),
-          left->children.end());
-      left->children.resize(static_cast<size_t>(mid + 1));
+      right->children.AssignTail(left->children, mid + 1);
+      left->children.truncate(mid + 1);
       left->keys.RemoveAt(mid);
       right_node = right;
     }
     parent->keys.InsertAt(idx, separator);
-    parent->children.insert(
-        parent->children.begin() + static_cast<ptrdiff_t>(idx + 1),
-        right_node);
+    parent->children.insert(idx + 1, right_node->self);
   }
 
   void InsertNonFull(NodeBase* node, Key key, Value value) {
     while (!node->is_leaf) {
       InnerNode* inner = static_cast<InnerNode*>(node);
       int64_t idx = inner->keys.UpperBound(key);
-      if (IsFull(inner->children[static_cast<size_t>(idx)])) {
+      NodeBase* child = DecodeRef(inner->children[static_cast<size_t>(idx)]);
+      if (IsFull(child)) {
         SplitChild(inner, idx);
         idx = inner->keys.UpperBound(key);
+        child = DecodeRef(inner->children[static_cast<size_t>(idx)]);
       }
-      node = inner->children[static_cast<size_t>(idx)];
+      node = child;
     }
     LeafNode* leaf = static_cast<LeafNode*>(node);
     const int64_t pos = leaf->keys.UpperBound(key);
     leaf->keys.InsertAt(pos, key);
-    leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(pos),
-                        std::move(value));
+    leaf->values.insert(pos, std::move(value));
   }
 
   // --- lookup helpers -----------------------------------------------------
@@ -534,7 +749,8 @@ class GenericBPlusTree {
     const NodeBase* node = root_;
     while (!node->is_leaf) {
       const InnerNode* inner = static_cast<const InnerNode*>(node);
-      node = inner->children[static_cast<size_t>(inner->keys.UpperBound(key))];
+      node = DecodeRef(
+          inner->children[static_cast<size_t>(inner->keys.UpperBound(key))]);
     }
     const LeafNode* leaf = static_cast<const LeafNode*>(node);
     int64_t pos = leaf->keys.UpperBound(key);
@@ -557,8 +773,7 @@ class GenericBPlusTree {
         return false;
       }
       leaf->keys.RemoveAt(pos);
-      leaf->values.erase(leaf->values.begin() +
-                         static_cast<ptrdiff_t>(pos));
+      leaf->values.erase(pos);
       return true;
     }
     InnerNode* inner = static_cast<InnerNode*>(node);
@@ -568,7 +783,7 @@ class GenericBPlusTree {
     const int64_t lo = inner->keys.LowerBound(key);
     const int64_t hi = inner->keys.UpperBound(key);
     for (int64_t idx = lo; idx <= hi; ++idx) {
-      NodeBase* child = inner->children[static_cast<size_t>(idx)];
+      NodeBase* child = DecodeRef(inner->children[static_cast<size_t>(idx)]);
       if (EraseRec(child, key)) {
         if (CountOf(child) < MinKeys(child)) RepairChild(inner, idx);
         return true;
@@ -581,13 +796,15 @@ class GenericBPlusTree {
   // sibling or merging with one. The parent may underflow as a result;
   // its own parent repairs it on the unwind.
   void RepairChild(InnerNode* parent, int64_t idx) {
-    NodeBase* child = parent->children[static_cast<size_t>(idx)];
+    NodeBase* child = DecodeRef(parent->children[static_cast<size_t>(idx)]);
     const int64_t n_children = static_cast<int64_t>(parent->children.size());
     NodeBase* left_sib =
-        idx > 0 ? parent->children[static_cast<size_t>(idx - 1)] : nullptr;
-    NodeBase* right_sib = idx + 1 < n_children
-                              ? parent->children[static_cast<size_t>(idx + 1)]
-                              : nullptr;
+        idx > 0 ? DecodeRef(parent->children[static_cast<size_t>(idx - 1)])
+                : nullptr;
+    NodeBase* right_sib =
+        idx + 1 < n_children
+            ? DecodeRef(parent->children[static_cast<size_t>(idx + 1)])
+            : nullptr;
     if (left_sib != nullptr && CountOf(left_sib) > MinKeys(left_sib)) {
       BorrowFromLeft(parent, idx, left_sib, child);
     } else if (right_sib != nullptr &&
@@ -609,8 +826,7 @@ class GenericBPlusTree {
       const int64_t last = left->keys.count() - 1;
       const Key moved = left->keys.At(last);
       child->keys.InsertAt(0, moved);
-      child->values.insert(child->values.begin(),
-                           std::move(left->values.back()));
+      child->values.insert(0, std::move(left->values.back()));
       left->values.pop_back();
       left->keys.RemoveAt(last);
       // Separator between left and child = first key of child's subtree.
@@ -625,8 +841,7 @@ class GenericBPlusTree {
       const Key down = parent->keys.At(idx - 1);
       const Key up = left->keys.At(last);
       child->keys.InsertAt(0, down);
-      child->children.insert(child->children.begin(),
-                             left->children.back());
+      child->children.insert(0, left->children.back());
       left->children.pop_back();
       left->keys.RemoveAt(last);
       parent->keys.RemoveAt(idx - 1);
@@ -642,7 +857,7 @@ class GenericBPlusTree {
       const Key moved = right->keys.At(0);
       child->keys.InsertAt(child->keys.count(), moved);
       child->values.push_back(std::move(right->values.front()));
-      right->values.erase(right->values.begin());
+      right->values.erase(0);
       right->keys.RemoveAt(0);
       parent->keys.RemoveAt(idx);
       parent->keys.InsertAt(idx, right->keys.At(0));
@@ -653,51 +868,48 @@ class GenericBPlusTree {
       const Key up = right->keys.At(0);
       child->keys.InsertAt(child->keys.count(), down);
       child->children.push_back(right->children.front());
-      right->children.erase(right->children.begin());
+      right->children.erase(0);
       right->keys.RemoveAt(0);
       parent->keys.RemoveAt(idx);
       parent->keys.InsertAt(idx, up);
     }
   }
 
-  // Merges children[idx] and children[idx+1]; the right node is freed.
+  // Merges children[idx] and children[idx+1]; the right node is freed
+  // back to its pool (the slot goes on the free list for reuse).
   void MergeChildren(InnerNode* parent, int64_t idx) {
-    NodeBase* left_base = parent->children[static_cast<size_t>(idx)];
-    NodeBase* right_base = parent->children[static_cast<size_t>(idx + 1)];
+    NodeBase* left_base = DecodeRef(parent->children[static_cast<size_t>(idx)]);
+    NodeBase* right_base =
+        DecodeRef(parent->children[static_cast<size_t>(idx + 1)]);
     if (left_base->is_leaf) {
       LeafNode* left = static_cast<LeafNode*>(left_base);
       LeafNode* right = static_cast<LeafNode*>(right_base);
       left->keys.AppendFrom(right->keys);
-      left->values.insert(left->values.end(),
-                          std::make_move_iterator(right->values.begin()),
-                          std::make_move_iterator(right->values.end()));
+      left->values.MoveTailFrom(right->values, 0);
       left->next = right->next;
       if (left->next != nullptr) left->next->prev = left;
-      delete right;
+      FreeLeaf(right);
     } else {
       InnerNode* left = static_cast<InnerNode*>(left_base);
       InnerNode* right = static_cast<InnerNode*>(right_base);
       // The parent separator drops down between the merged key runs.
       left->keys.InsertAt(left->keys.count(), parent->keys.At(idx));
       left->keys.AppendFrom(right->keys);
-      left->children.insert(left->children.end(), right->children.begin(),
-                            right->children.end());
-      delete right;
+      left->children.AppendAll(right->children);
+      FreeInner(right);
     }
     parent->keys.RemoveAt(idx);
-    parent->children.erase(parent->children.begin() +
-                           static_cast<ptrdiff_t>(idx + 1));
+    parent->children.erase(idx + 1);
   }
 
   void ShrinkRoot() {
     while (root_ != nullptr && !root_->is_leaf && CountOf(root_) == 0) {
       InnerNode* old_root = static_cast<InnerNode*>(root_);
-      root_ = old_root->children[0];
-      old_root->children.clear();
-      delete old_root;
+      root_ = DecodeRef(old_root->children[0]);
+      FreeInner(old_root);
     }
     if (root_ != nullptr && root_->is_leaf && CountOf(root_) == 0) {
-      delete static_cast<LeafNode*>(root_);
+      FreeLeaf(static_cast<LeafNode*>(root_));
       root_ = nullptr;
       first_leaf_ = nullptr;
     }
@@ -756,9 +968,9 @@ class GenericBPlusTree {
         child_hi = inner->keys.At(i);
         hi_ptr = &child_hi;
       }
-      if (!ValidateRec(inner->children[static_cast<size_t>(i)], depth + 1,
-                       false, leaf_depth, counted, prev_leaf, lo_ptr,
-                       hi_ptr)) {
+      if (!ValidateRec(DecodeRef(inner->children[static_cast<size_t>(i)]),
+                       depth + 1, false, leaf_depth, counted, prev_leaf,
+                       lo_ptr, hi_ptr)) {
         return false;
       }
     }
@@ -782,7 +994,9 @@ class GenericBPlusTree {
       std::fprintf(out, " %lld", static_cast<long long>(inner->keys.At(i)));
     }
     std::fprintf(out, "\n");
-    for (const NodeBase* c : inner->children) DumpRec(c, depth + 1, out);
+    for (size_t i = 0; i < inner->children.size(); ++i) {
+      DumpRec(DecodeRef(inner->children[i]), depth + 1, out);
+    }
   }
 
   template <typename Fn>
@@ -795,7 +1009,9 @@ class GenericBPlusTree {
       fn(node);
       if (!node->is_leaf) {
         const InnerNode* inner = static_cast<const InnerNode*>(node);
-        for (const NodeBase* c : inner->children) stack.push_back(c);
+        for (size_t i = 0; i < inner->children.size(); ++i) {
+          stack.push_back(DecodeRef(inner->children[i]));
+        }
       }
     }
   }
@@ -843,7 +1059,7 @@ class GenericBPlusTree {
                                      min_leaf, leaf_cap);
       LeafNode* leaf = NewLeaf();
       leaf->keys.AssignSorted(keys + i, take);
-      leaf->values.assign(values + i, values + i + take);
+      leaf->values.AssignCopy(values + i, take);
       leaf->prev = prev;
       if (prev != nullptr) prev->next = leaf;
       if (first_leaf_ == nullptr) first_leaf_ = leaf;
@@ -870,7 +1086,7 @@ class GenericBPlusTree {
         InnerNode* node = NewInner();
         for (int64_t c = 0; c < take; ++c) {
           const Entry& e = level[j + static_cast<size_t>(c)];
-          node->children.push_back(e.node);
+          node->children.push_back(e.node->self);
           if (c > 0) node->keys.InsertAt(node->keys.count(), e.min_key);
         }
         next_level.push_back({node, level[j].min_key});
@@ -883,6 +1099,13 @@ class GenericBPlusTree {
 
   std::unique_ptr<Context> leaf_ctx_;
   std::unique_ptr<Context> inner_ctx_;
+  // Block layout offsets: [node header | pad | keys | pad | payload].
+  size_t leaf_keys_off_ = 0;
+  size_t leaf_values_off_ = 0;
+  size_t inner_keys_off_ = 0;
+  size_t inner_children_off_ = 0;
+  mem::NodePool leaf_pool_;
+  mem::NodePool inner_pool_;
   NodeBase* root_ = nullptr;
   LeafNode* first_leaf_ = nullptr;
   size_t size_ = 0;

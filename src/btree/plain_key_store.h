@@ -4,6 +4,11 @@
 // This is one of the two interchangeable key-store policies of
 // GenericBPlusTree (see generic_btree.h for the policy contract); the
 // other is the linearized SIMD store in src/segtree/seg_key_store.h.
+//
+// Storage: the store is a view over a fixed array of
+// Context::key_storage_slots() keys. Inside a tree the array is a slice
+// of the node's arena block (keys share the node's cache lines);
+// standalone stores (tests, fixtures) own a buffer themselves.
 
 #ifndef SIMDTREE_BTREE_PLAIN_KEY_STORE_H_
 #define SIMDTREE_BTREE_PLAIN_KEY_STORE_H_
@@ -11,6 +16,9 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "kary/scalar_search.h"
@@ -37,19 +45,31 @@ struct SequentialSearchTag {
 
 template <typename Key, typename SearchTag = BinarySearchTag>
 class PlainKeyStore {
+  static_assert(std::is_trivially_copyable_v<Key>,
+                "keys move with memcpy/memmove");
+
  public:
   // Shared per-tree state for one node kind. The plain store only needs
   // the node capacity.
   struct Context {
     explicit Context(int64_t capacity_in) : capacity(capacity_in) {}
     int64_t capacity;
+    // Physical Key slots a node block reserves for this store.
+    int64_t key_storage_slots() const { return capacity; }
   };
 
-  explicit PlainKeyStore(const Context& ctx) : ctx_(&ctx) {
-    keys_.reserve(static_cast<size_t>(ctx.capacity));
-  }
+  // Standalone store owning its key storage (tests, fixtures).
+  explicit PlainKeyStore(const Context& ctx)
+      : ctx_(&ctx),
+        owned_(static_cast<size_t>(ctx.key_storage_slots())),
+        keys_(owned_.data()) {}
 
-  int64_t count() const { return static_cast<int64_t>(keys_.size()); }
+  // In-node store over external storage of ctx.key_storage_slots() keys
+  // (a slice of the node's arena block, see generic_btree.h).
+  PlainKeyStore(const Context& ctx, Key* storage)
+      : ctx_(&ctx), keys_(storage) {}
+
+  int64_t count() const { return count_; }
   int64_t capacity() const { return ctx_->capacity; }
 
   Key At(int64_t pos) const {
@@ -59,18 +79,16 @@ class PlainKeyStore {
 
   // Index of the first key > v.
   int64_t UpperBound(Key v) const {
-    return SearchTag::template UpperBound<Key>(keys_.data(), count(), v);
+    return SearchTag::template UpperBound<Key>(keys_, count_, v);
   }
 
   // Prefetches the key storage ahead of an UpperBound call (batch
-  // descent, see btree/batch_descent.h). The key array is a separate
-  // allocation from the node, so touching it is the second dependent miss
-  // of a node visit; fetch the line a binary search probes first (the
-  // middle) plus the array head that a sequential search starts from.
+  // descent, see btree/batch_descent.h); fetch the line a binary search
+  // probes first (the middle) plus the array head that a sequential
+  // search starts from.
   void PrefetchKeys() const {
-    const Key* data = keys_.data();
-    __builtin_prefetch(data, 0, 3);
-    __builtin_prefetch(data + keys_.size() / 2, 0, 3);
+    __builtin_prefetch(keys_, 0, 3);
+    __builtin_prefetch(keys_ + count_ / 2, 0, 3);
   }
 
   // Index of the first key >= v.
@@ -82,41 +100,54 @@ class PlainKeyStore {
   void InsertAt(int64_t pos, Key k) {
     assert(pos >= 0 && pos <= count());
     assert(count() < capacity());
-    keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(pos), k);
+    std::memmove(keys_ + pos + 1, keys_ + pos,
+                 static_cast<size_t>(count_ - pos) * sizeof(Key));
+    keys_[pos] = k;
+    ++count_;
   }
 
   void RemoveAt(int64_t pos) {
     assert(pos >= 0 && pos < count());
-    keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pos));
+    std::memmove(keys_ + pos, keys_ + pos + 1,
+                 static_cast<size_t>(count_ - pos - 1) * sizeof(Key));
+    --count_;
   }
 
   void AssignSorted(const Key* keys, int64_t n) {
     assert(n <= capacity());
-    keys_.assign(keys, keys + n);
+    std::memcpy(keys_, keys, static_cast<size_t>(n) * sizeof(Key));
+    count_ = n;
   }
 
-  void Clear() { keys_.clear(); }
+  void Clear() { count_ = 0; }
 
   // Moves keys [from, count) into the empty store `dst` (node split).
   void MoveSuffixTo(PlainKeyStore& dst, int64_t from) {
     assert(dst.count() == 0);
-    dst.keys_.assign(keys_.begin() + static_cast<ptrdiff_t>(from),
-                     keys_.end());
-    keys_.resize(static_cast<size_t>(from));
+    std::memcpy(dst.keys_, keys_ + from,
+                static_cast<size_t>(count_ - from) * sizeof(Key));
+    dst.count_ = count_ - from;
+    count_ = from;
   }
 
   // Appends all keys of `src` (node merge); src is left empty.
   void AppendFrom(PlainKeyStore& src) {
     assert(count() + src.count() <= capacity());
-    keys_.insert(keys_.end(), src.keys_.begin(), src.keys_.end());
-    src.keys_.clear();
+    std::memcpy(keys_ + count_, src.keys_,
+                static_cast<size_t>(src.count_) * sizeof(Key));
+    count_ += src.count_;
+    src.count_ = 0;
   }
 
-  size_t MemoryBytes() const { return keys_.capacity() * sizeof(Key); }
+  size_t MemoryBytes() const {
+    return static_cast<size_t>(ctx_->capacity) * sizeof(Key);
+  }
 
  private:
   const Context* ctx_;
-  std::vector<Key> keys_;
+  std::vector<Key> owned_;  // standalone mode only; empty when external
+  Key* keys_;
+  int64_t count_ = 0;
 };
 
 }  // namespace simdtree::btree

@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/arena.h"
 #include "obs/metrics.h"
 
 namespace simdtree {
@@ -247,6 +248,18 @@ class ShardedIndex {
         }
       }
     }
+  }
+
+  // Merged arena occupancy across all shards (all-zero when the index
+  // type is not arena-backed), one shared lock at a time — the same
+  // per-shard snapshot semantics as size().
+  mem::ArenaStats MemStats() const {
+    mem::ArenaStats total;
+    ForEachShardRead([&total](size_t, const Index& index) {
+      total.Merge(mem::IndexMemStats(index));
+    });
+    if (metrics_) metrics_->PublishArena(total);
+    return total;
   }
 
   // Runs fn(key, value) over [lo, hi) (or [lo, hi] when hi_inclusive)

@@ -23,6 +23,7 @@
 #include <string>
 #include <utility>
 
+#include "mem/arena.h"
 #include "obs/metrics.h"
 
 namespace simdtree {
@@ -120,6 +121,16 @@ class SynchronizedIndex {
   size_t size() const {
     std::shared_lock lock(mutex_);
     return index_.size();
+  }
+
+  // Arena occupancy of the wrapped index (all-zero when the index is not
+  // arena-backed), taken under the shared lock. With metrics enabled,
+  // also refreshes the <prefix>.arena_* gauges.
+  mem::ArenaStats MemStats() const {
+    std::shared_lock lock(mutex_);
+    const mem::ArenaStats s = mem::IndexMemStats(index_);
+    if (metrics_) metrics_->PublishArena(s);
+    return s;
   }
 
   // Runs fn(key, value) over [lo, hi) under the shared lock; fn must not

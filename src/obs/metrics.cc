@@ -117,6 +117,9 @@ IndexMetrics IndexMetrics::Register(const std::string& prefix) {
   m.read_lock_ns = reg.GetHistogram(prefix + ".read_lock_ns");
   m.write_lock_ns = reg.GetHistogram(prefix + ".write_lock_ns");
   m.shard_imbalance = reg.GetGauge(prefix + ".shard_imbalance");
+  m.arena_bytes = reg.GetGauge(prefix + ".arena_bytes");
+  m.arena_utilization = reg.GetGauge(prefix + ".arena_utilization");
+  m.arena_slabs = reg.GetGauge(prefix + ".arena_slabs");
   return m;
 }
 

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 
+#include "mem/arena.h"
 #include "obs/histogram.h"
 #include "util/cycle_timer.h"
 
@@ -105,9 +106,21 @@ struct IndexMetrics {
   LogHistogram* read_lock_ns = nullptr;   // shared-lock hold times
   LogHistogram* write_lock_ns = nullptr;  // exclusive-lock hold times
   Gauge* shard_imbalance = nullptr;  // sharded only: max/mean batch share
+  Gauge* arena_bytes = nullptr;        // reserved arena slab bytes
+  Gauge* arena_utilization = nullptr;  // live block bytes / reserved bytes
+  Gauge* arena_slabs = nullptr;        // slab count across pools
 
   // Resolves the full set under `prefix` in the global registry.
   static IndexMetrics Register(const std::string& prefix);
+
+  // Publishes an arena snapshot (mem/arena.h) into the gauges. The
+  // wrappers call this from MemStats(), so the gauges track whenever the
+  // caller polls occupancy.
+  void PublishArena(const mem::ArenaStats& s) const {
+    arena_bytes->Set(static_cast<double>(s.reserved_bytes));
+    arena_utilization->Set(s.utilization());
+    arena_slabs->Set(static_cast<double>(s.slab_count));
+  }
 };
 
 // Records the enclosing scope's duration in nanoseconds into `hist` on

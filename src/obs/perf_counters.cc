@@ -35,6 +35,9 @@ constexpr EventSpec kEventSpecs[] = {
      PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
          (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
     {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
 };
 
 int OpenEvent(const EventSpec& spec, int group_fd) {
@@ -143,6 +146,7 @@ HwCounts PerfCounterGroup::Stop() {
   out.instructions = static_cast<double>(reading.values[1]) * scale;
   out.llc_misses = static_cast<double>(reading.values[2]) * scale;
   out.branch_misses = static_cast<double>(reading.values[3]) * scale;
+  out.dtlb_misses = static_cast<double>(reading.values[4]) * scale;
 #endif
   return out;
 }

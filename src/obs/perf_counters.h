@@ -8,8 +8,12 @@
 //
 // Design:
 //   * One perf event *group* (cycles leader + instructions +
-//     LLC-load-misses + branch-misses) so all four events are scheduled
-//     onto the PMU together and read atomically with one read(2).
+//     LLC-load-misses + branch-misses + dTLB-load-misses) so all five
+//     events are scheduled onto the PMU together and read atomically
+//     with one read(2). Five events can exceed the programmable counters
+//     of some PMUs; the kernel then refuses to co-schedule the group and
+//     the time_running checks below degrade the sample to invalid rather
+//     than report skewed counts.
 //   * Multiplexing-aware: the kernel time-shares the PMU when more
 //     groups are open than there are hardware counters; the read format
 //     includes time_enabled/time_running and every count is scaled by
@@ -52,13 +56,15 @@ struct HwCounts {
   double instructions = 0.0;
   double llc_misses = 0.0;     // LLC-load-misses (demand loads)
   double branch_misses = 0.0;  // mispredicted retired branches
+  double dtlb_misses = 0.0;    // dTLB-load-misses (page-walk triggers)
   double scale = 1.0;
 
   double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
 };
 
-// RAII group of the four paper events around a measured region. Not
-// thread-safe; create one per measuring thread.
+// RAII group of the four paper events plus dTLB-load-misses (the
+// hugepage-arena diagnostic, see mem/arena.h) around a measured region.
+// Not thread-safe; create one per measuring thread.
 class PerfCounterGroup {
  public:
   // Opens the event group for the calling thread. Failure is not an
@@ -93,9 +99,9 @@ class PerfCounterGroup {
   }
 
  private:
-  static constexpr int kEvents = 4;
+  static constexpr int kEvents = 5;
   int leader_fd_ = -1;
-  int fds_[kEvents] = {-1, -1, -1, -1};
+  int fds_[kEvents] = {-1, -1, -1, -1, -1};
 };
 
 }  // namespace simdtree::obs

@@ -14,6 +14,12 @@
 //
 // Padding slots hold PadValue<Key>() (see linearize.h), so appends never
 // need to refresh existing padding.
+//
+// Storage: the store is a view over a fixed array of
+// Context::key_storage_slots() keys (the layout's full slot count).
+// Inside a tree the array is a slice of the node's arena block;
+// standalone stores (tests, fixtures) own a buffer themselves. Slots
+// beyond stored_slots() are unmaterialized (never read).
 
 #ifndef SIMDTREE_SEGTREE_SEG_KEY_STORE_H_
 #define SIMDTREE_SEGTREE_SEG_KEY_STORE_H_
@@ -21,6 +27,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "kary/kary_search.h"
@@ -61,9 +68,21 @@ class SegKeyStore {
     kary::Storage storage;
     kary::KaryLayout layout;
     mutable std::vector<Key> scratch;
+
+    // Physical Key slots a node block reserves for this store: the full
+    // layout, so a node never reallocates as it fills.
+    int64_t key_storage_slots() const { return layout.slots(); }
   };
 
-  explicit SegKeyStore(const Context& ctx) : ctx_(&ctx) {}
+  // Standalone store owning its key storage (tests, fixtures).
+  explicit SegKeyStore(const Context& ctx)
+      : ctx_(&ctx),
+        owned_(static_cast<size_t>(ctx.key_storage_slots())),
+        lin_(owned_.data()) {}
+
+  // In-node store over external storage of ctx.key_storage_slots() keys
+  // (a slice of the node's arena block, see generic_btree.h).
+  SegKeyStore(const Context& ctx, Key* storage) : ctx_(&ctx), lin_(storage) {}
 
   int64_t count() const { return count_; }
   int64_t capacity() const { return ctx_->capacity; }
@@ -75,13 +94,10 @@ class SegKeyStore {
 
   // Index of the first key > v, via SIMD k-ary search (Algorithms 4/5).
   int64_t UpperBound(Key v) const {
-    const int64_t stored = static_cast<int64_t>(lin_.size());
     if (ctx_->layout_kind == kary::Layout::kBreadthFirst) {
-      return kary::UpperBoundBf<Key, Eval, B, kBits>(lin_.data(), stored,
-                                                     count_, v);
+      return kary::UpperBoundBf<Key, Eval, B, kBits>(lin_, stored_, count_, v);
     }
-    return kary::UpperBoundDf<Key, Eval, B, kBits>(lin_.data(), stored,
-                                                   count_, v);
+    return kary::UpperBoundDf<Key, Eval, B, kBits>(lin_, stored_, count_, v);
   }
 
   // Index of the first key >= v.
@@ -95,7 +111,7 @@ class SegKeyStore {
   // root k-ary node — the first SIMD load of every search — at the front
   // of the array, so one line covers the first comparison step.
   void PrefetchKeys() const {
-    __builtin_prefetch(lin_.data(), 0, 3);
+    __builtin_prefetch(lin_, 0, 3);
   }
 
   void InsertAt(int64_t pos, Key k) {
@@ -111,7 +127,7 @@ class SegKeyStore {
     }
     std::vector<Key>& scratch = ctx_->scratch;
     scratch.resize(static_cast<size_t>(count_));
-    ctx_->layout.Delinearize(lin_.data(), count_, scratch.data());
+    ctx_->layout.Delinearize(lin_, count_, scratch.data());
     scratch.insert(scratch.begin() + static_cast<ptrdiff_t>(pos), k);
     Relinearize(count_ + 1);
   }
@@ -127,7 +143,7 @@ class SegKeyStore {
     }
     std::vector<Key>& scratch = ctx_->scratch;
     scratch.resize(static_cast<size_t>(count_));
-    ctx_->layout.Delinearize(lin_.data(), count_, scratch.data());
+    ctx_->layout.Delinearize(lin_, count_, scratch.data());
     scratch.erase(scratch.begin() + static_cast<ptrdiff_t>(pos));
     Relinearize(count_ - 1);
   }
@@ -140,8 +156,8 @@ class SegKeyStore {
   }
 
   void Clear() {
-    lin_.clear();
     count_ = 0;
+    stored_ = 0;
   }
 
   void MoveSuffixTo(SegKeyStore& dst, int64_t from) {
@@ -149,18 +165,19 @@ class SegKeyStore {
     assert(dst.ctx_ == ctx_ || dst.ctx_->capacity >= count_ - from);
     // Delinearize once; the suffix goes to dst, the prefix stays here.
     std::vector<Key> sorted(static_cast<size_t>(count_));
-    ctx_->layout.Delinearize(lin_.data(), count_, sorted.data());
+    ctx_->layout.Delinearize(lin_, count_, sorted.data());
     dst.AssignSorted(sorted.data() + from, count_ - from);
     std::vector<Key>& scratch = ctx_->scratch;
-    scratch.assign(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(from));
+    scratch.assign(sorted.begin(),
+                   sorted.begin() + static_cast<ptrdiff_t>(from));
     Relinearize(from);
   }
 
   void AppendFrom(SegKeyStore& src) {
     assert(count_ + src.count() <= capacity());
     std::vector<Key> merged(static_cast<size_t>(count_ + src.count()));
-    ctx_->layout.Delinearize(lin_.data(), count_, merged.data());
-    src.ctx_->layout.Delinearize(src.lin_.data(), src.count_,
+    ctx_->layout.Delinearize(lin_, count_, merged.data());
+    src.ctx_->layout.Delinearize(src.lin_, src.count_,
                                  merged.data() + count_);
     std::vector<Key>& scratch = ctx_->scratch;
     scratch.assign(merged.begin(), merged.end());
@@ -168,37 +185,42 @@ class SegKeyStore {
     src.Clear();
   }
 
-  size_t MemoryBytes() const { return lin_.capacity() * sizeof(Key); }
+  size_t MemoryBytes() const {
+    return static_cast<size_t>(stored_) * sizeof(Key);
+  }
 
   // Materialized slot count (the paper's N_S for this node).
-  int64_t stored_slots() const { return static_cast<int64_t>(lin_.size()); }
+  int64_t stored_slots() const { return stored_; }
 
  private:
   // Rebuilds lin_ from ctx_->scratch (sorted, n keys).
   void Relinearize(int64_t n) {
     const int64_t stored = ctx_->layout.StoredSlots(n, ctx_->storage);
-    lin_.resize(static_cast<size_t>(stored));
-    ctx_->layout.Linearize(ctx_->scratch.data(), n, lin_.data(), stored,
+    ctx_->layout.Linearize(ctx_->scratch.data(), n, lin_, stored,
                            kary::PadValue<Key>());
     count_ = n;
+    stored_ = stored;
   }
 
+  // Materializes padding in the newly stored slots; existing slots keep
+  // their keys/padding (the append fast path's invariant).
   void GrowTo(int64_t stored) {
-    const size_t old = lin_.size();
-    if (static_cast<size_t>(stored) > old) {
-      lin_.resize(static_cast<size_t>(stored), kary::PadValue<Key>());
+    assert(stored <= ctx_->key_storage_slots());
+    for (int64_t s = stored_; s < stored; ++s) {
+      lin_[static_cast<size_t>(s)] = kary::PadValue<Key>();
     }
+    if (stored > stored_) stored_ = stored;
   }
 
   void ShrinkTo(int64_t stored) {
-    if (static_cast<size_t>(stored) < lin_.size()) {
-      lin_.resize(static_cast<size_t>(stored));
-    }
+    if (stored < stored_) stored_ = stored;
   }
 
   const Context* ctx_;
-  std::vector<Key> lin_;  // linearized keys + padding
-  int64_t count_ = 0;     // real keys
+  std::vector<Key> owned_;  // standalone mode only; empty when external
+  Key* lin_;                // linearized keys + padding
+  int64_t stored_ = 0;      // materialized slots
+  int64_t count_ = 0;       // real keys
 };
 
 }  // namespace simdtree::segtree

@@ -35,15 +35,19 @@
 
 #include "kary/kary_search.h"
 #include "kary/linearize.h"
+#include "mem/arena.h"
 #include "simd/bitmask_eval.h"
 #include "simd/simd128.h"
 
 namespace simdtree::segtrie {
 
-// Shared per-trie state: the k-ary layout for the partial-key domain and
-// a scratch buffer for relinearization (single mutator, like SegKeyStore).
-// `arity` must match the register width the nodes search with
-// (LaneTraits<Partial, kBits>::kArity).
+// Shared per-trie state: the k-ary layout for the partial-key domain, a
+// scratch buffer for relinearization (single mutator, like SegKeyStore),
+// and the byte arena every node block of the trie is carved from —
+// compact blocks grow by doubling, so freed blocks requeue exactly on
+// the arena's power-of-two free lists, and trie teardown is an O(slabs)
+// arena reset. `arity` must match the register width the nodes search
+// with (LaneTraits<Partial, kBits>::kArity).
 template <typename Partial>
 struct CompactNodeContext {
   explicit CompactNodeContext(
@@ -56,6 +60,7 @@ struct CompactNodeContext {
   int64_t domain_size;
   kary::KaryLayout layout;
   mutable std::vector<Partial> scratch;
+  mutable mem::ByteArena arena;
 };
 
 // One trie node. EntryT is Node* on branching levels and the value type
@@ -83,14 +88,13 @@ class CompactTrieNode {
   static CompactTrieNode* Allocate(const Context& ctx, int64_t slot_cap,
                                    int64_t entry_cap) {
     const size_t bytes = BlockBytes(slot_cap, entry_cap);
-    void* mem = ::operator new(bytes, std::align_val_t{kAlign});
+    void* mem = ctx.arena.Alloc(bytes, kAlign);
     auto* node = static_cast<CompactTrieNode*>(mem);
     node->header_.count = 0;
     node->header_.slot_cap = static_cast<uint32_t>(slot_cap);
     node->header_.entry_cap = static_cast<uint32_t>(entry_cap);
     node->header_.tag = 0;
     node->header_.aux = 0;
-    (void)ctx;
     return node;
   }
 
@@ -128,8 +132,12 @@ class CompactTrieNode {
     return node;
   }
 
-  static void Free(CompactTrieNode* node) {
-    ::operator delete(static_cast<void*>(node), std::align_val_t{kAlign});
+  // Returns the block to the arena; the size comes from the header (the
+  // arena's free lists are keyed by the Alloc-time byte count).
+  static void Free(const Context& ctx, CompactTrieNode* node) {
+    ctx.arena.Free(node,
+                   BlockBytes(node->header_.slot_cap, node->header_.entry_cap),
+                   kAlign);
   }
 
   // --- accessors ------------------------------------------------------------
@@ -264,6 +272,9 @@ class CompactTrieNode {
   static constexpr int64_t kInitialEntries = 4;
   static constexpr size_t kAlign =
       alignof(EntryT) > 16 ? alignof(EntryT) : 16;
+  static_assert(kAlign <= mem::kCacheLine,
+                "ByteArena slab placement guarantees at most cache-line "
+                "alignment");
 
   static size_t EntriesOffset(int64_t slot_cap) {
     const size_t raw = sizeof(Header) +
@@ -320,7 +331,7 @@ class CompactTrieNode {
     // in Insert only needs to fill from old_stored onward.
     std::memcpy(grown->Entries(), node->Entries(),
                 static_cast<size_t>(n) * sizeof(EntryT));
-    Free(node);
+    Free(ctx, node);
     return grown;
   }
 

@@ -156,8 +156,16 @@ class CompressedSegTrie {
     return true;
   }
 
+  // O(slabs) when arena-backed: every node lives in ctx_.arena, so Clear
+  // is one arena reset; the per-node walk is the heap-mode fallback.
   void Clear() {
-    if (root_ != nullptr) FreeNode(root_, 0);
+    if (root_ != nullptr) {
+      if (ctx_.arena.arena_mode()) {
+        ctx_.arena.Reset();
+      } else {
+        FreeNode(root_, 0);
+      }
+    }
     root_ = nullptr;
     size_ = 0;
   }
@@ -247,6 +255,10 @@ class CompressedSegTrie {
   }
 
   size_t MemoryBytes() const { return Stats().memory_bytes; }
+
+  // Occupancy of the node arena (reserved slab bytes vs. live block
+  // bytes); all-zero counters in heap mode except allocs/frees.
+  mem::ArenaStats MemStats() const { return ctx_.arena.Stats(); }
 
   bool Validate() const {
     if (root_ == nullptr) return size_ == 0;
@@ -440,14 +452,14 @@ class CompressedSegTrie {
   void FreeNode(void* node, int arrival_level) {
     const int node_level = NodeLevel(node, arrival_level);
     if (node_level == kLevels - 1) {
-      Leaf::Free(static_cast<Leaf*>(node));
+      Leaf::Free(ctx_, static_cast<Leaf*>(node));
       return;
     }
     Inner* inner = static_cast<Inner*>(node);
     for (int64_t i = 0; i < inner->count(); ++i) {
       FreeNode(inner->EntryAt(i), node_level + 1);
     }
-    Inner::Free(inner);
+    Inner::Free(ctx_, inner);
   }
 
   template <typename Fn>

@@ -133,6 +133,7 @@ class AdaptedSegTrie {
   size_t size() const { return trie_.size(); }
   bool empty() const { return trie_.empty(); }
   size_t MemoryBytes() const { return trie_.MemoryBytes(); }
+  mem::ArenaStats MemStats() const { return trie_.MemStats(); }
   bool Validate() const { return trie_.Validate(); }
   int active_levels() const { return trie_.active_levels(); }
 

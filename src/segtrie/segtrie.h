@@ -349,6 +349,10 @@ class SegTrie {
 
   size_t MemoryBytes() const { return Stats().memory_bytes; }
 
+  // Occupancy of the node arena (reserved slab bytes vs. live block
+  // bytes); all-zero counters in heap mode except allocs/frees.
+  mem::ArenaStats MemStats() const { return ctx_.arena.Stats(); }
+
   bool Validate() const {
     if (size_ == 0) {
       if (root_ == nullptr) return false;
@@ -456,9 +460,9 @@ class SegTrie {
                                  : static_cast<Inner*>(child)->count();
     if (child_count == 0) {
       if (level + 1 == kLevels - 1) {
-        Leaf::Free(static_cast<Leaf*>(child));
+        Leaf::Free(ctx_, static_cast<Leaf*>(child));
       } else {
-        Inner::Free(static_cast<Inner*>(child));
+        Inner::Free(ctx_, static_cast<Inner*>(child));
       }
       Inner::Remove(inner, ctx_, idx);
     }
@@ -467,23 +471,29 @@ class SegTrie {
 
   void FreeSubtree(void* node, int level) {
     if (level == kLevels - 1) {
-      Leaf::Free(static_cast<Leaf*>(node));
+      Leaf::Free(ctx_, static_cast<Leaf*>(node));
       return;
     }
     Inner* inner = static_cast<Inner*>(node);
     for (int64_t i = 0; i < inner->count(); ++i) {
       FreeSubtree(inner->EntryAt(i), level + 1);
     }
-    Inner::Free(inner);
+    Inner::Free(ctx_, inner);
   }
 
+  // Every node of the trie lives in ctx_.arena, so teardown is an
+  // O(slabs) arena reset; the recursive walk is only the heap-mode
+  // (SIMDTREE_DISABLE_ARENA) fallback, where blocks must be returned to
+  // the allocator one by one.
   void FreeAll() {
     if (root_ == nullptr) return;
-    if (size_ == 0) {
+    if (ctx_.arena.arena_mode()) {
+      ctx_.arena.Reset();
+    } else if (size_ == 0) {
       if (EmptyRootIsLeaf()) {
-        Leaf::Free(static_cast<Leaf*>(root_));
+        Leaf::Free(ctx_, static_cast<Leaf*>(root_));
       } else {
-        Inner::Free(static_cast<Inner*>(root_));
+        Inner::Free(ctx_, static_cast<Inner*>(root_));
       }
     } else {
       FreeSubtree(root_, ActiveTopLevel());

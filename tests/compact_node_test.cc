@@ -26,7 +26,7 @@ TEST(CompactNodeTest, MakeSingleHoldsOnePair) {
   EXPECT_EQ(n->FindPartial(ctx, 42), 0);
   EXPECT_EQ(n->FindPartial(ctx, 41), -1);
   EXPECT_EQ(n->FindPartial(ctx, 43), -1);
-  Node::Free(n);
+  Node::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, AscendingInsertsGrowAndStaySorted) {
@@ -45,7 +45,7 @@ TEST(CompactNodeTest, AscendingInsertsGrowAndStaySorted) {
   for (int p = 0; p < 256; ++p) {
     ASSERT_EQ(n->FindPartial(ctx, static_cast<uint8_t>(p)), p);
   }
-  Node::Free(n);
+  Node::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, RandomInsertRemoveMatchesModel) {
@@ -82,7 +82,7 @@ TEST(CompactNodeTest, RandomInsertRemoveMatchesModel) {
       }
     }
   }
-  if (n != nullptr) Node::Free(n);
+  if (n != nullptr) Node::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, UpperBoundMatchesStdUpperBound) {
@@ -107,7 +107,7 @@ TEST(CompactNodeTest, UpperBoundMatchesStdUpperBound) {
           << "probe " << v << " count " << sorted.size();
     }
   }
-  Node::Free(n);
+  Node::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, MemoryGrowsGeometrically) {
@@ -124,7 +124,7 @@ TEST(CompactNodeTest, MemoryGrowsGeometrically) {
   }
   // Geometric growth: far fewer reallocations than inserts.
   EXPECT_LE(growths, 10u);
-  Node::Free(n);
+  Node::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, OddSizedValueEntries) {
@@ -146,7 +146,7 @@ TEST(CompactNodeTest, OddSizedValueEntries) {
   EXPECT_EQ(n->EntryAt(0).c, 3u);
   EXPECT_EQ(n->EntryAt(50).a, 49u);
   EXPECT_EQ(n->EntryAt(50).c, 7u);
-  PNode::Free(n);
+  PNode::Free(ctx, n);
 }
 
 TEST(CompactNodeTest, SixteenBitPartials) {
@@ -166,7 +166,7 @@ TEST(CompactNodeTest, SixteenBitPartials) {
   EXPECT_EQ(n->FindPartial(ctx, 1002), -1);
   EXPECT_EQ(n->FindPartial(ctx, static_cast<uint16_t>(1001 + 1999 * 3)),
             2000);
-  WNode::Free(n);
+  WNode::Free(ctx, n);
 }
 
 }  // namespace
