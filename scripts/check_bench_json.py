@@ -23,11 +23,60 @@ its absence means the fallback path silently stopped reporting.
 "mem" section (bench_util.h EmitMemJson): an object with numeric
 arena_bytes, utilization in [0, 1], and slab_count. Every "mem" section
 present is validated regardless of the flag.
+
+--require-metrics-names asserts that at least one line carries a
+metrics-registry dump (a "registry" key — simdtree_cli profile/serve —
+or a "metrics" key — bb_concurrent) and that every metric name in it
+maps onto the OpenMetrics grammar the /metrics exporter uses
+(src/obs/export.cc SanitizeMetricName): non-empty, no control
+characters, and valid after sanitization. Present sections are
+validated regardless of the flag.
 """
 
 import argparse
 import json
+import re
 import sys
+
+# OpenMetrics name grammar (and the sanitizer's target).
+_VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Python twin of obs::SanitizeMetricName (src/obs/export.cc)."""
+    if not name:
+        return "_"
+    out = [] if re.match(r"[a-zA-Z_:]", name[0]) else ["_"]
+    for c in name:
+        out.append(c if re.match(r"[a-zA-Z0-9_:]", c) else "_")
+    return "".join(out)
+
+
+def check_metrics_names(doc: dict, lineno: int) -> bool:
+    """Validates a "registry"/"metrics" dump; returns False on error."""
+    section = doc.get("registry", doc.get("metrics"))
+    if not isinstance(section, dict):
+        print(f'line {lineno}: metrics section is not an object',
+              file=sys.stderr)
+        return False
+    for group in ("counters", "gauges", "histograms"):
+        entries = section.get(group, {})
+        if not isinstance(entries, dict):
+            print(f'line {lineno}: "{group}" is not an object',
+                  file=sys.stderr)
+            return False
+        for name in entries:
+            if not name or any(ord(c) < 0x20 for c in name):
+                print(f'line {lineno}: {group} name {name!r} is empty or '
+                      "has control characters", file=sys.stderr)
+                return False
+            sanitized = sanitize_metric_name(name)
+            if not _VALID_NAME.match(sanitized):
+                print(f'line {lineno}: {group} name {name!r} sanitizes to '
+                      f'{sanitized!r}, not a valid OpenMetrics name',
+                      file=sys.stderr)
+                return False
+    return True
 
 
 def check_mem_section(doc: dict, lineno: int) -> bool:
@@ -69,6 +118,12 @@ def main() -> int:
         help='fail unless at least one JSON line has a valid "mem" section',
     )
     parser.add_argument(
+        "--require-metrics-names",
+        action="store_true",
+        help="fail unless at least one JSON line has a metrics-registry "
+             "dump with OpenMetrics-compatible names",
+    )
+    parser.add_argument(
         "--min-lines",
         type=int,
         default=1,
@@ -79,6 +134,7 @@ def main() -> int:
     json_lines = 0
     hw_null_lines = 0
     mem_lines = 0
+    metrics_lines = 0
     for lineno, line in enumerate(sys.stdin, start=1):
         stripped = line.strip()
         if not stripped.startswith("{"):
@@ -100,6 +156,10 @@ def main() -> int:
             if not check_mem_section(doc, lineno):
                 return 1
             mem_lines += 1
+        if "registry" in doc or "metrics" in doc:
+            if not check_metrics_names(doc, lineno):
+                return 1
+            metrics_lines += 1
 
     if json_lines < args.min_lines:
         print(f"expected at least {args.min_lines} JSON line(s), "
@@ -113,12 +173,18 @@ def main() -> int:
         print('no line with a "mem" section — the arena occupancy report '
               "is missing", file=sys.stderr)
         return 1
+    if args.require_metrics_names and metrics_lines == 0:
+        print('no line with a "registry"/"metrics" dump — the metrics '
+              "export is missing", file=sys.stderr)
+        return 1
 
     parts = [f"ok: {json_lines} JSON lines"]
     if hw_null_lines:
         parts.append(f"{hw_null_lines} hw-null markers")
     if mem_lines:
         parts.append(f"{mem_lines} mem sections")
+    if metrics_lines:
+        parts.append(f"{metrics_lines} metrics dumps")
     print(", ".join(parts))
     return 0
 

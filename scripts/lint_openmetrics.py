@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition (the /metrics endpoint's output).
+
+CI curls the stats server (src/obs/stats_server.cc) and pipes the body
+through this linter, which enforces the subset of the OpenMetrics spec
+the exporter (src/obs/export.cc RenderOpenMetrics) promises:
+
+  * every sample's metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every family is declared by a `# TYPE` line before its samples,
+    and declared at most once
+  * counter samples carry the `_total` suffix
+  * histogram families expose `_bucket{le="..."}` samples with
+    monotonically non-decreasing upper bounds and cumulative counts,
+    close with a le="+Inf" bucket, and expose `_count` == the +Inf
+    bucket's value plus a `_sum`
+  * the exposition ends with exactly one `# EOF` line, with nothing
+    after it
+
+Usage:
+  curl -s http://127.0.0.1:9100/metrics | scripts/lint_openmetrics.py
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+TYPE_RE = re.compile(r"# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram)\Z")
+SAMPLE_RE = re.compile(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r'(?:\{le="([^"]*)"\})? (\S+)\Z')
+
+
+def fail(lineno: int, message: str) -> None:
+    print(f"line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_le(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    try:
+        return float(raw)
+    except ValueError:
+        return float("nan")
+
+
+def family_of(name: str, families: dict) -> str:
+    """Sample name -> declared family (histogram samples are suffixed)."""
+    for suffix in ("_bucket", "_count", "_sum", "_total", ""):
+        if suffix and not name.endswith(suffix):
+            continue
+        base = name[: len(name) - len(suffix)] if suffix else name
+        if base in families:
+            return base
+    return ""
+
+
+def main() -> int:
+    families = {}      # family name -> type
+    buckets = {}       # histogram family -> [(le, count)]
+    samples = {}       # family -> {suffix: value}
+    saw_eof = False
+    lines = 0
+
+    for lineno, line in enumerate(sys.stdin, start=1):
+        line = line.rstrip("\n")
+        lines += 1
+        if saw_eof:
+            fail(lineno, f"content after # EOF: {line[:100]!r}")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(lineno, f"malformed comment line: {line[:100]!r}")
+            name, mtype = m.group(1), m.group(2)
+            if name in families:
+                fail(lineno, f"family {name!r} declared twice")
+            families[name] = mtype
+            buckets[name] = []
+            samples[name] = {}
+            continue
+        if not line:
+            fail(lineno, "blank line in exposition")
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"malformed sample line: {line[:100]!r}")
+        name, le_raw, value_raw = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            fail(lineno, f"invalid metric name {name!r}")
+        try:
+            value = float(value_raw)
+        except ValueError:
+            fail(lineno, f"non-numeric sample value {value_raw!r}")
+
+        family = family_of(name, families)
+        if not family:
+            fail(lineno, f"sample {name!r} has no preceding # TYPE")
+        mtype = families[family]
+        suffix = name[len(family):]
+
+        if mtype == "counter":
+            if suffix != "_total":
+                fail(lineno, f"counter sample {name!r} must end in _total")
+            if value < 0:
+                fail(lineno, f"negative counter value {value}")
+        elif mtype == "gauge":
+            if suffix != "":
+                fail(lineno, f"gauge sample {name!r} has a suffix")
+        else:  # histogram
+            if suffix == "_bucket":
+                if le_raw is None:
+                    fail(lineno, f"histogram bucket {name!r} missing le")
+                le = parse_le(le_raw)
+                if le != le:  # NaN
+                    fail(lineno, f"unparseable le {le_raw!r}")
+                fam_buckets = buckets[family]
+                if fam_buckets:
+                    prev_le, prev_count = fam_buckets[-1]
+                    if le <= prev_le:
+                        fail(lineno, f"{family}: le {le_raw!r} not "
+                                     "increasing")
+                    if value < prev_count:
+                        fail(lineno, f"{family}: bucket counts not "
+                                     f"cumulative ({value} < {prev_count})")
+                fam_buckets.append((le, value))
+            elif suffix in ("_count", "_sum"):
+                samples[family][suffix] = value
+            else:
+                fail(lineno, f"unexpected histogram sample {name!r}")
+
+    if not saw_eof:
+        fail(lines, "missing terminating # EOF line")
+
+    histograms = 0
+    for family, mtype in families.items():
+        if mtype != "histogram":
+            continue
+        histograms += 1
+        fam_buckets = buckets[family]
+        if not fam_buckets or fam_buckets[-1][0] != float("inf"):
+            fail(lines, f"{family}: missing le=\"+Inf\" bucket")
+        if "_count" not in samples[family] or "_sum" not in samples[family]:
+            fail(lines, f"{family}: missing _count or _sum")
+        if samples[family]["_count"] != fam_buckets[-1][1]:
+            fail(lines, f"{family}: _count {samples[family]['_count']} != "
+                        f"+Inf bucket {fam_buckets[-1][1]}")
+
+    print(f"ok: {len(families)} families ({histograms} histograms), "
+          f"{lines} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

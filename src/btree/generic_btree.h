@@ -69,7 +69,9 @@
 
 #include "btree/batch_descent.h"
 #include "mem/arena.h"
+#include "obs/trace.h"
 #include "util/counters.h"
+#include "util/cycle_timer.h"
 
 namespace simdtree::btree {
 
@@ -255,6 +257,15 @@ class GenericBPlusTree {
                                               counters);
   }
 
+  // FindBatch plus a descent trace for the batch's first key (see
+  // BatchDescent::FindBatchTraced for the exact contract).
+  void FindBatchTraced(const Key* keys, size_t n, const Value** out,
+                       int group, SearchCounters* counters,
+                       obs::DescentTrace* t) const {
+    BatchDescent<GenericBPlusTree>::FindBatchTraced(*this, keys, n, out,
+                                                    group, counters, t);
+  }
+
   // Batched lower bound: out[i] = iterator at the first pair with
   // key >= keys[i] (invalid iterator when none), equal to
   // LowerBoundIter(keys[i]) for every i, with the same pipelined descent
@@ -289,6 +300,53 @@ class GenericBPlusTree {
     }
     if (leaf->keys.At(pos - 1) != key) return std::nullopt;
     return leaf->values[static_cast<size_t>(pos - 1)];
+  }
+
+  // Traced lookup (obs/trace.h): same result as Find, appending one
+  // level span per node searched — compressed node ref, key-store
+  // layout, arena slab, in-node comparison counts, cycles — and
+  // stamping the backend and found flag. The untraced Find stays free
+  // of all bookkeeping; the sampling wrappers (core/synchronized.h,
+  // core/sharded.h) route 1-in-N queries here.
+  std::optional<Value> FindTraced(Key key, obs::DescentTrace* t) const {
+    t->key =
+        static_cast<uint64_t>(static_cast<std::make_unsigned_t<Key>>(key));
+    std::optional<Value> result;
+    if (root_ != nullptr) {
+      const NodeBase* node = root_;
+      while (!node->is_leaf) {
+        const uint64_t start = CycleTimer::Now();
+        const InnerNode* inner = static_cast<const InnerNode*>(node);
+        SearchCounters cmps;
+        node = DecodeRef(inner->children[static_cast<size_t>(
+            inner->keys.UpperBoundCounted(key, &cmps))]);
+        obs::AppendTraceLevel(t, inner->self, inner->keys.TraceLayoutId(),
+                              TraceSlab(inner->self), cmps,
+                              CycleTimer::Now() - start);
+      }
+      const uint64_t start = CycleTimer::Now();
+      const LeafNode* searched = static_cast<const LeafNode*>(node);
+      SearchCounters cmps;
+      int64_t pos = searched->keys.UpperBoundCounted(key, &cmps);
+      const LeafNode* leaf = searched;
+      if (pos == 0) {  // the occurrence, if any, ends the previous leaf
+        leaf = leaf->prev;
+        if (leaf != nullptr) pos = leaf->keys.count();
+      }
+      if (leaf != nullptr && leaf->keys.At(pos - 1) == key) {
+        result = leaf->values[static_cast<size_t>(pos - 1)];
+      }
+      obs::AppendTraceLevel(t, searched->self,
+                            searched->keys.TraceLayoutId(),
+                            TraceSlab(searched->self), cmps,
+                            CycleTimer::Now() - start);
+      t->backend = static_cast<uint8_t>(
+          searched->keys.TraceLayoutId() == 0
+              ? obs::TraceBackend::kBPlusTree
+              : obs::TraceBackend::kSegTree);
+    }
+    t->found = result.has_value() ? 1 : 0;
+    return result;
   }
 
   // Number of stored occurrences of `key`.
@@ -612,6 +670,15 @@ class GenericBPlusTree {
   // leaf/inner tag.
   static uint32_t RefPayloadBits(const mem::ArenaOptions& opts) {
     return std::min<uint32_t>(opts.max_slot_bits, 31);
+  }
+
+  // Slab index of a node's block, clamped into the trace schema's byte
+  // (0xff stays the "unknown" sentinel).
+  uint8_t TraceSlab(NodeRef ref) const {
+    const size_t slab = (ref & kLeafBit) != 0
+                            ? leaf_pool_.SlabOfSlot(ref & ~kLeafBit)
+                            : inner_pool_.SlabOfSlot(ref);
+    return slab >= 0xff ? 0xfe : static_cast<uint8_t>(slab);
   }
 
   NodeBase* DecodeRef(NodeRef ref) const {

@@ -33,6 +33,11 @@ struct BinarySearchTag {
   static int64_t UpperBound(const Key* keys, int64_t n, Key v) {
     return kary::BinaryUpperBound(keys, n, v);
   }
+  template <typename Key>
+  static int64_t UpperBoundCounted(const Key* keys, int64_t n, Key v,
+                                   SearchCounters* counters) {
+    return kary::BinaryUpperBoundCounted(keys, n, v, counters);
+  }
 };
 
 struct SequentialSearchTag {
@@ -40,6 +45,11 @@ struct SequentialSearchTag {
   template <typename Key>
   static int64_t UpperBound(const Key* keys, int64_t n, Key v) {
     return kary::SequentialUpperBound(keys, n, v);
+  }
+  template <typename Key>
+  static int64_t UpperBoundCounted(const Key* keys, int64_t n, Key v,
+                                   SearchCounters* counters) {
+    return kary::SequentialUpperBoundCounted(keys, n, v, counters);
   }
 };
 
@@ -81,6 +91,15 @@ class PlainKeyStore {
   int64_t UpperBound(Key v) const {
     return SearchTag::template UpperBound<Key>(keys_, count_, v);
   }
+
+  // Identical result, counting scalar comparisons (trace hooks).
+  int64_t UpperBoundCounted(Key v, SearchCounters* counters) const {
+    return SearchTag::template UpperBoundCounted<Key>(keys_, count_, v,
+                                                      counters);
+  }
+
+  // Trace layout id (obs/trace.h kTraceLayoutPlain).
+  uint8_t TraceLayoutId() const { return 0; }
 
   // Prefetches the key storage ahead of an UpperBound call (batch
   // descent, see btree/batch_descent.h); fetch the line a binary search

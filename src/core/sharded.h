@@ -53,8 +53,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/cycle_timer.h"
 
 namespace simdtree {
 
@@ -159,6 +162,9 @@ class ShardedIndex {
 
   std::optional<ValueType> Find(KeyType key) const {
     if (metrics_) metrics_->reads->Add();
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      return TracedFind(key);
+    }
     const Shard& shard = *shards_[ShardOf(key)];
     std::shared_lock lock(shard.mutex);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
@@ -167,6 +173,9 @@ class ShardedIndex {
 
   bool Contains(KeyType key) const {
     if (metrics_) metrics_->reads->Add();
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      return TracedFind(key).has_value();
+    }
     const Shard& shard = *shards_[ShardOf(key)];
     std::shared_lock lock(shard.mutex);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
@@ -227,18 +236,38 @@ class ShardedIndex {
         spos[at] = i;
       }
     }
+    // One trace per sampled batch, attributed to the batch's first key.
+    // The counting sort preserves caller order within a shard, so
+    // keys[0] is the first key of its shard's sub-batch; its chunk is
+    // traced and the trace carries that shard's id and lock wait.
+    std::optional<obs::TraceScope> scope;
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      scope.emplace();
+      scope->trace()->shard = static_cast<uint16_t>(shard_of[0]);
+    }
     // Pass 3: per shard, one lock, chunked pipelined FindBatch.
     constexpr size_t kChunk = 256;
     const ValueType* ptrs[kChunk];
     for (size_t s = 0; s < num; ++s) {
       const size_t lo = start[s], hi = start[s + 1];
       if (lo == hi) continue;
+      const bool traced = scope && s == shard_of[0];
+      const uint64_t lock_start = traced ? CycleTimer::Now() : 0;
       std::shared_lock lock(shards_[s]->mutex);
+      if (traced) {
+        scope->trace()->lock_wait_ns = static_cast<uint64_t>(
+            CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
+      }
       obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
                                           : nullptr);
       for (size_t off = lo; off < hi; off += kChunk) {
         const size_t m = hi - off < kChunk ? hi - off : kChunk;
-        shards_[s]->index.FindBatch(skeys.data() + off, m, ptrs);
+        if (traced && off == lo) {
+          core::TracedFindChunk(shards_[s]->index, skeys.data() + off, m,
+                                ptrs, scope->trace());
+        } else {
+          shards_[s]->index.FindBatch(skeys.data() + off, m, ptrs);
+        }
         for (size_t j = 0; j < m; ++j) {
           if (ptrs[j] != nullptr) {
             out[spos[off + j]] = *ptrs[j];
@@ -248,6 +277,7 @@ class ShardedIndex {
         }
       }
     }
+    if (scope) scope->Finish();
   }
 
   // Merged arena occupancy across all shards (all-zero when the index
@@ -329,6 +359,29 @@ class ShardedIndex {
   }
 
  private:
+  // Cold path for a sampled single-key read: stamps the owning shard id,
+  // measures that shard's lock wait separately from the descent, and
+  // routes through the index's FindTraced when it has one. Kept out of
+  // line of Find so the common path stays one sampling branch.
+  std::optional<ValueType> TracedFind(KeyType key) const {
+    obs::TraceScope scope;
+    const size_t s = ShardOf(key);
+    scope.trace()->shard = static_cast<uint16_t>(s);
+    const Shard& shard = *shards_[s];
+    std::optional<ValueType> result;
+    {
+      const uint64_t lock_start = CycleTimer::Now();
+      std::shared_lock lock(shard.mutex);
+      scope.trace()->lock_wait_ns = static_cast<uint64_t>(
+          CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
+      result = core::TracedFindOne(shard.index, key, scope.trace());
+    }
+    scope.Finish();
+    return result;
+  }
+
   static constexpr size_t kDefaultShards = 8;
   static constexpr size_t kMaxShards = 1u << 16;
 

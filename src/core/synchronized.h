@@ -23,8 +23,12 @@
 #include <string>
 #include <utility>
 
+#include "core/batch.h"
+#include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/cycle_timer.h"
 
 namespace simdtree {
 
@@ -77,6 +81,9 @@ class SynchronizedIndex {
 
   std::optional<ValueType> Find(KeyType key) const {
     if (metrics_) metrics_->reads->Add();
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      return TracedFind(key);
+    }
     std::shared_lock lock(mutex_);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return index_.Find(key);
@@ -84,6 +91,9 @@ class SynchronizedIndex {
 
   bool Contains(KeyType key) const {
     if (metrics_) metrics_->reads->Add();
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      return TracedFind(key).has_value();
+    }
     std::shared_lock lock(mutex_);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return index_.Contains(key);
@@ -103,19 +113,37 @@ class SynchronizedIndex {
     }
     constexpr size_t kChunk = 256;
     const ValueType* ptrs[kChunk];
-    std::shared_lock lock(mutex_);
-    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
-    for (size_t off = 0; off < n; off += kChunk) {
-      const size_t m = n - off < kChunk ? n - off : kChunk;
-      index_.FindBatch(keys + off, m, ptrs);
-      for (size_t j = 0; j < m; ++j) {
-        if (ptrs[j] != nullptr) {
-          out[off + j] = *ptrs[j];
+    // One trace per sampled batch, attributed to the batch's first key.
+    std::optional<obs::TraceScope> scope;
+    if (obs::TraceShouldSample()) [[unlikely]] {
+      scope.emplace();
+    }
+    {
+      const uint64_t lock_start = scope ? CycleTimer::Now() : 0;
+      std::shared_lock lock(mutex_);
+      if (scope) {
+        scope->trace()->lock_wait_ns = static_cast<uint64_t>(
+            CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
+      }
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
+      for (size_t off = 0; off < n; off += kChunk) {
+        const size_t m = n - off < kChunk ? n - off : kChunk;
+        if (scope && off == 0) {
+          core::TracedFindChunk(index_, keys, m, ptrs, scope->trace());
         } else {
-          out[off + j] = std::nullopt;
+          index_.FindBatch(keys + off, m, ptrs);
+        }
+        for (size_t j = 0; j < m; ++j) {
+          if (ptrs[j] != nullptr) {
+            out[off + j] = *ptrs[j];
+          } else {
+            out[off + j] = std::nullopt;
+          }
         }
       }
     }
+    if (scope) scope->Finish();
   }
 
   size_t size() const {
@@ -157,6 +185,27 @@ class SynchronizedIndex {
   }
 
  private:
+  // Cold path for a sampled single-key read: measures the shared-lock
+  // wait separately from the descent, routes through the index's
+  // FindTraced when it has one (the trees and tries), and records the
+  // finished trace. Kept out of line of Find so the common path stays
+  // one sampling branch.
+  std::optional<ValueType> TracedFind(KeyType key) const {
+    obs::TraceScope scope;
+    std::optional<ValueType> result;
+    {
+      const uint64_t lock_start = CycleTimer::Now();
+      std::shared_lock lock(mutex_);
+      scope.trace()->lock_wait_ns = static_cast<uint64_t>(
+          CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
+      result = core::TracedFindOne(index_, key, scope.trace());
+    }
+    scope.Finish();
+    return result;
+  }
+
   mutable std::shared_mutex mutex_;
   Index index_;
   std::optional<obs::IndexMetrics> metrics_;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "util/counters.h"
+
 namespace simdtree::kary {
 
 // Index of the first key > v in sorted[0..n). Classic iterative binary
@@ -33,6 +35,38 @@ template <typename T>
 int64_t SequentialUpperBound(const T* sorted, int64_t n, T v) {
   int64_t i = 0;
   while (i < n && sorted[i] <= v) ++i;
+  return i;
+}
+
+// Counted variants (trace instrumentation, obs/trace.h): identical
+// results, one scalar_comparisons tick per key compare.
+
+template <typename T>
+int64_t BinaryUpperBoundCounted(const T* sorted, int64_t n, T v,
+                                SearchCounters* counters) {
+  int64_t lo = 0;
+  int64_t hi = n;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    ++counters->scalar_comparisons;
+    if (sorted[mid] > v) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+template <typename T>
+int64_t SequentialUpperBoundCounted(const T* sorted, int64_t n, T v,
+                                    SearchCounters* counters) {
+  int64_t i = 0;
+  while (i < n) {
+    ++counters->scalar_comparisons;
+    if (sorted[i] > v) break;
+    ++i;
+  }
   return i;
 }
 

@@ -274,6 +274,10 @@ class NodePool {
   }
   const void* DecodeConst(uint32_t slot) const { return Decode(slot); }
 
+  // Slab index a slot's block lives in (trace attribution, obs/trace.h).
+  // In heap mode every block is its own single-block "slab".
+  size_t SlabOfSlot(uint32_t slot) const { return slot >> slot_bits_; }
+
   // Releases every slab at once — O(slabs), not O(blocks). All
   // outstanding blocks and slots are invalidated; no per-block work is
   // done in arena mode (the counter contract the teardown tests assert).

@@ -1,0 +1,212 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace simdtree::obs {
+
+namespace {
+
+bool ValidStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool ValidNameChar(char c) {
+  return ValidStartChar(c) || (c >= '0' && c <= '9');
+}
+
+std::string FmtU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FmtDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Deduplicates sanitized names across one exposition: the first use of
+// a sanitized name wins it; later registry names mapping to the same
+// string get a numbered "_2", "_3", ... suffix. Deterministic because
+// Snapshot enumerates in registry (map) order.
+class NameDeduper {
+ public:
+  std::string Unique(const std::string& raw) {
+    std::string san = SanitizeMetricName(raw);
+    auto [it, inserted] = uses_.emplace(san, 1);
+    if (inserted) return san;
+    ++it->second;
+    return san + "_" + FmtU64(it->second);
+  }
+
+ private:
+  std::map<std::string, uint64_t> uses_;
+};
+
+void AppendTraceJson(std::string* out, const DescentTrace& t) {
+  *out += "{\"key\":" + FmtU64(t.key);
+  *out += ",\"start_ns\":" + FmtU64(t.start_ns);
+  *out += ",\"latency_ns\":" + FmtU64(t.latency_ns);
+  *out += ",\"lock_wait_ns\":" + FmtU64(t.lock_wait_ns);
+  *out += ",\"thread\":" + FmtU64(t.thread_id);
+  *out += ",\"shard\":";
+  *out += t.shard == kTraceNoShard ? std::string("null")
+                                   : FmtU64(t.shard);
+  *out += ",\"backend\":\"";
+  *out += TraceBackendName(t.backend);
+  *out += "\",\"found\":";
+  *out += t.found ? "true" : "false";
+  *out += ",\"slow\":";
+  *out += t.slow ? "true" : "false";
+  *out += ",\"batched\":";
+  *out += t.batched ? "true" : "false";
+  *out += ",\"levels\":[";
+  for (int i = 0; i < t.levels && i < kMaxTraceLevels; ++i) {
+    const LevelSpan& s = t.level[i];
+    if (i > 0) *out += ",";
+    *out += "{\"node_ref\":";
+    *out += s.node_ref == kTraceNoNodeRef ? std::string("null")
+                                          : FmtU64(s.node_ref);
+    *out += ",\"layout\":\"";
+    *out += TraceLayoutName(s.layout);
+    *out += "\",\"arena_slab\":";
+    *out += s.arena_slab == kTraceSlabUnknown ? std::string("null")
+                                              : FmtU64(s.arena_slab);
+    *out += ",\"simd_cmps\":" + FmtU64(s.simd_cmps);
+    *out += ",\"scalar_cmps\":" + FmtU64(s.scalar_cmps);
+    *out += ",\"cycles\":" + FmtU64(s.cycles);
+    *out += "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!ValidStartChar(name[0])) out.push_back('_');
+  for (char c : name) {
+    out.push_back(ValidNameChar(c) ? c : '_');
+  }
+  return out;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty() || !ValidStartChar(name[0])) return false;
+  for (char c : name) {
+    if (!ValidNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<CumulativeBucket> CumulativeBuckets(const LogHistogram& hist) {
+  std::vector<CumulativeBucket> out;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    const uint64_t n = hist.BucketCount(b);
+    if (n == 0) continue;
+    cumulative += n;
+    // The exclusive upper edge of bucket b is the lower edge of b+1;
+    // the final bucket's edge would overflow BucketLow's shift, so it
+    // folds into +Inf below.
+    if (b + 1 >= LogHistogram::kBuckets) break;
+    out.push_back({static_cast<double>(LogHistogram::BucketLow(b + 1)),
+                   cumulative});
+  }
+  // Mandatory closing bucket: everything, including samples in the last
+  // raw bucket. Count() and the bucket sums are separately-updated
+  // atomics, so mid-record one can lag the other; clamp so the +Inf
+  // bucket never undercuts an earlier one (scrapes must stay monotone).
+  out.push_back({std::numeric_limits<double>::infinity(),
+                 std::max(cumulative, hist.Count())});
+  return out;
+}
+
+std::string RenderOpenMetrics(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  NameDeduper dedup;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string san = dedup.Unique(name);
+    out += "# TYPE " + san + " counter\n";
+    out += san + "_total " + FmtU64(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string san = dedup.Unique(name);
+    out += "# TYPE " + san + " gauge\n";
+    out += san + " " + FmtDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string san = dedup.Unique(name);
+    out += "# TYPE " + san + " histogram\n";
+    const std::vector<CumulativeBucket> buckets = CumulativeBuckets(*hist);
+    for (const CumulativeBucket& b : buckets) {
+      out += san + "_bucket{le=\"" + FmtDouble(b.le) + "\"} " +
+             FmtU64(b.count) + "\n";
+    }
+    // _count must equal the +Inf bucket exactly (the spec ties them).
+    out += san + "_count " + FmtU64(buckets.back().count) + "\n";
+    out += san + "_sum " + FmtU64(hist->Sum()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry,
+                              const Tracer& tracer) {
+  std::string out = "{\"registry\":" + registry.ToJson();
+  out += ",\"trace\":{\"sample_rate\":" + FmtU64(TraceSampleRate());
+  out += ",\"recorded\":" + FmtU64(tracer.recorded());
+  out += ",\"slow_recorded\":" + FmtU64(tracer.slow_recorded());
+  out += ",\"slow_threshold_ns\":" + FmtU64(tracer.slow_threshold_ns());
+  out += "}}";
+  return out;
+}
+
+std::string RenderTracezJson(const Tracer& tracer, size_t max_recent) {
+  std::string out = "{\"sample_rate\":" + FmtU64(TraceSampleRate());
+  out += ",\"recorded\":" + FmtU64(tracer.recorded());
+  out += ",\"slow_threshold_ns\":" + FmtU64(tracer.slow_threshold_ns());
+  out += ",\"recent\":[";
+  bool first = true;
+  for (const DescentTrace& t : tracer.Snapshot(max_recent)) {
+    if (!first) out += ",";
+    first = false;
+    AppendTraceJson(&out, t);
+  }
+  out += "],\"slow\":[";
+  first = true;
+  for (const DescentTrace& t : tracer.SlowSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    AppendTraceJson(&out, t);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace simdtree::obs

@@ -53,6 +53,14 @@ class LogHistogram {
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Raw occupancy of bucket b — the exporter (obs/export.h) walks these
+  // to build cumulative OpenMetrics buckets. Racy-snapshot semantics.
+  uint64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
   double Mean() const {
     const uint64_t n = Count();
     if (n == 0) return 0.0;

@@ -94,6 +94,24 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Get());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Get());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist.get());
+  }
+  return snap;
+}
+
 void MetricsRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();

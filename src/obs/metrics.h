@@ -25,6 +25,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mem/arena.h"
 #include "obs/histogram.h"
@@ -80,6 +82,18 @@ class MetricsRegistry {
   // LogHistogram::Percentile. Keys are sorted (std::map), so the export
   // is deterministic for tests.
   std::string ToJson() const;
+
+  // Point-in-time enumeration for exporters (obs/export.h): sorted by
+  // name (map order), counter/gauge values copied, histograms as the
+  // registry's stable pointers (valid until Clear()). Values may keep
+  // moving while the snapshot is rendered — that is inherent to
+  // scrape-style export and fine.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, const LogHistogram*>> histograms;
+  };
+  Snapshot Snap() const;
 
   // Drops every registered metric (invalidates previously returned
   // pointers) — test isolation only, never during recording.

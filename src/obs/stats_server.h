@@ -1,0 +1,65 @@
+// Minimal background-thread HTTP server for metric and trace scraping.
+//
+// Serves four GET routes, all rendered by obs/export.h:
+//   /metrics       OpenMetrics text exposition (Prometheus-scrapable)
+//   /metrics.json  the same registry as one JSON document
+//   /tracez        recent + slow descent traces as JSON
+//   /healthz       liveness probe ("ok")
+//
+// Deliberately not a web framework: one acceptor thread, serial
+// request handling, HTTP/1.1 with Connection: close, bound to
+// 127.0.0.1 only. A scrape every few seconds from one Prometheus
+// instance is the design load; anything beyond that belongs behind a
+// real ingress. Port 0 binds an ephemeral port (tests), readable via
+// port() after Start().
+
+#ifndef SIMDTREE_OBS_STATS_SERVER_H_
+#define SIMDTREE_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace simdtree::obs {
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer() { Stop(); }
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the acceptor
+  // thread. Returns false with the OS error in error() if the bind
+  // fails; calling Start on a running server is a no-op returning true.
+  bool Start(uint16_t port);
+
+  // Stops the acceptor and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The bound port (resolves ephemeral binds); 0 before Start.
+  uint16_t port() const { return port_; }
+
+  const std::string& error() const { return error_; }
+
+  // Route dispatch, exposed for tests: returns the full HTTP response
+  // (status line + headers + body) for a request path.
+  static std::string HandleRequest(const std::string& path);
+
+ private:
+  void AcceptLoop();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_STATS_SERVER_H_

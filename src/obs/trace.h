@@ -1,0 +1,319 @@
+// Query-trace flight recorder: sampled per-descent traces in lock-free
+// per-thread ring buffers, plus a bounded slow-query log.
+//
+// The metrics registry (obs/metrics.h) answers "how fast are we on
+// average"; this file answers "which queries are slow and where inside
+// the descent they spend their time". A sampled lookup records one
+// DescentTrace: the backend, the shard, and one LevelSpan per tree level
+// touched — the node's compressed reference, the key-store layout it was
+// searched with, the SIMD/scalar comparison counts of that level's
+// in-node search, the arena slab the node block lives in, and the cycles
+// the level took. The paper's tuning story (layout x bitmask-eval x
+// node size, Sections 3-5) is machine- and workload-dependent; the
+// flight recorder is how a production deployment sees those per-level
+// costs on live traffic instead of in offline benches.
+//
+// Sampling: 1-in-N, enabled by EnableTracing(rate) or the
+// SIMDTREE_TRACE_SAMPLE environment variable (read once at startup).
+// The hot-path check, TraceShouldSample(), compiles to one relaxed
+// atomic load and one predictable branch when tracing is off; the
+// per-thread countdown runs only once sampling is enabled. Sampling is
+// deterministic per thread (every rate-th query), so tests can assert
+// exact trace counts.
+//
+// Recording: each thread writes to its own TraceRing — a fixed ring of
+// seqlock-protected slots whose payload is stored word-wise through
+// relaxed atomics. Writers are wait-free and never share a ring;
+// readers (Tracer::Snapshot, the /tracez endpoint) take a racy snapshot
+// and simply skip slots that are mid-write. All cross-thread accesses
+// go through atomics, so the scheme is clean under ThreadSanitizer.
+//
+// Slow-query log: a traced descent whose total latency crosses
+// SetSlowThresholdNs (or SIMDTREE_TRACE_SLOW_NS) is additionally
+// promoted — full path included — into a bounded retention buffer that
+// survives ring wraparound, so rare outliers stay inspectable long
+// after the flight recorder has cycled past them.
+
+#ifndef SIMDTREE_OBS_TRACE_H_
+#define SIMDTREE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "util/counters.h"
+#include "util/cycle_timer.h"
+
+namespace simdtree::obs {
+
+// Index structure a trace descended. One byte in the trace schema.
+enum class TraceBackend : uint8_t {
+  kUnknown = 0,
+  kBPlusTree = 1,         // GenericBPlusTree + PlainKeyStore
+  kSegTree = 2,           // GenericBPlusTree + SegKeyStore
+  kSegTrie = 3,
+  kOptimizedSegTrie = 4,  // lazy-expansion trie
+  kCompressedSegTrie = 5,
+  kKaryArray = 6,
+};
+
+const char* TraceBackendName(uint8_t backend);
+
+// Key-store layout searched at one level.
+inline constexpr uint8_t kTraceLayoutPlain = 0;         // sorted array
+inline constexpr uint8_t kTraceLayoutBreadthFirst = 1;  // linearized k-ary BF
+inline constexpr uint8_t kTraceLayoutDepthFirst = 2;    // linearized k-ary DF
+inline constexpr uint8_t kTraceLayoutTrieNode = 3;      // compact trie node
+
+const char* TraceLayoutName(uint8_t layout);
+
+inline constexpr uint8_t kTraceSlabUnknown = 0xff;
+inline constexpr uint16_t kTraceNoShard = 0xffff;
+inline constexpr uint32_t kTraceNoNodeRef = 0xffffffffu;
+
+// One level of a descent. 16 bytes; a full trace stays cache-friendly.
+struct LevelSpan {
+  uint32_t node_ref = kTraceNoNodeRef;  // compressed node ref (arena slot)
+  uint32_t cycles = 0;                  // TSC cycles spent at this level
+  uint16_t simd_cmps = 0;               // SIMD compare steps in the node
+  uint16_t scalar_cmps = 0;             // scalar compare steps in the node
+  uint8_t layout = kTraceLayoutPlain;   // kTraceLayout* of the key store
+  uint8_t arena_slab = kTraceSlabUnknown;  // slab index of the node block
+  uint16_t reserved = 0;
+};
+static_assert(sizeof(LevelSpan) == 16);
+
+// Deep enough for every backend: a 16M-key B+-Tree is 4-5 levels, a
+// 64-bit 8-bit-segment trie is 8, a 4-bit-segment trie is 16.
+inline constexpr int kMaxTraceLevels = 20;
+
+// One sampled descent. Trivially copyable (the ring stores it word-wise
+// through atomics) and fixed-size (no allocation on the record path).
+struct DescentTrace {
+  uint64_t key = 0;           // probed key, cast to its unsigned image
+  uint64_t start_ns = 0;      // TSC-derived monotonic start timestamp
+  uint64_t latency_ns = 0;    // full operation latency
+  uint64_t lock_wait_ns = 0;  // wrapper lock acquisition wait (0 if none)
+  uint32_t thread_id = 0;     // tracer-assigned small id (ring index)
+  uint16_t shard = kTraceNoShard;  // owning shard (sharded wrapper only)
+  uint8_t backend = static_cast<uint8_t>(TraceBackend::kUnknown);
+  uint8_t levels = 0;         // valid entries in level[]
+  uint8_t found = 0;          // 1 if the key was present
+  uint8_t slow = 0;           // 1 if promoted to the slow-query log
+  uint8_t batched = 0;        // 1 if recorded inside a batch descent
+  uint8_t reserved[5] = {};
+  LevelSpan level[kMaxTraceLevels];
+};
+static_assert(std::is_trivially_copyable_v<DescentTrace>);
+static_assert(sizeof(DescentTrace) % sizeof(uint64_t) == 0);
+
+// Appends one level span; silently drops levels beyond kMaxTraceLevels
+// (deeper structures keep the first kMaxTraceLevels levels).
+inline void AppendTraceLevel(DescentTrace* t, uint32_t node_ref,
+                             uint8_t layout, uint8_t arena_slab,
+                             const SearchCounters& cmps, uint64_t cycles) {
+  if (t->levels >= kMaxTraceLevels) return;
+  LevelSpan& s = t->level[t->levels++];
+  s.node_ref = node_ref;
+  s.cycles = cycles > 0xffffffffu ? 0xffffffffu
+                                  : static_cast<uint32_t>(cycles);
+  s.simd_cmps = static_cast<uint16_t>(
+      cmps.simd_comparisons > 0xffff ? 0xffff : cmps.simd_comparisons);
+  s.scalar_cmps = static_cast<uint16_t>(
+      cmps.scalar_comparisons > 0xffff ? 0xffff : cmps.scalar_comparisons);
+  s.layout = layout;
+  s.arena_slab = arena_slab;
+}
+
+namespace trace_internal {
+
+// Global sample rate: 0 = tracing off. Initialized from
+// SIMDTREE_TRACE_SAMPLE at load time; EnableTracing overwrites it.
+extern std::atomic<uint32_t> g_sample_rate;
+
+// Out-of-line per-thread countdown; called only when tracing is on.
+bool SampleSlowPath(uint32_t rate);
+
+// Resets the calling thread's sampling countdown (test determinism).
+void ResetThreadSampleCountdown();
+
+}  // namespace trace_internal
+
+// The hot-path sampling decision. With tracing off this is one relaxed
+// load of a process-wide atomic plus one predictable (never-taken)
+// branch — cheap enough to sit on every lookup.
+inline bool TraceShouldSample() {
+  const uint32_t rate =
+      trace_internal::g_sample_rate.load(std::memory_order_relaxed);
+  if (rate == 0) [[likely]] {
+    return false;
+  }
+  return trace_internal::SampleSlowPath(rate);
+}
+
+// Enables 1-in-`rate` sampling (rate 1 traces everything; 0 disables).
+void EnableTracing(uint32_t rate);
+uint32_t TraceSampleRate();
+
+// Lock-free single-writer ring of seqlock slots. The owning thread
+// writes; any thread may read a racy snapshot. All shared state is
+// atomic, so concurrent use is race-free by construction (and under
+// TSan).
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 256;  // traces retained per thread
+  static constexpr size_t kWords = sizeof(DescentTrace) / sizeof(uint64_t);
+
+  TraceRing() = default;
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Owner thread only. Wait-free: one odd/even seq bracket around
+  // word-wise relaxed stores of the payload.
+  void Write(const DescentTrace& t) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h % kCapacity];
+    s.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+    uint64_t words[kWords];
+    std::memcpy(words, &t, sizeof(t));
+    for (size_t w = 0; w < kWords; ++w) {
+      s.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    s.seq.fetch_add(1, std::memory_order_release);  // even: committed
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Any thread. Returns false for never-written or mid-write slots, or
+  // when the writer lapped the read (torn snapshot rejected by the seq
+  // recheck).
+  bool TryRead(size_t slot, DescentTrace* out) const {
+    const Slot& s = slots_[slot % kCapacity];
+    const uint32_t before = s.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) return false;
+    uint64_t words[kWords];
+    for (size_t w = 0; w < kWords; ++w) {
+      words[w] = s.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != before) return false;
+    std::memcpy(out, words, sizeof(*out));
+    return true;
+  }
+
+  // Total traces ever written to this ring (>= kCapacity once wrapped).
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+
+  // Test isolation only: requires the owning thread to be quiescent.
+  void ResetForTest() {
+    for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> words[kWords];
+  };
+  Slot slots_[kCapacity];
+  std::atomic<uint64_t> head_{0};
+};
+
+// Process-wide trace sink: owns the per-thread rings and the slow-query
+// retention buffer. Like MetricsRegistry, the global instance is never
+// destroyed, so threads recording at exit cannot touch a dead object.
+class Tracer {
+ public:
+  static constexpr size_t kSlowCapacity = 128;  // slow-query retention
+
+  static Tracer& Global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Descents at or above this total latency are promoted to the slow
+  // log (0 disables promotion). Initialized from SIMDTREE_TRACE_SLOW_NS.
+  void SetSlowThresholdNs(uint64_t ns) {
+    slow_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t slow_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Records one finished trace: stamps the thread id, writes the
+  // calling thread's ring (wait-free), and promotes to the slow log
+  // when the latency crosses the threshold (that path takes a mutex —
+  // slow queries are rare by definition).
+  void Record(DescentTrace t);
+
+  // Racy merged snapshot of every thread's ring, oldest first. Slots
+  // being written concurrently are skipped. `max_traces` 0 = no cap;
+  // otherwise the newest `max_traces` are returned.
+  std::vector<DescentTrace> Snapshot(size_t max_traces = 0) const;
+
+  // The slow-query retention buffer, oldest first.
+  std::vector<DescentTrace> SlowSnapshot() const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_recorded() const {
+    return slow_recorded_.load(std::memory_order_relaxed);
+  }
+
+  // Test isolation only: clears rings, the slow log, and the calling
+  // thread's sampling countdown. Never call with recording threads live.
+  void Reset();
+
+ private:
+  struct ThreadSlot {
+    TraceRing* ring = nullptr;
+    uint32_t id = 0;
+  };
+  ThreadSlot SlotForThisThread();
+
+  // Process-unique id keying the per-thread ring cache: a `Tracer*`
+  // alone could alias a destroyed instance at a reused address (stack
+  // tracers in consecutive tests), handing back a freed ring.
+  const uint64_t instance_id_;
+
+  mutable std::mutex mutex_;  // guards rings_ growth + slow log
+  std::vector<std::unique_ptr<TraceRing>> rings_;  // never shrunk
+  std::vector<DescentTrace> slow_;  // bounded ring over kSlowCapacity
+  size_t slow_next_ = 0;
+  std::atomic<uint64_t> slow_threshold_ns_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_recorded_{0};
+};
+
+// Scope helper for the wrapper hook: captures start time, fills latency
+// on Finish. Kept header-only so the traced path inlines away from the
+// untraced one.
+class TraceScope {
+ public:
+  TraceScope() : start_cycles_(CycleTimer::Now()) {
+    trace_.start_ns = static_cast<uint64_t>(
+        CycleTimer::ToNanoseconds(start_cycles_));
+  }
+
+  DescentTrace* trace() { return &trace_; }
+
+  // Stamps latency and hands the trace to the global tracer.
+  void Finish() {
+    trace_.latency_ns = static_cast<uint64_t>(
+        CycleTimer::ToNanoseconds(CycleTimer::Now() - start_cycles_));
+    Tracer::Global().Record(trace_);
+  }
+
+ private:
+  DescentTrace trace_;
+  uint64_t start_cycles_;
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_TRACE_H_

@@ -100,6 +100,21 @@ class SegKeyStore {
     return kary::UpperBoundDf<Key, Eval, B, kBits>(lin_, stored_, count_, v);
   }
 
+  // Identical result, counting SIMD comparison steps (trace hooks).
+  int64_t UpperBoundCounted(Key v, SearchCounters* counters) const {
+    if (ctx_->layout_kind == kary::Layout::kBreadthFirst) {
+      return kary::UpperBoundBfCounted<Key, Eval, B, kBits>(
+          lin_, stored_, count_, v, counters);
+    }
+    return kary::UpperBoundDfCounted<Key, Eval, B, kBits>(
+        lin_, stored_, count_, v, counters);
+  }
+
+  // Trace layout id (obs/trace.h kTraceLayoutBreadthFirst/DepthFirst).
+  uint8_t TraceLayoutId() const {
+    return ctx_->layout_kind == kary::Layout::kBreadthFirst ? 1 : 2;
+  }
+
   // Index of the first key >= v.
   int64_t LowerBound(Key v) const {
     if (v == std::numeric_limits<Key>::min()) return 0;

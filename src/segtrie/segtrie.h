@@ -44,9 +44,11 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "obs/trace.h"
 #include "segtrie/compact_node.h"
 #include "simd/bitmask_eval.h"
 #include "simd/simd128.h"
+#include "util/cycle_timer.h"
 
 namespace simdtree::segtrie {
 
@@ -298,6 +300,52 @@ class SegTrie {
     return leaf->EntryAt(idx);
   }
 
+  // Traced lookup (obs/trace.h): same result as Find, one level span
+  // per trie node searched. Trie nodes are compact heap blocks, not
+  // arena slots, so node_ref carries the block address's low 32 bits
+  // and arena_slab stays unknown; the layout id is the trie-node kind.
+  std::optional<Value> FindTraced(Key key, obs::DescentTrace* t) const {
+    t->key = static_cast<uint64_t>(key);
+    t->backend = static_cast<uint8_t>(
+        options_.lazy_expansion ? obs::TraceBackend::kOptimizedSegTrie
+                                : obs::TraceBackend::kSegTrie);
+    std::optional<Value> result;
+    if (size_ != 0 && UpperBits(key, active_levels_) == prefix_bits_) {
+      const void* node = root_;
+      bool terminated = false;
+      for (int level = ActiveTopLevel(); level < kLevels - 1; ++level) {
+        const uint64_t start = CycleTimer::Now();
+        const Inner* inner = static_cast<const Inner*>(node);
+        SearchCounters cmps;
+        const int64_t idx =
+            FindPartialCounted(inner, Segment(key, level), &cmps);
+        obs::AppendTraceLevel(t, TraceNodeRef(inner),
+                              obs::kTraceLayoutTrieNode,
+                              obs::kTraceSlabUnknown, cmps,
+                              CycleTimer::Now() - start);
+        if (idx < 0) {  // missing segment: terminate above leaf level
+          terminated = true;
+          break;
+        }
+        node = inner->EntryAt(idx);
+      }
+      if (!terminated) {
+        const uint64_t start = CycleTimer::Now();
+        const Leaf* leaf = static_cast<const Leaf*>(node);
+        SearchCounters cmps;
+        const int64_t idx =
+            FindPartialCounted(leaf, Segment(key, kLevels - 1), &cmps);
+        obs::AppendTraceLevel(t, TraceNodeRef(leaf),
+                              obs::kTraceLayoutTrieNode,
+                              obs::kTraceSlabUnknown, cmps,
+                              CycleTimer::Now() - start);
+        if (idx >= 0) result = leaf->EntryAt(idx);
+      }
+    }
+    t->found = result.has_value() ? 1 : 0;
+    return result;
+  }
+
   // In-order traversal: fn(key, value) in ascending key order.
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -371,6 +419,12 @@ class SegTrie {
 
   // First materialized level index (0 for the plain trie).
   int ActiveTopLevel() const { return kLevels - active_levels_; }
+
+  // Trace node reference for a heap-allocated compact node: the block
+  // address's low 32 bits (enough to correlate spans within one trace).
+  static uint32_t TraceNodeRef(const void* node) {
+    return static_cast<uint32_t>(reinterpret_cast<uintptr_t>(node));
+  }
 
   static Partial Segment(Key key, int level) {
     const int shift = (kLevels - 1 - level) * kSegmentBits;

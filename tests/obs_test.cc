@@ -18,6 +18,7 @@
 #include "core/sharded.h"
 #include "core/synchronized.h"
 #include "gtest/gtest.h"
+#include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
@@ -175,6 +176,51 @@ TEST(HistogramTest, ConcurrentRecordingMatchesRawPercentiles) {
   double sum = 0.0;
   for (uint64_t v : raw) sum += static_cast<double>(v);
   EXPECT_DOUBLE_EQ(h.Mean(), sum / static_cast<double>(raw.size()));
+}
+
+// --- histogram -> cumulative OpenMetrics buckets (obs/export.h) -----------
+
+TEST(HistogramBucketsTest, EmptyHistogramYieldsJustInf) {
+  LogHistogram h;
+  const auto buckets = obs::CumulativeBuckets(h);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_TRUE(std::isinf(buckets[0].le));
+  EXPECT_EQ(buckets[0].count, 0u);
+}
+
+TEST(HistogramBucketsTest, SingleBucketPlusInf) {
+  LogHistogram h;
+  h.Record(7);
+  h.Record(7);
+  const auto buckets = obs::CumulativeBuckets(h);
+  ASSERT_EQ(buckets.size(), 2u);
+  // Exact region: bucket 7's exclusive upper edge is 8.
+  EXPECT_DOUBLE_EQ(buckets[0].le, 8.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_TRUE(std::isinf(buckets[1].le));
+  EXPECT_EQ(buckets[1].count, 2u);
+}
+
+TEST(HistogramBucketsTest, OverflowBucketFoldsIntoInf) {
+  // The maximal value lands in the last raw bucket, whose upper edge
+  // would overflow BucketLow's shift; it must fold into +Inf instead of
+  // emitting a bogus finite edge.
+  ASSERT_EQ(LogHistogram::BucketIndex(~uint64_t{0}),
+            LogHistogram::kBuckets - 1);
+  LogHistogram h;
+  h.Record(~uint64_t{0});
+  h.Record(1);
+  const auto buckets = obs::CumulativeBuckets(h);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].le, 2.0);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_TRUE(std::isinf(buckets[1].le));
+  EXPECT_EQ(buckets[1].count, 2u);  // the folded sample is still counted
+
+  // Cumulative counts are monotone non-decreasing in le order.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].count, buckets[i - 1].count);
+  }
 }
 
 // --- MetricsRegistry ------------------------------------------------------

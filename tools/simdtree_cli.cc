@@ -28,18 +28,39 @@
 //       reported as "hw": null when the syscall is denied), and the
 //       instrumented wrapper's metrics registry. --json replaces the
 //       human summary with one JSON document on stdout.
+//   simdtree_cli serve <index.stix> [--port=N] [--trace-sample=N]
+//       [--slow-us=N] [--probes=keys.txt] [--duration-s=N]
+//       Loads the index and serves its observability surface over HTTP
+//       on 127.0.0.1: /metrics (OpenMetrics), /metrics.json, /tracez
+//       (recent + slow query traces as JSON), /healthz. Query tracing is
+//       sampled 1-in-N (--trace-sample, default 64; 0 disables);
+//       --slow-us promotes descents slower than N microseconds into the
+//       slow-query log. With --probes, a foreground loop replays the
+//       keys against the index so the endpoints have live data; with
+//       --duration-s the process exits after N seconds (default: serve
+//       until killed). --port=0 picks an ephemeral port (printed).
+//   simdtree_cli tracez <index.stix> <keys.txt> [--trace-sample=N]
+//       [--slow-us=N] [--max=N]
+//       Runs the keys against the index with tracing on (default: every
+//       query) and dumps the flight recorder as one JSON document — the
+//       offline twin of the /tracez endpoint.
 //   simdtree_cli selftest
 //       Runs a quick build/query/scan round trip on synthetic data.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/serialize.h"
 #include "core/simdtree.h"
+#include "obs/export.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -65,6 +86,11 @@ int Usage() {
                "       simdtree_cli stats <index.stix>\n"
                "       simdtree_cli profile <index.stix> <keys.txt> "
                "[--passes=N] [--json]\n"
+               "       simdtree_cli serve <index.stix> [--port=N] "
+               "[--trace-sample=N] [--slow-us=N]\n"
+               "         [--probes=keys.txt] [--duration-s=N]\n"
+               "       simdtree_cli tracez <index.stix> <keys.txt> "
+               "[--trace-sample=N] [--slow-us=N] [--max=N]\n"
                "       simdtree_cli selftest\n");
   return 2;
 }
@@ -404,6 +430,121 @@ int CmdProfile(int argc, char** argv) {
   return 0;
 }
 
+// Serves /metrics, /metrics.json, /tracez, and /healthz for a loaded
+// index, optionally replaying a probe workload in the foreground so the
+// endpoints show live traffic.
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  long port = 9100;
+  long sample = 64;
+  long slow_us = -1;
+  long duration_s = 0;
+  const char* probes_path = nullptr;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atol(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      sample = std::atol(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--slow-us=", 10) == 0) {
+      slow_us = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--probes=", 9) == 0) {
+      probes_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--duration-s=", 13) == 0) {
+      duration_s = std::atol(argv[i] + 13);
+    } else {
+      return Usage();
+    }
+  }
+  if (port < 0 || port > 65535 || sample < 0) return Usage();
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  std::vector<uint64_t> probes, unused;
+  if (probes_path != nullptr && !ReadPairsFile(probes_path, &probes, &unused))
+    return 1;
+
+  simdtree::SynchronizedIndex<Tree> index(std::move(*tree));
+  index.EnableMetrics("cli.serve");
+  simdtree::obs::EnableTracing(static_cast<uint32_t>(sample));
+  if (slow_us >= 0) {
+    simdtree::obs::Tracer::Global().SetSlowThresholdNs(
+        static_cast<uint64_t>(slow_us) * 1000);
+  }
+
+  simdtree::obs::StatsServer server;
+  if (!server.Start(static_cast<uint16_t>(port))) {
+    std::fprintf(stderr, "cannot start stats server: %s\n",
+                 server.error().c_str());
+    return 1;
+  }
+  std::printf("serving %s on http://127.0.0.1:%u "
+              "(/metrics /metrics.json /tracez /healthz), "
+              "trace sample 1-in-%ld, %zu probe keys\n",
+              argv[2], server.port(), sample, probes.size());
+  std::fflush(stdout);
+
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(duration_s);
+  size_t lookups = 0;
+  while (duration_s == 0 || std::chrono::steady_clock::now() < until) {
+    if (!probes.empty()) {
+      index.Find(probes[lookups % probes.size()]);
+      ++lookups;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  server.Stop();
+  std::printf("served %ld s, %zu probe lookups, %llu traces recorded "
+              "(%llu slow)\n",
+              duration_s, lookups,
+              static_cast<unsigned long long>(
+                  simdtree::obs::Tracer::Global().recorded()),
+              static_cast<unsigned long long>(
+                  simdtree::obs::Tracer::Global().slow_recorded()));
+  return 0;
+}
+
+// Offline twin of the /tracez endpoint: replay a key file with tracing
+// on and dump the flight recorder as JSON.
+int CmdTracez(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  long sample = 1;
+  long slow_us = -1;
+  long max_traces = 32;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      sample = std::atol(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--slow-us=", 10) == 0) {
+      slow_us = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--max=", 6) == 0) {
+      max_traces = std::atol(argv[i] + 6);
+    } else {
+      return Usage();
+    }
+  }
+  if (sample < 1 || max_traces < 0) return Usage();
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+  std::vector<uint64_t> probes, unused;
+  if (!ReadPairsFile(argv[3], &probes, &unused)) return 1;
+
+  simdtree::SynchronizedIndex<Tree> index(std::move(*tree));
+  simdtree::obs::Tracer::Global().Reset();
+  simdtree::obs::EnableTracing(static_cast<uint32_t>(sample));
+  if (slow_us >= 0) {
+    simdtree::obs::Tracer::Global().SetSlowThresholdNs(
+        static_cast<uint64_t>(slow_us) * 1000);
+  }
+  for (const uint64_t key : probes) index.Find(key);
+  simdtree::obs::EnableTracing(0);
+  std::printf("%s\n",
+              simdtree::obs::RenderTracezJson(
+                  simdtree::obs::Tracer::Global(),
+                  static_cast<size_t>(max_traces))
+                  .c_str());
+  return 0;
+}
+
 int CmdSelfTest() {
   simdtree::Rng rng(1);
   Tree tree;
@@ -442,6 +583,8 @@ int main(int argc, char** argv) {
   if (cmd == "scan") return CmdScan(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "profile") return CmdProfile(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "tracez") return CmdTracez(argc, argv);
   if (cmd == "selftest") return CmdSelfTest();
   return Usage();
 }
