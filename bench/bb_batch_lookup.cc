@@ -15,18 +15,22 @@
 // The effect to look for: ~1x at cache-resident sizes (nothing to
 // overlap), growing to well over 1.5x once the index leaves the LLC.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/batch.h"
 #include "bench/hw_section.h"
 #include "btree/btree.h"
 #include "kary/kary_array.h"
 #include "segtree/segtree.h"
 #include "segtrie/segtrie.h"
+#include "util/counters.h"
 #include "util/cycle_timer.h"
 #include "util/table_printer.h"
 #include "util/workload.h"
@@ -196,14 +200,191 @@ void HwPhase() {
   std::printf("\n");
 }
 
-void Run() {
+// --- grouped (level-wise) descent vs pipelined A/B ------------------------
+//
+// The grouped engine (btree/batch_descent.h FindBatchGrouped) sorts the
+// batch once and loads every visited node once, so its physical node
+// loads per query drop as the batch grows while the pipelined path's
+// stay equal to the tree height. Two probe distributions bound the
+// effect: uniform-random probes only share the upper levels (the leaf
+// frontier is as wide as the batch), while clustered probes — contiguous
+// runs of adjacent stored keys, the probe side of a merge join or
+// IN-list — share all the way down. The `auto` row is the
+// UseGroupedDescent heuristic the concurrency wrappers apply per batch.
+
+// `count` probes in contiguous runs of `run_len` adjacent stored keys,
+// starting at random positions of the sorted key array.
+std::vector<Key> ClusteredProbes(const std::vector<Key>& sorted_keys,
+                                 size_t count, size_t run_len, Rng& rng) {
+  std::vector<Key> probes;
+  probes.reserve(count);
+  while (probes.size() < count) {
+    const size_t start = rng.NextBounded(sorted_keys.size());
+    for (size_t j = 0; j < run_len && probes.size() < count; ++j) {
+      probes.push_back(sorted_keys[(start + j) % sorted_keys.size()]);
+    }
+  }
+  return probes;
+}
+
+template <typename TreeT>
+void MeasureGrouped(TablePrinter* table, const char* name,
+                    const TreeT& tree, const std::string& size_name,
+                    const char* probe_kind, const std::vector<Key>& probes,
+                    size_t batch) {
+  const size_t np = probes.size();
+  const std::string cfg = std::string("grouped/") + name + "/" + size_name +
+                          "/" + probe_kind + "/b" + std::to_string(batch);
+  std::vector<const Value*> out(np);
+  auto fold = [&out] {
+    uint64_t sink = 0;
+    for (const Value* p : out) sink += p != nullptr ? *p : 0;
+    return sink;
+  };
+  auto run_pipe = [&] {
+    for (size_t off = 0; off < np; off += batch) {
+      const size_t m = std::min(batch, np - off);
+      tree.FindBatch(probes.data() + off, m, out.data() + off);
+    }
+    return fold();
+  };
+  auto run_grouped = [&] {
+    for (size_t off = 0; off < np; off += batch) {
+      const size_t m = std::min(batch, np - off);
+      tree.FindBatchGrouped(probes.data() + off, m, out.data() + off);
+    }
+    return fold();
+  };
+  auto run_auto = [&] {
+    for (size_t off = 0; off < np; off += batch) {
+      const size_t m = std::min(batch, np - off);
+      if (UseGroupedDescent(m, tree.height())) {
+        tree.FindBatchGrouped(probes.data() + off, m, out.data() + off);
+      } else {
+        tree.FindBatch(probes.data() + off, m, out.data() + off);
+      }
+    }
+    return fold();
+  };
+  // Interleaved min-of-rounds (as in bb_trace_overhead): one point's
+  // three engines alternate within each round, so frequency drift and
+  // container noise hit all of them instead of whichever ran last.
+  constexpr int kRounds = 5;
+  double pipe_cycles = 0.0, grouped_cycles = 0.0, auto_cycles = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    const double p = CyclesPerLookup(np, run_pipe);
+    const double g = CyclesPerLookup(np, run_grouped);
+    const double a = CyclesPerLookup(np, run_auto);
+    pipe_cycles = round == 0 ? p : std::min(pipe_cycles, p);
+    grouped_cycles = round == 0 ? g : std::min(grouped_cycles, g);
+    auto_cycles = round == 0 ? a : std::min(auto_cycles, a);
+  }
+  // Logical visits vs physical loads, untimed: the pipelined path loads
+  // one node per query per level (visits == loads); the grouped path's
+  // loads are the per-batch distinct-node counts.
+  SearchCounters pipe_c, grouped_c;
+  for (size_t off = 0; off < np; off += batch) {
+    const size_t m = std::min(batch, np - off);
+    tree.FindBatch(probes.data() + off, m, out.data() + off,
+                   kDefaultBatchGroup, &pipe_c);
+    tree.FindBatchGrouped(probes.data() + off, m, out.data() + off,
+                          &grouped_c);
+  }
+  const double pipe_visits =
+      static_cast<double>(pipe_c.nodes_visited) / static_cast<double>(np);
+  const double grouped_loads =
+      static_cast<double>(grouped_c.nodes_loaded) / static_cast<double>(np);
+  const double reduction =
+      grouped_loads > 0.0 ? pipe_visits / grouped_loads : 0.0;
+
+  bench::EmitJson("bb_batch_lookup", cfg + "/pipelined", "lookups_per_sec",
+                  LookupsPerSec(pipe_cycles));
+  bench::EmitJson("bb_batch_lookup", cfg + "/pipelined",
+                  "node_visits_per_query", pipe_visits);
+  bench::EmitJson("bb_batch_lookup", cfg + "/grouped", "lookups_per_sec",
+                  LookupsPerSec(grouped_cycles));
+  bench::EmitJson("bb_batch_lookup", cfg + "/grouped",
+                  "node_visits_per_query", grouped_loads);
+  bench::EmitJson("bb_batch_lookup", cfg + "/auto", "lookups_per_sec",
+                  LookupsPerSec(auto_cycles));
+  bench::EmitJson("bb_batch_lookup", cfg, "visit_reduction", reduction);
+
+  table->AddRow({name, size_name, probe_kind, TablePrinter::Fmt(batch),
+                 TablePrinter::Fmt(pipe_cycles, 0),
+                 TablePrinter::Fmt(grouped_cycles, 0),
+                 TablePrinter::Fmt(auto_cycles, 0),
+                 TablePrinter::Fmt(pipe_cycles / grouped_cycles, 2),
+                 TablePrinter::Fmt(pipe_visits, 2),
+                 TablePrinter::Fmt(grouped_loads, 2),
+                 TablePrinter::Fmt(reduction, 2)});
+  std::fflush(stdout);
+}
+
+void GroupedPhase(bool smoke) {
+  std::printf(
+      "grouped (level-wise) descent vs pipelined, SegTree, avg cycles per "
+      "lookup:\n");
+  size_t n = smoke ? size_t{1} << 17 : size_t{1} << 24;
+  if (const char* env = std::getenv("SIMDTREE_BATCH_MAX")) {
+    n = std::strtoull(env, nullptr, 10);
+  }
+  const std::string size_name =
+      n >= (size_t{1} << 20) ? std::to_string(n >> 20) + "M"
+                             : std::to_string(n >> 10) + "K";
+  std::vector<size_t> batches = smoke ? std::vector<size_t>{256, 1024}
+                                      : std::vector<size_t>{64, 256, 1024,
+                                                            4096};
+  Rng rng(2014);
+  const std::vector<Key> keys = UniformDistinctKeys<Key>(n, rng);
+  const std::vector<Value> values(keys.size(), 1);
+  const std::vector<Key> uniform = SamplePresentProbes(keys, kProbes, rng);
+  const std::vector<Key> clustered = ClusteredProbes(keys, kProbes, 16, rng);
+
+  TablePrinter table({"structure", "data", "probes", "batch", "pipelined",
+                      "grouped", "auto", "speedup", "visits/q", "loads/q",
+                      "reduction"});
+  {
+    // Paper node capacity: a shallow tree (height 3 at 16M keys).
+    const auto tree = segtree::SegTree<Key, Value>::BulkLoad(
+        keys.data(), values.data(), keys.size());
+    for (size_t b : batches) {
+      MeasureGrouped(&table, "SegTree-BF", tree, size_name, "uniform",
+                     uniform, b);
+      MeasureGrouped(&table, "SegTree-BF", tree, size_name, "clustered",
+                     clustered, b);
+    }
+  }
+  if (!smoke) {
+    // Small fanout: a deep tree, where per-level sharing compounds.
+    const auto deep = segtree::SegTree<Key, Value>::BulkLoad(
+        keys.data(), values.data(), keys.size(), 1.0, 32);
+    for (size_t b : batches) {
+      MeasureGrouped(&table, "SegTree-BF-deep", deep, size_name, "uniform",
+                     uniform, b);
+      MeasureGrouped(&table, "SegTree-BF-deep", deep, size_name, "clustered",
+                     clustered, b);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: loads/q falls as the batch grows (each node "
+      "loaded once per\nbatch) while the pipelined visits/q stays at the "
+      "tree height; clustered probes\nshare every level, uniform probes "
+      "only the upper ones. `auto` tracks the better\ncolumn via "
+      "UseGroupedDescent.\n\n");
+}
+
+void Run(bool smoke) {
   bench::PrintBenchHeader(
       "Batched lookups: group software pipelining vs single-query descent, "
       "32-bit keys, avg cycles per lookup");
 
+  GroupedPhase(smoke);
+
   // In-LLC / borderline / decisively out-of-LLC. The largest sweep is the
   // acceptance config (>= 16M keys); override with SIMDTREE_BATCH_MAX for
-  // low-memory machines.
+  // low-memory machines. --smoke drops to one small size so CI can
+  // execute the JSON contract quickly.
   struct SizePoint {
     const char* name;
     size_t n;
@@ -213,7 +394,9 @@ void Run() {
       {"2M", size_t{1} << 21},
       {"16M", size_t{1} << 24},
   };
-  if (const char* env = std::getenv("SIMDTREE_BATCH_MAX")) {
+  if (smoke) {
+    sizes = {{"128K", size_t{1} << 17}};
+  } else if (const char* env = std::getenv("SIMDTREE_BATCH_MAX")) {
     sizes.back().n = std::strtoull(env, nullptr, 10);
   }
 
@@ -250,7 +433,11 @@ void Run() {
 
 int main(int argc, char** argv) {
   simdtree::bench::ParseBenchArgs(argc, argv);
-  simdtree::HwPhase();
-  simdtree::Run();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (!smoke) simdtree::HwPhase();
+  simdtree::Run(smoke);
   return 0;
 }

@@ -55,10 +55,33 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// One-time machine-readable header, emitted before the first JSON data
+// line of a --json run: the running CPU's full feature string
+// (simd/cpu_features.h, including the AVX-512 subsets) and whether the
+// binary was built with the SIMDTREE_AVX2 backend — so collected sweeps
+// carry the hardware/build provenance needed to compare them.
+inline void EmitJsonHeader() {
+  if (!JsonEnabled()) return;
+  static bool emitted = false;
+  if (emitted) return;
+  emitted = true;
+#if defined(SIMDTREE_AVX2)
+  constexpr int kAvx2Build = 1;
+#else
+  constexpr int kAvx2Build = 0;
+#endif
+  std::printf(
+      "{\"bench_header\":{\"cpu_features\":\"%s\",\"avx2_build\":%d,"
+      "\"tsc_ghz\":%.17g}}\n",
+      JsonEscape(simd::CpuFeatureString()).c_str(), kAvx2Build,
+      CycleTimer::CyclesPerSecond() / 1e9);
+}
+
 // One measurement point. No-op unless --json was passed.
 inline void EmitJson(const std::string& bench, const std::string& config,
                      const std::string& metric, double value) {
   if (!JsonEnabled()) return;
+  EmitJsonHeader();
   std::printf("{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}\n",
               JsonEscape(bench).c_str(), JsonEscape(config).c_str(),
               JsonEscape(metric).c_str(), value);
@@ -76,6 +99,7 @@ inline void EmitJson(const std::string& bench, const std::string& config,
 inline void EmitMemJson(const std::string& bench, const std::string& config,
                         const mem::ArenaStats& s) {
   if (!JsonEnabled()) return;
+  EmitJsonHeader();
   std::printf(
       "{\"bench\":\"%s\",\"config\":\"%s\",\"mem\":{"
       "\"arena_bytes\":%zu,\"utilization\":%.17g,\"slab_count\":%zu,"

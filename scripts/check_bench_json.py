@@ -31,6 +31,12 @@ maps onto the OpenMetrics grammar the /metrics exporter uses
 (src/obs/export.cc SanitizeMetricName): non-empty, no control
 characters, and valid after sanitization. Present sections are
 validated regardless of the flag.
+
+--require-group-descent asserts the grouped-descent A/B section of
+bb_batch_lookup is present: at least one "node_visits_per_query"
+metric line each for a "/grouped" and a "/pipelined" config, plus a
+"visit_reduction" line. Its absence means the level-wise shared
+traversal stopped reporting its sharing factor.
 """
 
 import argparse
@@ -124,6 +130,12 @@ def main() -> int:
              "dump with OpenMetrics-compatible names",
     )
     parser.add_argument(
+        "--require-group-descent",
+        action="store_true",
+        help='fail unless grouped and pipelined "node_visits_per_query" '
+             'lines and a "visit_reduction" line are present',
+    )
+    parser.add_argument(
         "--min-lines",
         type=int,
         default=1,
@@ -135,6 +147,9 @@ def main() -> int:
     hw_null_lines = 0
     mem_lines = 0
     metrics_lines = 0
+    grouped_visit_lines = 0
+    pipelined_visit_lines = 0
+    reduction_lines = 0
     for lineno, line in enumerate(sys.stdin, start=1):
         stripped = line.strip()
         if not stripped.startswith("{"):
@@ -160,6 +175,14 @@ def main() -> int:
             if not check_metrics_names(doc, lineno):
                 return 1
             metrics_lines += 1
+        config = doc.get("config", "")
+        if doc.get("metric") == "node_visits_per_query":
+            if config.endswith("/grouped"):
+                grouped_visit_lines += 1
+            elif config.endswith("/pipelined"):
+                pipelined_visit_lines += 1
+        if doc.get("metric") == "visit_reduction":
+            reduction_lines += 1
 
     if json_lines < args.min_lines:
         print(f"expected at least {args.min_lines} JSON line(s), "
@@ -177,6 +200,14 @@ def main() -> int:
         print('no line with a "registry"/"metrics" dump — the metrics '
               "export is missing", file=sys.stderr)
         return 1
+    if args.require_group_descent and (
+            grouped_visit_lines == 0 or pipelined_visit_lines == 0
+            or reduction_lines == 0):
+        print("grouped-descent section incomplete: "
+              f"{grouped_visit_lines} grouped / {pipelined_visit_lines} "
+              f"pipelined node_visits_per_query lines, "
+              f"{reduction_lines} visit_reduction lines", file=sys.stderr)
+        return 1
 
     parts = [f"ok: {json_lines} JSON lines"]
     if hw_null_lines:
@@ -185,6 +216,9 @@ def main() -> int:
         parts.append(f"{mem_lines} mem sections")
     if metrics_lines:
         parts.append(f"{metrics_lines} metrics dumps")
+    if grouped_visit_lines or pipelined_visit_lines:
+        parts.append(f"{grouped_visit_lines}+{pipelined_visit_lines} "
+                     "grouped/pipelined visit lines")
     print(", ".join(parts))
     return 0
 

@@ -37,12 +37,26 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <vector>
 
 #include "core/batch.h"
+#include "core/batch_sort.h"
 #include "obs/trace.h"
 #include "util/counters.h"
+#include "util/cycle_timer.h"
 
 namespace simdtree::btree {
+
+// Per-level observations of one grouped descent, feeding the trace hook:
+// how many distinct nodes the frontier visited at each level and how long
+// the level took. nodes[l] == batch size means no sharing; nodes[l] == 1
+// means the whole batch shared one node.
+struct GroupedLevelStats {
+  int levels = 0;
+  uint32_t nodes[obs::kMaxTraceLevels] = {};
+  uint64_t cycles[obs::kMaxTraceLevels] = {};
+};
 
 template <typename Tree>
 class BatchDescent {
@@ -107,12 +121,282 @@ class BatchDescent {
     }
   }
 
+  // --- grouped (level-wise) descent ----------------------------------------
+  //
+  // Sorts the batch once (core/batch_sort.h), then walks the tree level
+  // by level with a frontier of (node, contiguous query run) pairs: each
+  // node is loaded and searched once per batch, and its run is
+  // partitioned across the children by binary-splitting the sorted run
+  // on the node's separator keys — the key store's own in-node search
+  // finds the first child, std::lower_bound on the separator rank finds
+  // where the run leaves it. Answers and logical counters are identical
+  // to FindBatch; counters->nodes_loaded additionally counts each
+  // frontier node once, so nodes_visited / nodes_loaded is the sharing
+  // factor the level-wise traversal buys.
+  static void FindBatchGrouped(const Tree& tree, const Key* keys, size_t n,
+                               const Value** out,
+                               SearchCounters* counters = nullptr,
+                               GroupedLevelStats* stats = nullptr) {
+    if (tree.root_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) out[i] = nullptr;
+      return;
+    }
+    if (n == 0) return;
+    SortedBatch<Key> sorted;
+    SortBatchWithPermutation(keys, n, &sorted);
+    const Key* skeys = sorted.keys.data();
+    std::vector<Run> frontier;
+    frontier.push_back(Run{tree.root_, 0, static_cast<uint32_t>(n)});
+    DescendRuns<false>(tree, skeys, &frontier, counters, stats);
+    const uint64_t leaf_start = stats != nullptr ? CycleTimer::Now() : 0;
+    for (size_t r = 0; r < frontier.size(); ++r) {
+      if (r + 2 * kGroupedRunLookahead < frontier.size()) {
+        Prefetch(frontier[r + 2 * kGroupedRunLookahead].node);
+      }
+      if (r + kGroupedRunLookahead < frontier.size()) {
+        static_cast<const LeafNode*>(frontier[r + kGroupedRunLookahead].node)
+            ->keys.PrefetchKeys();
+      }
+      const Run& run = frontier[r];
+      const LeafNode* leaf0 = static_cast<const LeafNode*>(run.node);
+      if (counters != nullptr) {
+        counters->nodes_visited += run.end - run.begin;
+        ++counters->nodes_loaded;
+      }
+      // Leaf resolution per query, identical to FindGroup; duplicate
+      // queries (adjacent after the sort) reuse the previous answer.
+      bool prev_loaded = false;
+      Key last_q{};
+      const Value* last_out = nullptr;
+      bool last_stepped = false;
+      for (uint32_t j = run.begin; j < run.end; ++j) {
+        const Key q = skeys[j];
+        if (j > run.begin && q == last_q) {
+          out[sorted.perm[j]] = last_out;
+          if (counters != nullptr && last_stepped) ++counters->nodes_visited;
+          continue;
+        }
+        last_q = q;
+        last_stepped = false;
+        const LeafNode* leaf = leaf0;
+        int64_t pos = leaf->keys.UpperBound(q);
+        if (pos == 0) {
+          leaf = leaf->prev;
+          if (leaf == nullptr) {
+            last_out = nullptr;
+            out[sorted.perm[j]] = nullptr;
+            continue;
+          }
+          last_stepped = true;
+          if (counters != nullptr) {
+            ++counters->nodes_visited;
+            if (!prev_loaded) {
+              ++counters->nodes_loaded;
+              prev_loaded = true;
+            }
+          }
+          pos = leaf->keys.count();
+        }
+        last_out = leaf->keys.At(pos - 1) == q
+                       ? &leaf->values[static_cast<size_t>(pos - 1)]
+                       : nullptr;
+        out[sorted.perm[j]] = last_out;
+      }
+    }
+    RecordLevel(stats, frontier.size(), leaf_start);
+  }
+
+  // Grouped lower-bound iterators: the batched form of LowerBoundIter
+  // with the level-wise schedule. The descent routes query q to the
+  // child holding the first key >= q (LowerBound ranks), so the run
+  // boundary at separator s is the first query > s.
+  static void LowerBoundBatchGrouped(const Tree& tree, const Key* keys,
+                                     size_t n, Iterator* out,
+                                     SearchCounters* counters = nullptr) {
+    if (tree.root_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) out[i] = Iterator();
+      return;
+    }
+    if (n == 0) return;
+    SortedBatch<Key> sorted;
+    SortBatchWithPermutation(keys, n, &sorted);
+    const Key* skeys = sorted.keys.data();
+    std::vector<Run> frontier;
+    frontier.push_back(Run{tree.root_, 0, static_cast<uint32_t>(n)});
+    DescendRuns<true>(tree, skeys, &frontier, counters, nullptr);
+    for (size_t r = 0; r < frontier.size(); ++r) {
+      if (r + 2 * kGroupedRunLookahead < frontier.size()) {
+        Prefetch(frontier[r + 2 * kGroupedRunLookahead].node);
+      }
+      if (r + kGroupedRunLookahead < frontier.size()) {
+        static_cast<const LeafNode*>(frontier[r + kGroupedRunLookahead].node)
+            ->keys.PrefetchKeys();
+      }
+      const Run& run = frontier[r];
+      const LeafNode* leaf0 = static_cast<const LeafNode*>(run.node);
+      if (counters != nullptr) {
+        counters->nodes_visited += run.end - run.begin;
+        ++counters->nodes_loaded;
+      }
+      bool next_loaded = false;
+      Key last_q{};
+      Iterator last_it;
+      bool last_stepped = false;
+      for (uint32_t j = run.begin; j < run.end; ++j) {
+        const Key q = skeys[j];
+        if (j > run.begin && q == last_q) {
+          out[sorted.perm[j]] = last_it;
+          if (counters != nullptr && last_stepped) ++counters->nodes_visited;
+          continue;
+        }
+        last_q = q;
+        last_stepped = false;
+        const LeafNode* leaf = leaf0;
+        int64_t pos = leaf->keys.LowerBound(q);
+        if (pos >= leaf->keys.count()) {  // answer starts in the next leaf
+          leaf = leaf->next;
+          if (leaf != nullptr) {
+            last_stepped = true;
+            if (counters != nullptr) {
+              ++counters->nodes_visited;
+              if (!next_loaded) {
+                ++counters->nodes_loaded;
+                next_loaded = true;
+              }
+            }
+          }
+          pos = 0;
+        }
+        last_it = leaf != nullptr ? Iterator(leaf, pos) : Iterator();
+        out[sorted.perm[j]] = last_it;
+      }
+    }
+  }
+
+  // Traced grouped lookup: identical results to FindBatchGrouped, plus
+  // one trace whose per-level spans record the level's distinct
+  // node-visit count (node_ref) and the batch size sharing the level
+  // (group_size) — the flight-recorder view of the amortization.
+  static void FindBatchGroupedTraced(const Tree& tree, const Key* keys,
+                                     size_t n, const Value** out,
+                                     SearchCounters* counters,
+                                     obs::DescentTrace* t) {
+    GroupedLevelStats stats;
+    FindBatchGrouped(tree, keys, n, out, counters, &stats);
+    if (n == 0 || tree.root_ == nullptr) return;
+    t->batched = 1;
+    t->key = static_cast<uint64_t>(
+        static_cast<std::make_unsigned_t<Key>>(keys[0]));
+    t->found = out[0] != nullptr ? 1 : 0;
+    const uint8_t layout_id = RootLayoutId(tree);
+    t->backend = static_cast<uint8_t>(layout_id == 0
+                                          ? obs::TraceBackend::kBPlusTree
+                                          : obs::TraceBackend::kSegTree);
+    const uint16_t group_size =
+        n > 0xffff ? uint16_t{0xffff} : static_cast<uint16_t>(n);
+    for (int l = 0; l < stats.levels; ++l) {
+      obs::AppendTraceLevel(t, stats.nodes[l], layout_id,
+                            obs::kTraceSlabUnknown, SearchCounters{},
+                            stats.cycles[l], group_size);
+    }
+  }
+
  private:
   using NodeBase = typename Tree::NodeBase;
   using InnerNode = typename Tree::InnerNode;
   using LeafNode = typename Tree::LeafNode;
 
   static void Prefetch(const void* p) { PrefetchRead(p); }
+
+  // One grouped-frontier entry: sorted queries [begin, end) all route to
+  // `node` on the current level. Runs on one level are disjoint and
+  // cover the batch, and distinct runs hold distinct nodes (children of
+  // disjoint subtrees), so one run == one physical node load.
+  struct Run {
+    const NodeBase* node;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  static void RecordLevel(GroupedLevelStats* stats, size_t nodes,
+                          uint64_t start) {
+    if (stats == nullptr || stats->levels >= obs::kMaxTraceLevels) return;
+    stats->nodes[stats->levels] = static_cast<uint32_t>(nodes);
+    stats->cycles[stats->levels] = CycleTimer::Now() - start;
+    ++stats->levels;
+  }
+
+  static uint8_t RootLayoutId(const Tree& tree) {
+    return tree.root_->is_leaf
+               ? static_cast<const LeafNode*>(tree.root_)
+                     ->keys.TraceLayoutId()
+               : static_cast<const InnerNode*>(tree.root_)
+                     ->keys.TraceLayoutId();
+  }
+
+  // Level-wise frontier walk to leaf level. kLower selects lower-bound
+  // ranks for the descent (LowerBoundBatchGrouped), upper-bound ranks
+  // otherwise; the run boundary under a separator s is therefore the
+  // first query > s (lower) or >= s (upper). Each frontier node costs
+  // one in-node search per child actually taken plus one binary split
+  // per boundary — independent of the run's length.
+  template <bool kLower>
+  static void DescendRuns(const Tree& tree, const Key* skeys,
+                          std::vector<Run>* frontier,
+                          SearchCounters* counters,
+                          GroupedLevelStats* stats) {
+    std::vector<Run> next;
+    while (!frontier->empty() && !(*frontier)[0].node->is_leaf) {
+      const uint64_t start = stats != nullptr ? CycleTimer::Now() : 0;
+      next.clear();
+      const std::vector<Run>& runs = *frontier;
+      for (size_t r = 0; r < runs.size(); ++r) {
+        // Two-stage lookahead: the node struct at distance 2W, its key
+        // storage (behind the store's internal pointer — readable once
+        // the struct line is hot) at distance W. Matches the per-node
+        // prefetch coverage of the pipelined DescendGroup passes.
+        if (r + 2 * kGroupedRunLookahead < runs.size()) {
+          Prefetch(runs[r + 2 * kGroupedRunLookahead].node);
+        }
+        if (r + kGroupedRunLookahead < runs.size()) {
+          const InnerNode* ahead = static_cast<const InnerNode*>(
+              runs[r + kGroupedRunLookahead].node);
+          ahead->keys.PrefetchKeys();
+          Prefetch(ahead->children.data());
+        }
+        const Run& run = runs[r];
+        const InnerNode* inner = static_cast<const InnerNode*>(run.node);
+        if (counters != nullptr) {
+          counters->nodes_visited += run.end - run.begin;
+          ++counters->nodes_loaded;
+        }
+        inner->keys.PrefetchKeys();
+        const int64_t sep_count = inner->keys.count();
+        uint32_t cur = run.begin;
+        while (cur < run.end) {
+          const int64_t idx = kLower ? inner->keys.LowerBound(skeys[cur])
+                                     : inner->keys.UpperBound(skeys[cur]);
+          uint32_t sub_end = run.end;
+          if (idx < sep_count) {
+            const Key sep = inner->keys.At(idx);
+            sub_end = static_cast<uint32_t>(
+                (kLower ? std::upper_bound(skeys + cur + 1, skeys + run.end,
+                                           sep)
+                        : std::lower_bound(skeys + cur + 1, skeys + run.end,
+                                           sep)) -
+                skeys);
+          }
+          const NodeBase* child =
+              tree.DecodeRef(inner->children[static_cast<size_t>(idx)]);
+          Prefetch(child);
+          next.push_back(Run{child, cur, sub_end});
+          cur = sub_end;
+        }
+      }
+      RecordLevel(stats, frontier->size(), start);
+      frontier->swap(next);
+    }
+  }
 
   // Descends the whole group to leaf level in lockstep. `upper` selects
   // the in-node search (UpperBound for Find, LowerBound for the

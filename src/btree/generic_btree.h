@@ -277,6 +277,38 @@ class GenericBPlusTree {
                                                     group, counters);
   }
 
+  // Grouped (level-wise) batched lookup: sorts the batch once and visits
+  // each tree node once per batch, partitioning the sorted query run
+  // across a node's children instead of re-searching the node per query
+  // (BatchDescent::FindBatchGrouped). Same answers and logical counters
+  // as FindBatch; counters->nodes_loaded counts each node once, so
+  // nodes_visited / nodes_loaded is the per-batch sharing factor.
+  // Preferable over FindBatch once n >= height() * levels-worth of
+  // queries — see UseGroupedDescent (core/batch.h).
+  void FindBatchGrouped(const Key* keys, size_t n, const Value** out,
+                        SearchCounters* counters = nullptr) const {
+    BatchDescent<GenericBPlusTree>::FindBatchGrouped(*this, keys, n, out,
+                                                     counters);
+  }
+
+  // FindBatchGrouped plus a grouped-descent trace: one LevelSpan per
+  // tree level recording the level's distinct node-visit count and the
+  // batch size sharing it.
+  void FindBatchGroupedTraced(const Key* keys, size_t n, const Value** out,
+                              SearchCounters* counters,
+                              obs::DescentTrace* t) const {
+    BatchDescent<GenericBPlusTree>::FindBatchGroupedTraced(*this, keys, n,
+                                                           out, counters, t);
+  }
+
+  // Grouped batched lower bound: out[i] = LowerBoundIter(keys[i]) with
+  // the level-wise schedule of FindBatchGrouped.
+  void LowerBoundBatchGrouped(const Key* keys, size_t n, ConstIterator* out,
+                              SearchCounters* counters = nullptr) const {
+    BatchDescent<GenericBPlusTree>::LowerBoundBatchGrouped(*this, keys, n,
+                                                           out, counters);
+  }
+
   // Instrumented lookup: same result as Find, additionally counting the
   // nodes visited on the root-to-leaf descent (paper: one node search per
   // tree level).

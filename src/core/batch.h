@@ -17,6 +17,8 @@
 #ifndef SIMDTREE_CORE_BATCH_H_
 #define SIMDTREE_CORE_BATCH_H_
 
+#include <cstddef>
+
 namespace simdtree {
 
 // Upper bound of the lockstep group size (fixed state-array dimension in
@@ -34,6 +36,57 @@ inline constexpr int ClampBatchGroup(int group) {
 // out-of-range addresses a pruned or finished query can compute are safe
 // to issue.
 inline void PrefetchRead(const void* p) { __builtin_prefetch(p, 0, 3); }
+
+// In-level lookahead distance for the grouped descent's run loops: while
+// run i's node is being searched, run i + kGroupedRunLookahead's node is
+// prefetched. The push-time child prefetch covers small frontiers, but
+// once a level holds more runs than the core's line fill buffers those
+// early prefetches are dropped or evicted before use and the level's
+// loads serialize; the lookahead re-issues each prefetch a fixed (LFB-
+// sized) distance ahead of its consumer, restoring the overlap.
+inline constexpr size_t kGroupedRunLookahead = 8;
+
+// --- pipelined vs grouped descent crossover --------------------------------
+//
+// The grouped (level-wise) descent sorts the batch once and visits each
+// frontier node once, amortizing node loads across the queries routed to
+// it. The amortization only pays when the batch is large relative to the
+// structure's depth: the sort is O(n) extra work and the upper levels
+// only share once n exceeds their node count. Empirically (see
+// bench/bb_batch_lookup and DESIGN.md "Batched traversal") the grouped
+// path wins once the batch carries roughly this many queries per level;
+// below it, the pipelined path's simplicity wins.
+inline constexpr int kGroupedMinBatchPerLevel = 96;
+
+// Heuristic switch shared by the wrappers and the CLI: grouped descent
+// when the batch is deep enough to amortize, pipelined otherwise.
+inline constexpr bool UseGroupedDescent(size_t n, int levels) {
+  return levels > 0 &&
+         n >= static_cast<size_t>(levels) *
+                  static_cast<size_t>(kGroupedMinBatchPerLevel);
+}
+
+// Structure depth for the heuristic, duck-typed over the index families:
+// trees report height(), tries report active_levels(), everything else
+// defaults to 1 level.
+template <typename Index>
+constexpr int BatchLevels(const Index& index) {
+  if constexpr (requires { index.height(); }) {
+    return static_cast<int>(index.height());
+  } else if constexpr (requires { index.active_levels(); }) {
+    return index.active_levels();
+  } else {
+    return 1;
+  }
+}
+
+// Whether the index exposes the grouped batched lookup (the trees and
+// tries do; arbitrary wrapped indexes need not).
+template <typename Index, typename K, typename V>
+concept HasGroupedFindBatch =
+    requires(const Index& index, const K* keys, size_t n, const V** out) {
+      index.FindBatchGrouped(keys, n, out);
+    };
 
 }  // namespace simdtree
 

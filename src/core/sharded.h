@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
@@ -202,6 +203,31 @@ class ShardedIndex {
                  std::optional<ValueType>* out) const {
     if (n == 0) return;
     const size_t num = shards_.size();
+    // Single shard: every key belongs to shard 0, so the partition and
+    // scatter passes are pure overhead — run the whole batch directly.
+    if (num == 1) {
+      if (metrics_) {
+        metrics_->batches->Add();
+        metrics_->batch_keys->Add(n);
+        metrics_->batch_size->Record(n);
+        metrics_->shard_imbalance->Set(1.0);
+      }
+      std::optional<obs::TraceScope> scope;
+      if (obs::TraceShouldSample()) [[unlikely]] {
+        scope.emplace();
+        scope->trace()->shard = 0;
+      }
+      RunSubBatch(*shards_[0], keys, n, scope ? scope->trace() : nullptr,
+                  [out](size_t j, const ValueType* p) {
+                    if (p != nullptr) {
+                      out[j] = *p;
+                    } else {
+                      out[j] = std::nullopt;
+                    }
+                  });
+      if (scope) scope->Finish();
+      return;
+    }
     // Pass 1: shard id per key + per-shard counts.
     std::vector<uint32_t> shard_of(n);
     std::vector<size_t> start(num + 1, 0);
@@ -245,37 +271,23 @@ class ShardedIndex {
       scope.emplace();
       scope->trace()->shard = static_cast<uint16_t>(shard_of[0]);
     }
-    // Pass 3: per shard, one lock, chunked pipelined FindBatch.
-    constexpr size_t kChunk = 256;
-    const ValueType* ptrs[kChunk];
+    // Pass 3: per shard, one lock, the whole sub-batch through the
+    // grouped descent (when it clears the heuristic) or the chunked
+    // pipelined FindBatch, scattering back to caller order.
     for (size_t s = 0; s < num; ++s) {
       const size_t lo = start[s], hi = start[s + 1];
       if (lo == hi) continue;
       const bool traced = scope && s == shard_of[0];
-      const uint64_t lock_start = traced ? CycleTimer::Now() : 0;
-      std::shared_lock lock(shards_[s]->mutex);
-      if (traced) {
-        scope->trace()->lock_wait_ns = static_cast<uint64_t>(
-            CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
-      }
-      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
-                                          : nullptr);
-      for (size_t off = lo; off < hi; off += kChunk) {
-        const size_t m = hi - off < kChunk ? hi - off : kChunk;
-        if (traced && off == lo) {
-          core::TracedFindChunk(shards_[s]->index, skeys.data() + off, m,
-                                ptrs, scope->trace());
-        } else {
-          shards_[s]->index.FindBatch(skeys.data() + off, m, ptrs);
-        }
-        for (size_t j = 0; j < m; ++j) {
-          if (ptrs[j] != nullptr) {
-            out[spos[off + j]] = *ptrs[j];
-          } else {
-            out[spos[off + j]] = std::nullopt;
-          }
-        }
-      }
+      const size_t* pos = spos.data() + lo;
+      RunSubBatch(*shards_[s], skeys.data() + lo, hi - lo,
+                  traced ? scope->trace() : nullptr,
+                  [out, pos](size_t j, const ValueType* p) {
+                    if (p != nullptr) {
+                      out[pos[j]] = *p;
+                    } else {
+                      out[pos[j]] = std::nullopt;
+                    }
+                  });
     }
     if (scope) scope->Finish();
   }
@@ -359,6 +371,50 @@ class ShardedIndex {
   }
 
  private:
+  struct Shard;
+
+  // One shard's sub-batch under its shared lock: the grouped
+  // (level-wise, sort-once) descent when the index has one and the
+  // sub-batch clears the UseGroupedDescent heuristic, otherwise the
+  // chunked group-pipelined FindBatch. emit(j, ptr) receives each
+  // result in sub-batch order while the lock is held. A non-null `t`
+  // traces this sub-batch (whole batch when grouped, first chunk when
+  // pipelined) and receives the lock wait.
+  template <typename Emit>
+  void RunSubBatch(const Shard& shard, const KeyType* keys, size_t m,
+                   obs::DescentTrace* t, Emit emit) const {
+    const uint64_t lock_start = t != nullptr ? CycleTimer::Now() : 0;
+    std::shared_lock lock(shard.mutex);
+    if (t != nullptr) {
+      t->lock_wait_ns = static_cast<uint64_t>(
+          CycleTimer::ToNanoseconds(CycleTimer::Now() - lock_start));
+    }
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
+    if constexpr (HasGroupedFindBatch<Index, KeyType, ValueType>) {
+      if (UseGroupedDescent(m, BatchLevels(shard.index))) {
+        std::vector<const ValueType*> ptrs(m);
+        if (t != nullptr) {
+          core::TracedGroupedFindBatch(shard.index, keys, m, ptrs.data(), t);
+        } else {
+          shard.index.FindBatchGrouped(keys, m, ptrs.data());
+        }
+        for (size_t j = 0; j < m; ++j) emit(j, ptrs[j]);
+        return;
+      }
+    }
+    constexpr size_t kChunk = 256;
+    const ValueType* ptrs[kChunk];
+    for (size_t off = 0; off < m; off += kChunk) {
+      const size_t g = m - off < kChunk ? m - off : kChunk;
+      if (t != nullptr && off == 0) {
+        core::TracedFindChunk(shard.index, keys, g, ptrs, t);
+      } else {
+        shard.index.FindBatch(keys + off, g, ptrs);
+      }
+      for (size_t j = 0; j < g; ++j) emit(off + j, ptrs[j]);
+    }
+  }
+
   // Cold path for a sampled single-key read: stamps the owning shard id,
   // measures that shard's lock wait separately from the descent, and
   // routes through the index's FindTraced when it has one. Kept out of

@@ -22,6 +22,7 @@
 #include <shared_mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/batch.h"
 #include "core/trace_hooks.h"
@@ -101,9 +102,11 @@ class SynchronizedIndex {
 
   // Batched point lookup: out[i] = value of keys[i] or nullopt. One
   // shared-lock acquisition covers the whole batch (vs one per key for a
-  // Find loop), and the underlying index runs its group-pipelined
-  // FindBatch under it. Values are copied out while the lock is held, so
-  // the results stay valid after concurrent writers proceed.
+  // Find loop). Under the lock the index runs either its grouped
+  // (level-wise, sort-once) descent — when it has one and the batch
+  // clears the UseGroupedDescent heuristic — or the group-pipelined
+  // FindBatch in chunks. Values are copied out while the lock is held,
+  // so the results stay valid after concurrent writers proceed.
   void FindBatch(const KeyType* keys, size_t n,
                  std::optional<ValueType>* out) const {
     if (metrics_) {
@@ -111,8 +114,6 @@ class SynchronizedIndex {
       metrics_->batch_keys->Add(n);
       metrics_->batch_size->Record(n);
     }
-    constexpr size_t kChunk = 256;
-    const ValueType* ptrs[kChunk];
     // One trace per sampled batch, attributed to the batch's first key.
     std::optional<obs::TraceScope> scope;
     if (obs::TraceShouldSample()) [[unlikely]] {
@@ -127,18 +128,42 @@ class SynchronizedIndex {
       }
       obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
                                           : nullptr);
-      for (size_t off = 0; off < n; off += kChunk) {
-        const size_t m = n - off < kChunk ? n - off : kChunk;
-        if (scope && off == 0) {
-          core::TracedFindChunk(index_, keys, m, ptrs, scope->trace());
-        } else {
-          index_.FindBatch(keys + off, m, ptrs);
-        }
-        for (size_t j = 0; j < m; ++j) {
-          if (ptrs[j] != nullptr) {
-            out[off + j] = *ptrs[j];
+      bool handled = false;
+      if constexpr (HasGroupedFindBatch<Index, KeyType, ValueType>) {
+        if (UseGroupedDescent(n, BatchLevels(index_))) {
+          std::vector<const ValueType*> ptrs(n);
+          if (scope) {
+            core::TracedGroupedFindBatch(index_, keys, n, ptrs.data(),
+                                         scope->trace());
           } else {
-            out[off + j] = std::nullopt;
+            index_.FindBatchGrouped(keys, n, ptrs.data());
+          }
+          for (size_t j = 0; j < n; ++j) {
+            if (ptrs[j] != nullptr) {
+              out[j] = *ptrs[j];
+            } else {
+              out[j] = std::nullopt;
+            }
+          }
+          handled = true;
+        }
+      }
+      if (!handled) {
+        constexpr size_t kChunk = 256;
+        const ValueType* ptrs[kChunk];
+        for (size_t off = 0; off < n; off += kChunk) {
+          const size_t m = n - off < kChunk ? n - off : kChunk;
+          if (scope && off == 0) {
+            core::TracedFindChunk(index_, keys, m, ptrs, scope->trace());
+          } else {
+            index_.FindBatch(keys + off, m, ptrs);
+          }
+          for (size_t j = 0; j < m; ++j) {
+            if (ptrs[j] != nullptr) {
+              out[off + j] = *ptrs[j];
+            } else {
+              out[off + j] = std::nullopt;
+            }
           }
         }
       }

@@ -52,6 +52,24 @@ void TracedFindChunk(const Index& index, const Key* keys, size_t m,
   }
 }
 
+// Traced grouped batch, attributed to the batch's first key: the
+// grouped traced descent when the index has one (the trees record one
+// span per level with the per-level node-visit count and group size);
+// else the plain grouped batch with what the wrapper still knows.
+template <typename Index, typename Key, typename Value>
+void TracedGroupedFindBatch(const Index& index, const Key* keys, size_t m,
+                            const Value** ptrs, obs::DescentTrace* t) {
+  if constexpr (requires {
+                  index.FindBatchGroupedTraced(keys, m, ptrs, nullptr, t);
+                }) {
+    index.FindBatchGroupedTraced(keys, m, ptrs, nullptr, t);
+  } else {
+    index.FindBatchGrouped(keys, m, ptrs);
+    t->batched = 1;
+    if (m > 0) t->found = ptrs[0] != nullptr ? 1 : 0;
+  }
+}
+
 }  // namespace simdtree::core
 
 #endif  // SIMDTREE_CORE_TRACE_HOOKS_H_

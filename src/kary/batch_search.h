@@ -32,8 +32,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "core/batch.h"
+#include "core/batch_sort.h"
 #include "kary/kary_search.h"
 #include "kary/layout.h"
 #include "simd/bitmask_eval.h"
@@ -233,6 +235,264 @@ void LowerBoundBatch(const T* lin, int64_t stored_slots, int64_t n,
       out[off + static_cast<size_t>(src[i])] = sub_out[i];
     }
   }
+}
+
+// --- grouped (level-wise) batch descent ------------------------------------
+//
+// The pipelined groups above hide latency but still load every node once
+// per query: a 4096-probe batch touches the root 4096 times. The grouped
+// descent instead sorts the batch (core/batch_sort.h) and walks the tree
+// level by level with a frontier of (node, contiguous query run) pairs:
+// each frontier node is loaded once per batch, and its run is partitioned
+// across the node's children by binary-splitting the sorted run on the
+// node's separator keys (upper-bound semantics: the queries routed to
+// child c are exactly those in [sep[c-1], sep[c])). Runs that shrink to a
+// few queries switch to the plain SIMD compare step — one compare against
+// the already-hot node — which computes the same child by construction.
+//
+// Results are bit-identical to UpperBoundBatch: the separators within a
+// node are ascending (padding sorts last), so `first query >= sep[c]`
+// splits the run exactly where the per-query SIMD step changes from c to
+// c+1. Logical counters stay parity with the pipelined/counted singles
+// (one simd_comparison per query per non-pruned level); the physical
+// amortization shows up in SearchCounters::nodes_loaded, which counts
+// each frontier node once.
+
+namespace grouped_internal {
+
+// One frontier entry: the queries svals[begin, end) all route to the
+// same node of the current level.
+struct KaryRun {
+  int64_t pos = 0;      // node position within the level (BF) / rank
+  int64_t key_off = 0;  // first key slot of the node (DF only)
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+// Runs at or below this length partition by per-query SIMD steps instead
+// of per-separator binary splits (the node is cache-hot either way; a
+// short run has fewer queries than separators worth searching).
+inline constexpr uint32_t kSplitMinRun = 8;
+
+}  // namespace grouped_internal
+
+// Grouped Algorithm 5 (breadth-first) over an ascending batch:
+// ranks[j] = upper bound of svals[j], for svals sorted ascending.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundSortedGroupedBf(const T* lin, int64_t stored_slots, int64_t n,
+                               const T* svals, size_t count, int64_t* ranks,
+                               SearchCounters* counters = nullptr) {
+  using Ops = simd::Ops<T, B, kBits>;
+  using grouped_internal::KaryRun;
+  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
+  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
+  if (count == 0) return;
+  if (n == 0) {
+    for (size_t j = 0; j < count; ++j) ranks[j] = 0;
+    return;
+  }
+  std::vector<KaryRun> frontier, next;
+  frontier.push_back(
+      KaryRun{0, 0, 0, static_cast<uint32_t>(count)});
+  int64_t level_base = 0;
+  int64_t level_nodes = 1;
+  while (level_base < stored_slots && !frontier.empty()) {
+    next.clear();
+    const int64_t next_base = level_base + level_nodes * kLanes;
+    for (size_t r = 0; r < frontier.size(); ++r) {
+      if (r + kGroupedRunLookahead < frontier.size()) {
+        const int64_t la_off =
+            level_base + frontier[r + kGroupedRunLookahead].pos * kLanes;
+        if (la_off < stored_slots) PrefetchRead(lin + la_off);
+      }
+      const KaryRun& run = frontier[r];
+      const int64_t key_off = level_base + run.pos * kLanes;
+      if (key_off >= stored_slots) {
+        // Descent into an unmaterialized all-padding subtree: the answer
+        // is already n, and — like UpperBoundBfCounted — the pruned
+        // queries stop paying comparisons at this level.
+        for (uint32_t j = run.begin; j < run.end; ++j) ranks[j] = n;
+        continue;
+      }
+      const T* node = lin + key_off;
+      if (counters != nullptr) {
+        counters->simd_comparisons += run.end - run.begin;
+        ++counters->nodes_loaded;
+      }
+      const int64_t child_base = run.pos * kArity;
+      const auto emit = [&](int64_t child, uint32_t b, uint32_t e) {
+        next.push_back(KaryRun{child, 0, b, e});
+        PrefetchRead(lin + next_base + child * kLanes);
+      };
+      if (run.end - run.begin <= grouped_internal::kSplitMinRun) {
+        // Short run: per-query SIMD step against the hot node, with
+        // adjacent equal children coalesced (steps are non-decreasing
+        // over the sorted run).
+        const auto node_reg = Ops::LoadUnaligned(node);
+        uint32_t b = run.begin;
+        int prev_step = -1;
+        for (uint32_t j = run.begin; j < run.end; ++j) {
+          const int step = Eval::template Position<T, kBits>(
+              Ops::MoveMask(Ops::CmpGt(node_reg, Ops::Set1(svals[j]))));
+          if (step != prev_step) {
+            if (prev_step >= 0) emit(child_base + prev_step, b, j);
+            b = j;
+            prev_step = step;
+          }
+        }
+        emit(child_base + prev_step, b, run.end);
+      } else {
+        // Long run: binary split on the separator ranks. Child c keeps
+        // the queries below sep[c]; the first query >= sep[c] opens
+        // child c+1 (identical to the SIMD step by the ascending-node
+        // argument above).
+        uint32_t cur = run.begin;
+        for (int64_t c = 0; c < kLanes && cur < run.end; ++c) {
+          const uint32_t split = static_cast<uint32_t>(
+              std::lower_bound(svals + cur, svals + run.end, node[c]) -
+              svals);
+          if (split > cur) emit(child_base + c, cur, split);
+          cur = split;
+        }
+        if (cur < run.end) emit(child_base + kLanes, cur, run.end);
+      }
+    }
+    frontier.swap(next);
+    level_base = next_base;
+    level_nodes *= kArity;
+  }
+  for (const KaryRun& run : frontier) {
+    const int64_t rank = std::min(run.pos, n);
+    for (uint32_t j = run.begin; j < run.end; ++j) ranks[j] = rank;
+  }
+}
+
+// Grouped Algorithm 4 (depth-first, perfect storage) over an ascending
+// batch. No pruning: every query descends all levels, as in
+// UpperBoundDfCounted.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundSortedGroupedDf(const T* lin, int64_t perfect_slots, int64_t n,
+                               const T* svals, size_t count, int64_t* ranks,
+                               SearchCounters* counters = nullptr) {
+  using Ops = simd::Ops<T, B, kBits>;
+  using grouped_internal::KaryRun;
+  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
+  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
+  if (count == 0) return;
+  if (n == 0) {
+    for (size_t j = 0; j < count; ++j) ranks[j] = 0;
+    return;
+  }
+  std::vector<KaryRun> frontier, next;
+  frontier.push_back(KaryRun{0, 0, 0, static_cast<uint32_t>(count)});
+  int64_t sub_size = perfect_slots;
+  while (sub_size > 0) {
+    next.clear();
+    sub_size = (sub_size - (kArity - 1)) / kArity;  // child subtree keys
+    for (size_t r = 0; r < frontier.size(); ++r) {
+      if (r + kGroupedRunLookahead < frontier.size()) {
+        PrefetchRead(lin + frontier[r + kGroupedRunLookahead].key_off);
+      }
+      const KaryRun& run = frontier[r];
+      const T* node = lin + run.key_off;
+      if (counters != nullptr) {
+        counters->simd_comparisons += run.end - run.begin;
+        ++counters->nodes_loaded;
+      }
+      const auto emit = [&](int64_t step, uint32_t b, uint32_t e) {
+        const int64_t child_off = run.key_off + kLanes + sub_size * step;
+        next.push_back(
+            KaryRun{run.pos * kArity + step, child_off, b, e});
+        PrefetchRead(lin + child_off);
+      };
+      if (run.end - run.begin <= grouped_internal::kSplitMinRun) {
+        const auto node_reg = Ops::LoadUnaligned(node);
+        uint32_t b = run.begin;
+        int prev_step = -1;
+        for (uint32_t j = run.begin; j < run.end; ++j) {
+          const int step = Eval::template Position<T, kBits>(
+              Ops::MoveMask(Ops::CmpGt(node_reg, Ops::Set1(svals[j]))));
+          if (step != prev_step) {
+            if (prev_step >= 0) emit(prev_step, b, j);
+            b = j;
+            prev_step = step;
+          }
+        }
+        emit(prev_step, b, run.end);
+      } else {
+        uint32_t cur = run.begin;
+        for (int64_t c = 0; c < kLanes && cur < run.end; ++c) {
+          const uint32_t split = static_cast<uint32_t>(
+              std::lower_bound(svals + cur, svals + run.end, node[c]) -
+              svals);
+          if (split > cur) emit(c, cur, split);
+          cur = split;
+        }
+        if (cur < run.end) emit(kLanes, cur, run.end);
+      }
+    }
+    frontier.swap(next);
+  }
+  for (const KaryRun& run : frontier) {
+    const int64_t rank = std::min(run.pos, n);
+    for (uint32_t j = run.begin; j < run.end; ++j) ranks[j] = rank;
+  }
+}
+
+// Grouped batched upper bound: sort once, visit each node once, scatter
+// results back to caller order. Same answers and logical counters as
+// UpperBoundBatch; nodes_loaded additionally counts distinct node loads.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundBatchGrouped(const T* lin, int64_t stored_slots, int64_t n,
+                            Layout layout, const T* vals, size_t count,
+                            int64_t* out,
+                            SearchCounters* counters = nullptr) {
+  if (count == 0) return;
+  SortedBatch<T> sorted;
+  SortBatchWithPermutation(vals, count, &sorted);
+  std::vector<int64_t> ranks(count);
+  if (layout == Layout::kBreadthFirst) {
+    UpperBoundSortedGroupedBf<T, Eval, B, kBits>(
+        lin, stored_slots, n, sorted.keys.data(), count, ranks.data(),
+        counters);
+  } else {
+    UpperBoundSortedGroupedDf<T, Eval, B, kBits>(
+        lin, stored_slots, n, sorted.keys.data(), count, ranks.data(),
+        counters);
+  }
+  for (size_t j = 0; j < count; ++j) out[sorted.perm[j]] = ranks[j];
+}
+
+// Grouped batched lower bound via upper_bound(v - 1), type-minimum probes
+// pinned to 0 at zero cost — the same identity and counter contract as
+// the pipelined LowerBoundBatch.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void LowerBoundBatchGrouped(const T* lin, int64_t stored_slots, int64_t n,
+                            Layout layout, const T* vals, size_t count,
+                            int64_t* out,
+                            SearchCounters* counters = nullptr) {
+  std::vector<T> shifted;
+  std::vector<uint32_t> src;
+  shifted.reserve(count);
+  src.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (vals[i] == std::numeric_limits<T>::min()) {
+      out[i] = 0;
+      continue;
+    }
+    shifted.push_back(static_cast<T>(vals[i] - 1));
+    src.push_back(static_cast<uint32_t>(i));
+  }
+  if (shifted.empty()) return;
+  std::vector<int64_t> sub_out(shifted.size());
+  UpperBoundBatchGrouped<T, Eval, B, kBits>(lin, stored_slots, n, layout,
+                                            shifted.data(), shifted.size(),
+                                            sub_out.data(), counters);
+  for (size_t j = 0; j < shifted.size(); ++j) out[src[j]] = sub_out[j];
 }
 
 }  // namespace simdtree::kary

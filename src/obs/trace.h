@@ -77,13 +77,16 @@ inline constexpr uint32_t kTraceNoNodeRef = 0xffffffffu;
 
 // One level of a descent. 16 bytes; a full trace stays cache-friendly.
 struct LevelSpan {
-  uint32_t node_ref = kTraceNoNodeRef;  // compressed node ref (arena slot)
+  uint32_t node_ref = kTraceNoNodeRef;  // compressed node ref (arena slot);
+                                        // grouped descents: nodes visited
+                                        // at this level (saturated)
   uint32_t cycles = 0;                  // TSC cycles spent at this level
   uint16_t simd_cmps = 0;               // SIMD compare steps in the node
   uint16_t scalar_cmps = 0;             // scalar compare steps in the node
   uint8_t layout = kTraceLayoutPlain;   // kTraceLayout* of the key store
   uint8_t arena_slab = kTraceSlabUnknown;  // slab index of the node block
-  uint16_t reserved = 0;
+  uint16_t group_size = 0;  // queries sharing this level (grouped descent;
+                            // 0 for single-query and pipelined spans)
 };
 static_assert(sizeof(LevelSpan) == 16);
 
@@ -115,7 +118,8 @@ static_assert(sizeof(DescentTrace) % sizeof(uint64_t) == 0);
 // (deeper structures keep the first kMaxTraceLevels levels).
 inline void AppendTraceLevel(DescentTrace* t, uint32_t node_ref,
                              uint8_t layout, uint8_t arena_slab,
-                             const SearchCounters& cmps, uint64_t cycles) {
+                             const SearchCounters& cmps, uint64_t cycles,
+                             uint16_t group_size = 0) {
   if (t->levels >= kMaxTraceLevels) return;
   LevelSpan& s = t->level[t->levels++];
   s.node_ref = node_ref;
@@ -127,6 +131,7 @@ inline void AppendTraceLevel(DescentTrace* t, uint32_t node_ref,
       cmps.scalar_comparisons > 0xffff ? 0xffff : cmps.scalar_comparisons);
   s.layout = layout;
   s.arena_slab = arena_slab;
+  s.group_size = group_size;
 }
 
 namespace trace_internal {

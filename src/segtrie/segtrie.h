@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/batch_sort.h"
 #include "obs/trace.h"
 #include "segtrie/compact_node.h"
 #include "simd/bitmask_eval.h"
@@ -271,6 +272,107 @@ class SegTrie {
       const int g = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(group), n - off));
       FindGroup(keys + off, g, out + off, counters);
+    }
+  }
+
+  // Grouped (level-wise) batched lookup: sorts the batch once
+  // (core/batch_sort.h) and descends with a frontier of (node,
+  // contiguous query run) pairs, grouping the sorted run by its
+  // key-prefix at every trie level — queries sharing the segment path
+  // resolve each (node, partial) pair once instead of once per query.
+  // Answers match FindBatch exactly. A non-null `counters` accumulates
+  // the same logical cost as summing FindCounted over the batch (the
+  // per-(node, partial) search cost is deterministic, so one counted
+  // probe is replicated per query sharing it); nodes_loaded additionally
+  // counts each frontier node once per batch. Wins once the batch is
+  // large relative to active_levels() — see UseGroupedDescent
+  // (core/batch.h).
+  void FindBatchGrouped(const Key* keys, size_t n, const Value** out,
+                        SearchCounters* counters = nullptr) const {
+    if (n == 0) return;
+    if (size_ == 0) {
+      for (size_t i = 0; i < n; ++i) out[i] = nullptr;
+      return;
+    }
+    SortedBatch<Key> sorted;
+    SortBatchWithPermutation(keys, n, &sorted);
+    const Key* skeys = sorted.keys.data();
+    const uint32_t* perm = sorted.perm.data();
+    // The prefix gate: only keys sharing the omitted upper bits enter
+    // the trie, and they form one contiguous range of the sorted batch.
+    const Key lo_key = ShiftUp(prefix_bits_, active_levels_);
+    const Key hi_key = lo_key | LowMask(active_levels_ * kSegmentBits);
+    const uint32_t begin = static_cast<uint32_t>(
+        std::lower_bound(skeys, skeys + n, lo_key) - skeys);
+    const uint32_t end = static_cast<uint32_t>(
+        std::upper_bound(skeys + begin, skeys + n, hi_key) - skeys);
+    for (uint32_t j = 0; j < begin; ++j) out[perm[j]] = nullptr;
+    for (uint32_t j = end; j < n; ++j) out[perm[j]] = nullptr;
+    if (begin == end) return;
+
+    std::vector<TrieRun> frontier, next;
+    frontier.push_back(TrieRun{root_, begin, end});
+    for (int level = ActiveTopLevel();
+         level < kLevels - 1 && !frontier.empty(); ++level) {
+      next.clear();
+      // Queries with equal segments at and above `level` agree on all
+      // bits down to `shift`, so a partial's sub-run ends at the first
+      // query beyond cur | low-bits-set.
+      const int shift = (kLevels - 1 - level) * kSegmentBits;
+      for (size_t r = 0; r < frontier.size(); ++r) {
+        if (r + kGroupedRunLookahead < frontier.size()) {
+          PrefetchRead(frontier[r + kGroupedRunLookahead].node);
+        }
+        const TrieRun& run = frontier[r];
+        const Inner* inner = static_cast<const Inner*>(run.node);
+        if (counters != nullptr) {
+          counters->nodes_visited += run.end - run.begin;
+          ++counters->nodes_loaded;
+        }
+        uint32_t cur = run.begin;
+        while (cur < run.end) {
+          const Key sub_hi = skeys[cur] | LowMask(shift);
+          const uint32_t sub_end = static_cast<uint32_t>(
+              std::upper_bound(skeys + cur + 1, skeys + run.end, sub_hi) -
+              skeys);
+          const int64_t idx =
+              ResolveShared(inner, Segment(skeys[cur], level),
+                            sub_end - cur, counters);
+          if (idx < 0) {  // missing segment terminates the sub-run early
+            for (uint32_t j = cur; j < sub_end; ++j) out[perm[j]] = nullptr;
+          } else {
+            const void* child = inner->EntryAt(idx);
+            PrefetchRead(child);
+            PrefetchRead(static_cast<const char*>(child) + 64);
+            next.push_back(TrieRun{child, cur, sub_end});
+          }
+          cur = sub_end;
+        }
+      }
+      frontier.swap(next);
+    }
+    for (size_t r = 0; r < frontier.size(); ++r) {
+      if (r + kGroupedRunLookahead < frontier.size()) {
+        PrefetchRead(frontier[r + kGroupedRunLookahead].node);
+      }
+      const TrieRun& run = frontier[r];
+      const Leaf* leaf = static_cast<const Leaf*>(run.node);
+      if (counters != nullptr) {
+        counters->nodes_visited += run.end - run.begin;
+        ++counters->nodes_loaded;
+      }
+      uint32_t cur = run.begin;
+      while (cur < run.end) {
+        // At leaf level the sub-run is the run of exactly-equal keys.
+        const Key q = skeys[cur];
+        uint32_t sub_end = cur + 1;
+        while (sub_end < run.end && skeys[sub_end] == q) ++sub_end;
+        const int64_t idx = ResolveShared(leaf, Segment(q, kLevels - 1),
+                                          sub_end - cur, counters);
+        const Value* v = idx < 0 ? nullptr : &leaf->EntryAt(idx);
+        for (uint32_t j = cur; j < sub_end; ++j) out[perm[j]] = v;
+        cur = sub_end;
+      }
     }
   }
 
@@ -623,6 +725,34 @@ class SegTrie {
       }
       out[i] = idx < 0 ? nullptr : &leaf->EntryAt(idx);
     }
+  }
+
+  // Contiguous run of sorted batch queries routed to one trie node.
+  struct TrieRun {
+    const void* node;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  // All key bits below `shift` set, shift-safe at the full key width.
+  static Key LowMask(int shift) {
+    if (shift >= static_cast<int>(sizeof(Key)) * 8) return ~Key{0};
+    return (Key{1} << shift) - Key{1};
+  }
+
+  // Resolves one (node, partial) pair shared by `len` sorted queries.
+  // The probe cost depends only on the pair, so counted mode replays a
+  // single counted probe and replicates its comparison cost per query,
+  // keeping parity with summed single-query FindCounted calls.
+  template <typename NodeT>
+  int64_t ResolveShared(const NodeT* node, Partial partial, uint32_t len,
+                        SearchCounters* counters) const {
+    if (counters == nullptr) return node->FindPartial(ctx_, partial);
+    SearchCounters one;
+    const int64_t idx = FindPartialCounted(node, partial, &one);
+    counters->simd_comparisons += one.simd_comparisons * len;
+    counters->scalar_comparisons += one.scalar_comparisons * len;
+    return idx;
   }
 
   // FindPartial with SIMD-comparison accounting (fast paths cost none).

@@ -10,6 +10,9 @@ CpuFeatures DetectCpuFeatures() {
   f.sse42 = __builtin_cpu_supports("sse4.2");
   f.popcnt = __builtin_cpu_supports("popcnt");
   f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
 #endif
   return f;
 }
@@ -27,6 +30,9 @@ std::string CpuFeatureString() {
   add(f.sse42, "sse4.2");
   add(f.popcnt, "popcnt");
   add(f.avx2, "avx2");
+  add(f.avx512f, "avx512f");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vl, "avx512vl");
   if (s.empty()) s = "none";
   return s;
 }

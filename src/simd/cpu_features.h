@@ -16,12 +16,18 @@ struct CpuFeatures {
   bool sse42 = false;
   bool popcnt = false;
   bool avx2 = false;
+  // AVX-512 subsets relevant to wider compare kernels: foundation,
+  // byte/word compares, and 128/256-bit vector-length encoding.
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
 };
 
 // Queries the running CPU (x86 cpuid; all-false elsewhere).
 CpuFeatures DetectCpuFeatures();
 
-// Human-readable one-line summary, e.g. "sse2 sse4.2 popcnt avx2".
+// Human-readable one-line summary, e.g.
+// "sse2 sse4.2 popcnt avx2 avx512f avx512bw avx512vl".
 std::string CpuFeatureString();
 
 }  // namespace simdtree::simd

@@ -16,9 +16,14 @@
 namespace simdtree {
 
 struct SearchCounters {
-  uint64_t nodes_visited = 0;      // tree/trie nodes touched
+  uint64_t nodes_visited = 0;      // tree/trie nodes touched (logical)
   uint64_t simd_comparisons = 0;   // k-ary SIMD compare steps
   uint64_t scalar_comparisons = 0; // binary/sequential compare steps
+  // Distinct physical node loads. The pipelined batch paths leave this 0
+  // (they load one node per query per level, nodes_visited tells the
+  // story); the grouped descent paths count each frontier node once, so
+  // nodes_visited / nodes_loaded is the per-level sharing factor.
+  uint64_t nodes_loaded = 0;
 
   void Reset() { *this = SearchCounters{}; }
 };

@@ -8,14 +8,19 @@
 //       number) and writes it as a serialized blob.
 //   simdtree_cli query <index.stix> <key> [key...]
 //       Point lookups against a persisted index (loaded as a Seg-Tree).
-//   simdtree_cli lookup-batch <index.stix> <keys.txt> [--group=N] [--shards=N]
+//   simdtree_cli lookup-batch <index.stix> <keys.txt> [--group=N]
+//       [--grouped] [--shards=N]
 //       Batched point lookups with the group software-pipelined descent:
 //       all keys from the file (one per line) are resolved with one
 //       FindBatch call and printed as "key -> value" lines plus a
 //       hit/miss summary. --group sets the pipeline width (default 12).
-//       --shards=N rebuilds the loaded index as a range-partitioned
-//       ShardedIndex (splitters at the loaded keys' quantiles) and runs
-//       the shard-aware FindBatch — one lock acquisition per shard —
+//       --grouped switches to the grouped (level-wise) descent instead:
+//       the batch is sorted once and every visited tree node is loaded
+//       once, the fast path for large batches (DESIGN.md "Batched
+//       traversal"). --shards=N rebuilds the loaded index as a
+//       range-partitioned ShardedIndex (splitters at the loaded keys'
+//       quantiles) and runs the shard-aware FindBatch — one lock
+//       acquisition per shard —
 //       e.g.: simdtree_cli lookup-batch idx.stix probes.txt --shards=8
 //   simdtree_cli scan <index.stix> <lo> <hi>
 //       Range scan [lo, hi).
@@ -79,7 +84,9 @@ int Usage() {
                "[--structure=segtree|btree|segtrie|opttrie]\n"
                "       simdtree_cli query <index.stix> <key> [key...]\n"
                "       simdtree_cli lookup-batch <index.stix> <keys.txt> "
-               "[--group=N] [--shards=N]\n"
+               "[--group=N] [--grouped] [--shards=N]\n"
+               "         (--grouped: level-wise grouped descent — sort the\n"
+               "          batch once, load every visited node once)\n"
                "         (--shards=N: shard-aware batched lookup through a\n"
                "          range-partitioned ShardedIndex, e.g. --shards=8)\n"
                "       simdtree_cli scan <index.stix> <lo> <hi>\n"
@@ -215,11 +222,14 @@ int CmdLookupBatch(int argc, char** argv) {
   if (argc < 4) return Usage();
   int group = simdtree::kDefaultBatchGroup;
   int shards = 0;
+  bool grouped = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--group=", 8) == 0) {
       group = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--grouped") == 0) {
+      grouped = true;
     }
   }
   auto tree = LoadIndex(argv[2]);
@@ -267,7 +277,13 @@ int CmdLookupBatch(int argc, char** argv) {
     return 0;
   }
   std::vector<const uint64_t*> results(keys.size());
-  tree->FindBatch(keys.data(), keys.size(), results.data(), group);
+  if (grouped) {
+    // Grouped (level-wise) descent: the batch is sorted once and each
+    // visited node is loaded once (btree/batch_descent.h).
+    tree->FindBatchGrouped(keys.data(), keys.size(), results.data());
+  } else {
+    tree->FindBatch(keys.data(), keys.size(), results.data(), group);
+  }
   for (size_t i = 0; i < keys.size(); ++i) {
     if (results[i] != nullptr) {
       ++hits;
@@ -279,8 +295,10 @@ int CmdLookupBatch(int argc, char** argv) {
                   static_cast<unsigned long long>(keys[i]));
     }
   }
-  std::printf("(%zu keys, %zu hits, %zu misses, group %d)\n", keys.size(),
-              hits, keys.size() - hits, group);
+  const std::string mode =
+      grouped ? "grouped descent" : "group " + std::to_string(group);
+  std::printf("(%zu keys, %zu hits, %zu misses, %s)\n", keys.size(),
+              hits, keys.size() - hits, mode.c_str());
   return 0;
 }
 
