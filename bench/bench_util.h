@@ -16,6 +16,7 @@
 
 #include "mem/arena.h"
 #include "simd/cpu_features.h"
+#include "simd/dispatch.h"
 #include "util/cycle_timer.h"
 #include "util/rng.h"
 
@@ -57,9 +58,14 @@ inline std::string JsonEscape(const std::string& s) {
 
 // One-time machine-readable header, emitted before the first JSON data
 // line of a --json run: the running CPU's full feature string
-// (simd/cpu_features.h, including the AVX-512 subsets) and whether the
-// binary was built with the SIMDTREE_AVX2 backend — so collected sweeps
-// carry the hardware/build provenance needed to compare them.
+// (simd/cpu_features.h, including the AVX-512 subsets), whether the
+// binary was built with the SIMDTREE_AVX2 backend, and the *runtime*
+// dispatch decision (simd/dispatch.h) — backend name, its register
+// width, whether SIMDTREE_FORCE_BACKEND pinned it, and which widths
+// this binary carries native kernels for. Build flag and dispatch
+// decision are deliberately separate fields: one binary produces
+// different dispatch headers on different hosts (or under a force), and
+// a collected sweep must say which kernels actually ran.
 inline void EmitJsonHeader() {
   if (!JsonEnabled()) return;
   static bool emitted = false;
@@ -70,10 +76,17 @@ inline void EmitJsonHeader() {
 #else
   constexpr int kAvx2Build = 0;
 #endif
+  const simd::DispatchDecision& d = simd::ActiveDispatch();
   std::printf(
       "{\"bench_header\":{\"cpu_features\":\"%s\",\"avx2_build\":%d,"
+      "\"dispatch\":{\"backend\":\"%s\",\"register_bits\":%d,\"forced\":%d,"
+      "\"native_128\":%d,\"native_256\":%d,\"native_512\":%d},"
       "\"tsc_ghz\":%.17g}}\n",
       JsonEscape(simd::CpuFeatureString()).c_str(), kAvx2Build,
+      simd::DispatchLevelName(d.level), d.register_bits, d.forced ? 1 : 0,
+      simd::NativeKernelsCompiled(128) ? 1 : 0,
+      simd::NativeKernelsCompiled(256) ? 1 : 0,
+      simd::NativeKernelsCompiled(512) ? 1 : 0,
       CycleTimer::CyclesPerSecond() / 1e9);
 }
 

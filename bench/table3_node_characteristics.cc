@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "kary/linearize.h"
@@ -58,6 +59,40 @@ void AddRow(TablePrinter* table, const PaperRow& row) {
                   "bytes", static_cast<double>(node_size));
 }
 
+// Node shape at a wider register width (the Section 7 extension): same
+// N_L, but k = lanes + 1 of the given width, so fewer k-ary levels fit
+// per node and the materialized prefix changes.
+template <typename T, int kBits>
+void AddWidthRow(TablePrinter* table, const char* name, int64_t n_l) {
+  using Traits = simd::LaneTraits<T, kBits>;
+  const kary::KaryShape shape = kary::KaryShape::For(Traits::kArity, n_l);
+  const kary::KaryLayout layout(shape, kary::Layout::kBreadthFirst);
+  const int64_t n_s = layout.StoredSlots(n_l, kary::Storage::kTruncated);
+  const int64_t node_size =
+      (n_l + 1) * 8 + n_s * static_cast<int64_t>(sizeof(T));
+  table->AddRow({name, TablePrinter::Fmt(int64_t{kBits}),
+                 TablePrinter::Fmt(int64_t{Traits::kArity}),
+                 TablePrinter::Fmt(n_l), TablePrinter::Fmt(n_s),
+                 TablePrinter::Fmt(int64_t{shape.r}),
+                 TablePrinter::Fmt(shape.slots + 1),
+                 TablePrinter::Fmt(node_size)});
+  const std::string cfg =
+      std::string(name) + "/" + std::to_string(kBits);
+  bench::EmitJson("table3_node_characteristics", cfg + "/k", "k",
+                  static_cast<double>(Traits::kArity));
+  bench::EmitJson("table3_node_characteristics", cfg + "/r", "levels",
+                  static_cast<double>(shape.r));
+  bench::EmitJson("table3_node_characteristics", cfg + "/n_s", "slots",
+                  static_cast<double>(n_s));
+}
+
+template <typename T>
+void AddWidthRows(TablePrinter* table, const char* name, int64_t n_l) {
+  AddWidthRow<T, 128>(table, name, n_l);
+  AddWidthRow<T, 256>(table, name, n_l);
+  AddWidthRow<T, 512>(table, name, n_l);
+}
+
 void Run() {
   bench::PrintBenchHeader("Table 3: node characteristics");
   TablePrinter table({"Data type", "k", "N_L", "N_S", "N_S(paper)", "r", "N",
@@ -68,6 +103,15 @@ void Run() {
   AddRow<int32_t>(&table, {"32-bit", 338, 344, 4096, 11});
   AddRow<int64_t>(&table, {"64-bit", 242, 242, 3880, 16});
   table.Print();
+
+  std::printf("\nnode shape vs register width (same N_L; k = lanes + 1):\n");
+  TablePrinter width_table(
+      {"Data type", "bits", "k", "N_L", "N_S", "r", "N", "node B"});
+  AddWidthRows<int8_t>(&width_table, "8-bit", 254);
+  AddWidthRows<int16_t>(&width_table, "16-bit", 404);
+  AddWidthRows<int32_t>(&width_table, "32-bit", 338);
+  AddWidthRows<int64_t>(&width_table, "64-bit", 242);
+  width_table.Print();
   std::printf(
       "\npaper Table 3: N_S = 256/408/344/242; node size = "
       "2296/4056/4096/3880 B; cache lines = 2/7/11/16 (128 B lines).\n"

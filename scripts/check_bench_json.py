@@ -37,6 +37,14 @@ bb_batch_lookup is present: at least one "node_visits_per_query"
 metric line each for a "/grouped" and a "/pipelined" config, plus a
 "visit_reduction" line. Its absence means the level-wise shared
 traversal stopped reporting its sharing factor.
+
+--require-dispatch asserts that a bench_header line is present and
+carries a well-formed runtime "dispatch" object (bench_util.h
+EmitJsonHeader): backend in {scalar, sse, avx2, avx512}, register_bits
+in {128, 256, 512}, forced and the native_* kernel-availability flags
+0/1. Every bench_header present is validated regardless of the flag;
+the flag additionally makes its absence an error — a sweep without the
+dispatch decision cannot say which kernels produced its numbers.
 """
 
 import argparse
@@ -111,6 +119,36 @@ def check_mem_section(doc: dict, lineno: int) -> bool:
     return True
 
 
+def check_dispatch_header(doc: dict, lineno: int) -> bool:
+    """Validates a bench_header's "dispatch" object; False on error."""
+    header = doc["bench_header"]
+    if not isinstance(header, dict):
+        print(f'line {lineno}: "bench_header" is not an object',
+              file=sys.stderr)
+        return False
+    dispatch = header.get("dispatch")
+    if not isinstance(dispatch, dict):
+        print(f'line {lineno}: bench_header has no "dispatch" object',
+              file=sys.stderr)
+        return False
+    if dispatch.get("backend") not in ("scalar", "sse", "avx2", "avx512"):
+        print(f'line {lineno}: dispatch.backend '
+              f'{dispatch.get("backend")!r} not in scalar/sse/avx2/avx512',
+              file=sys.stderr)
+        return False
+    if dispatch.get("register_bits") not in (128, 256, 512):
+        print(f'line {lineno}: dispatch.register_bits '
+              f'{dispatch.get("register_bits")!r} not in 128/256/512',
+              file=sys.stderr)
+        return False
+    for field in ("forced", "native_128", "native_256", "native_512"):
+        if dispatch.get(field) not in (0, 1):
+            print(f'line {lineno}: dispatch.{field} '
+                  f'{dispatch.get(field)!r} is not 0/1', file=sys.stderr)
+            return False
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -136,6 +174,12 @@ def main() -> int:
              'lines and a "visit_reduction" line are present',
     )
     parser.add_argument(
+        "--require-dispatch",
+        action="store_true",
+        help="fail unless a bench_header line carries a well-formed "
+             'runtime "dispatch" object',
+    )
+    parser.add_argument(
         "--min-lines",
         type=int,
         default=1,
@@ -147,6 +191,7 @@ def main() -> int:
     hw_null_lines = 0
     mem_lines = 0
     metrics_lines = 0
+    dispatch_lines = 0
     grouped_visit_lines = 0
     pipelined_visit_lines = 0
     reduction_lines = 0
@@ -175,6 +220,10 @@ def main() -> int:
             if not check_metrics_names(doc, lineno):
                 return 1
             metrics_lines += 1
+        if "bench_header" in doc:
+            if not check_dispatch_header(doc, lineno):
+                return 1
+            dispatch_lines += 1
         config = doc.get("config", "")
         if doc.get("metric") == "node_visits_per_query":
             if config.endswith("/grouped"):
@@ -200,6 +249,10 @@ def main() -> int:
         print('no line with a "registry"/"metrics" dump — the metrics '
               "export is missing", file=sys.stderr)
         return 1
+    if args.require_dispatch and dispatch_lines == 0:
+        print('no bench_header line with a "dispatch" object — the runtime '
+              "dispatch decision is missing", file=sys.stderr)
+        return 1
     if args.require_group_descent and (
             grouped_visit_lines == 0 or pipelined_visit_lines == 0
             or reduction_lines == 0):
@@ -216,6 +269,8 @@ def main() -> int:
         parts.append(f"{mem_lines} mem sections")
     if metrics_lines:
         parts.append(f"{metrics_lines} metrics dumps")
+    if dispatch_lines:
+        parts.append(f"{dispatch_lines} dispatch headers")
     if grouped_visit_lines or pipelined_visit_lines:
         parts.append(f"{grouped_visit_lines}+{pipelined_visit_lines} "
                      "grouped/pipelined visit lines")

@@ -53,7 +53,7 @@ inline void CompareNodeBatch(
     const T* const* key_ptrs,
     const typename simd::Ops<T, B, kBits>::Reg* probes, int g, int* out) {
   using Ops = simd::Ops<T, B, kBits>;
-  uint32_t masks[kMaxBatchGroup];
+  typename simd::LaneTraits<T, kBits>::Mask masks[kMaxBatchGroup];
   for (int i = 0; i < g; ++i) {
     const auto node = Ops::LoadUnaligned(key_ptrs[i]);
     masks[i] = Ops::MoveMask(Ops::CmpGt(node, probes[i]));
@@ -74,59 +74,80 @@ template <typename T, typename Eval = simd::PopcountEval,
 void UpperBoundBfGroup(const T* lin, int64_t stored_slots, int64_t n,
                        const T* vals, int g, int64_t* out,
                        SearchCounters* counters = nullptr) {
-  using Ops = simd::Ops<T, B, kBits>;
-  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;  // k - 1
-  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;  // k
-  if (n == 0) {
-    for (int i = 0; i < g; ++i) out[i] = 0;
-    return;
-  }
-
-  typename Ops::Reg probe[kMaxBatchGroup];
-  int64_t position[kMaxBatchGroup];
-  bool pruned[kMaxBatchGroup];
-  const T* ptr[kMaxBatchGroup];
-  int step[kMaxBatchGroup];
-  for (int i = 0; i < g; ++i) {
-    probe[i] = Ops::Set1(vals[i]);
-    position[i] = 0;
-    pruned[i] = false;
-  }
-
-  int64_t level_base = 0;   // first slot of the current level
-  int64_t level_nodes = 1;  // node count on the current level
-  while (level_base < stored_slots) {
-    for (int i = 0; i < g; ++i) {
-      const int64_t key_off = level_base + position[i] * kLanes;
-      position[i] *= kArity;
-      if (pruned[i] || key_off >= stored_slots) {
-        // Descent into an unmaterialized all-padding subtree: the answer
-        // is already n (see UpperBoundBf). Probe slot 0 as a harmless
-        // stand-in so the batch compare stays branch-free.
-        pruned[i] = true;
-        ptr[i] = lin;
+  if constexpr (B == simd::Backend::kDispatch) {
+    if (simd::DispatchWantsNative(kBits)) {
+      if constexpr (kBits == 128) {
+        if constexpr (simd::kHaveSse) {
+          return UpperBoundBfGroup<T, Eval, simd::Backend::kSse, 128>(
+              lin, stored_slots, n, vals, g, out, counters);
+        }
+      } else if constexpr (kBits == 256 && simd::kHaveAvx2) {
+        return UpperBoundBfGroup<T, Eval, simd::Backend::kSse, 256>(
+            lin, stored_slots, n, vals, g, out, counters);
       } else {
-        ptr[i] = lin + key_off;
+        const auto fn =
+            NativeKernels<T, Eval, kBits>::instance.upper_bound_bf_group;
+        if (fn != nullptr) return fn(lin, stored_slots, n, vals, g, out,
+                                     counters);
       }
     }
-    if (counters != nullptr) {
-      // Logical cost mirrors UpperBoundBfCounted: pruned probes issue a
-      // physical stand-in compare but do no logical work.
-      for (int i = 0; i < g; ++i) {
-        if (!pruned[i]) ++counters->simd_comparisons;
-      }
+    return UpperBoundBfGroup<T, Eval, simd::Backend::kScalar, kBits>(
+        lin, stored_slots, n, vals, g, out, counters);
+  } else {
+    using Ops = simd::Ops<T, B, kBits>;
+    constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;  // k - 1
+    constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;  // k
+    if (n == 0) {
+      for (int i = 0; i < g; ++i) out[i] = 0;
+      return;
     }
-    CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
-    const int64_t next_base = level_base + level_nodes * kLanes;
+
+    typename Ops::Reg probe[kMaxBatchGroup];
+    int64_t position[kMaxBatchGroup];
+    bool pruned[kMaxBatchGroup];
+    const T* ptr[kMaxBatchGroup];
+    int step[kMaxBatchGroup];
     for (int i = 0; i < g; ++i) {
-      position[i] += pruned[i] ? 0 : step[i];
-      PrefetchRead(lin + next_base + position[i] * kLanes);
+      probe[i] = Ops::Set1(vals[i]);
+      position[i] = 0;
+      pruned[i] = false;
     }
-    level_base = next_base;
-    level_nodes *= kArity;
-  }
-  for (int i = 0; i < g; ++i) {
-    out[i] = pruned[i] ? n : std::min(position[i], n);
+
+    int64_t level_base = 0;   // first slot of the current level
+    int64_t level_nodes = 1;  // node count on the current level
+    while (level_base < stored_slots) {
+      for (int i = 0; i < g; ++i) {
+        const int64_t key_off = level_base + position[i] * kLanes;
+        position[i] *= kArity;
+        if (pruned[i] || key_off >= stored_slots) {
+          // Descent into an unmaterialized all-padding subtree: the answer
+          // is already n (see UpperBoundBf). Probe slot 0 as a harmless
+          // stand-in so the batch compare stays branch-free.
+          pruned[i] = true;
+          ptr[i] = lin;
+        } else {
+          ptr[i] = lin + key_off;
+        }
+      }
+      if (counters != nullptr) {
+        // Logical cost mirrors UpperBoundBfCounted: pruned probes issue a
+        // physical stand-in compare but do no logical work.
+        for (int i = 0; i < g; ++i) {
+          if (!pruned[i]) ++counters->simd_comparisons;
+        }
+      }
+      CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
+      const int64_t next_base = level_base + level_nodes * kLanes;
+      for (int i = 0; i < g; ++i) {
+        position[i] += pruned[i] ? 0 : step[i];
+        PrefetchRead(lin + next_base + position[i] * kLanes);
+      }
+      level_base = next_base;
+      level_nodes *= kArity;
+    }
+    for (int i = 0; i < g; ++i) {
+      out[i] = pruned[i] ? n : std::min(position[i], n);
+    }
   }
 }
 
@@ -138,38 +159,59 @@ template <typename T, typename Eval = simd::PopcountEval,
 void UpperBoundDfGroup(const T* lin, int64_t perfect_slots, int64_t n,
                        const T* vals, int g, int64_t* out,
                        SearchCounters* counters = nullptr) {
-  using Ops = simd::Ops<T, B, kBits>;
-  constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
-  constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
-  if (n == 0) {
-    for (int i = 0; i < g; ++i) out[i] = 0;
-    return;
-  }
-
-  typename Ops::Reg probe[kMaxBatchGroup];
-  int64_t position[kMaxBatchGroup];
-  int64_t key_off[kMaxBatchGroup];
-  const T* ptr[kMaxBatchGroup];
-  int step[kMaxBatchGroup];
-  for (int i = 0; i < g; ++i) {
-    probe[i] = Ops::Set1(vals[i]);
-    position[i] = 0;
-    key_off[i] = 0;
-  }
-
-  int64_t sub_size = perfect_slots;  // keys in the current subtree
-  while (sub_size > 0) {
-    for (int i = 0; i < g; ++i) ptr[i] = lin + key_off[i];
-    if (counters != nullptr) counters->simd_comparisons += g;
-    CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
-    sub_size = (sub_size - (kArity - 1)) / kArity;  // child subtree keys
-    for (int i = 0; i < g; ++i) {
-      key_off[i] += kLanes + sub_size * step[i];
-      position[i] = position[i] * kArity + step[i];
-      PrefetchRead(lin + key_off[i]);
+  if constexpr (B == simd::Backend::kDispatch) {
+    if (simd::DispatchWantsNative(kBits)) {
+      if constexpr (kBits == 128) {
+        if constexpr (simd::kHaveSse) {
+          return UpperBoundDfGroup<T, Eval, simd::Backend::kSse, 128>(
+              lin, perfect_slots, n, vals, g, out, counters);
+        }
+      } else if constexpr (kBits == 256 && simd::kHaveAvx2) {
+        return UpperBoundDfGroup<T, Eval, simd::Backend::kSse, 256>(
+            lin, perfect_slots, n, vals, g, out, counters);
+      } else {
+        const auto fn =
+            NativeKernels<T, Eval, kBits>::instance.upper_bound_df_group;
+        if (fn != nullptr) return fn(lin, perfect_slots, n, vals, g, out,
+                                     counters);
+      }
     }
+    return UpperBoundDfGroup<T, Eval, simd::Backend::kScalar, kBits>(
+        lin, perfect_slots, n, vals, g, out, counters);
+  } else {
+    using Ops = simd::Ops<T, B, kBits>;
+    constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
+    constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
+    if (n == 0) {
+      for (int i = 0; i < g; ++i) out[i] = 0;
+      return;
+    }
+
+    typename Ops::Reg probe[kMaxBatchGroup];
+    int64_t position[kMaxBatchGroup];
+    int64_t key_off[kMaxBatchGroup];
+    const T* ptr[kMaxBatchGroup];
+    int step[kMaxBatchGroup];
+    for (int i = 0; i < g; ++i) {
+      probe[i] = Ops::Set1(vals[i]);
+      position[i] = 0;
+      key_off[i] = 0;
+    }
+
+    int64_t sub_size = perfect_slots;  // keys in the current subtree
+    while (sub_size > 0) {
+      for (int i = 0; i < g; ++i) ptr[i] = lin + key_off[i];
+      if (counters != nullptr) counters->simd_comparisons += g;
+      CompareNodeBatch<T, Eval, B, kBits>(ptr, probe, g, step);
+      sub_size = (sub_size - (kArity - 1)) / kArity;  // child subtree keys
+      for (int i = 0; i < g; ++i) {
+        key_off[i] += kLanes + sub_size * step[i];
+        position[i] = position[i] * kArity + step[i];
+        PrefetchRead(lin + key_off[i]);
+      }
+    }
+    for (int i = 0; i < g; ++i) out[i] = std::min(position[i], n);
   }
-  for (int i = 0; i < g; ++i) out[i] = std::min(position[i], n);
 }
 
 // Batched upper bound over `count` probes: chunks the batch into
@@ -274,17 +316,21 @@ struct KaryRun {
 // short run has fewer queries than separators worth searching).
 inline constexpr uint32_t kSplitMinRun = 8;
 
-}  // namespace grouped_internal
+// The engines below take the per-probe SIMD comparison as a generic
+// step callable `step_pos(node_keys, v) -> child index` instead of
+// instantiating Ops directly. Concrete backends pass an inline
+// CompareStep lambda (compiles to the old hoisted-register loop); the
+// Backend::kDispatch route passes the registered native `compare_step`
+// function pointer — keeping these std::vector-using engine bodies in
+// baseline-compiled translation units only (see dispatch_kernels.h on
+// the wrong-ISA vague-linkage hazard).
 
-// Grouped Algorithm 5 (breadth-first) over an ascending batch:
+// Grouped Algorithm 5 engine (breadth-first) over an ascending batch:
 // ranks[j] = upper bound of svals[j], for svals sorted ascending.
-template <typename T, typename Eval = simd::PopcountEval,
-          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
-void UpperBoundSortedGroupedBf(const T* lin, int64_t stored_slots, int64_t n,
-                               const T* svals, size_t count, int64_t* ranks,
-                               SearchCounters* counters = nullptr) {
-  using Ops = simd::Ops<T, B, kBits>;
-  using grouped_internal::KaryRun;
+template <typename T, int kBits, typename StepFn>
+void SortedGroupedBfEngine(const T* lin, int64_t stored_slots, int64_t n,
+                           const T* svals, size_t count, int64_t* ranks,
+                           SearchCounters* counters, StepFn&& step_pos) {
   constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
   constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
   if (count == 0) return;
@@ -325,16 +371,14 @@ void UpperBoundSortedGroupedBf(const T* lin, int64_t stored_slots, int64_t n,
         next.push_back(KaryRun{child, 0, b, e});
         PrefetchRead(lin + next_base + child * kLanes);
       };
-      if (run.end - run.begin <= grouped_internal::kSplitMinRun) {
+      if (run.end - run.begin <= kSplitMinRun) {
         // Short run: per-query SIMD step against the hot node, with
         // adjacent equal children coalesced (steps are non-decreasing
         // over the sorted run).
-        const auto node_reg = Ops::LoadUnaligned(node);
         uint32_t b = run.begin;
         int prev_step = -1;
         for (uint32_t j = run.begin; j < run.end; ++j) {
-          const int step = Eval::template Position<T, kBits>(
-              Ops::MoveMask(Ops::CmpGt(node_reg, Ops::Set1(svals[j]))));
+          const int step = step_pos(node, svals[j]);
           if (step != prev_step) {
             if (prev_step >= 0) emit(child_base + prev_step, b, j);
             b = j;
@@ -368,16 +412,13 @@ void UpperBoundSortedGroupedBf(const T* lin, int64_t stored_slots, int64_t n,
   }
 }
 
-// Grouped Algorithm 4 (depth-first, perfect storage) over an ascending
-// batch. No pruning: every query descends all levels, as in
+// Grouped Algorithm 4 engine (depth-first, perfect storage) over an
+// ascending batch. No pruning: every query descends all levels, as in
 // UpperBoundDfCounted.
-template <typename T, typename Eval = simd::PopcountEval,
-          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
-void UpperBoundSortedGroupedDf(const T* lin, int64_t perfect_slots, int64_t n,
-                               const T* svals, size_t count, int64_t* ranks,
-                               SearchCounters* counters = nullptr) {
-  using Ops = simd::Ops<T, B, kBits>;
-  using grouped_internal::KaryRun;
+template <typename T, int kBits, typename StepFn>
+void SortedGroupedDfEngine(const T* lin, int64_t perfect_slots, int64_t n,
+                           const T* svals, size_t count, int64_t* ranks,
+                           SearchCounters* counters, StepFn&& step_pos) {
   constexpr int64_t kLanes = simd::LaneTraits<T, kBits>::kLanes;
   constexpr int64_t kArity = simd::LaneTraits<T, kBits>::kArity;
   if (count == 0) return;
@@ -407,13 +448,11 @@ void UpperBoundSortedGroupedDf(const T* lin, int64_t perfect_slots, int64_t n,
             KaryRun{run.pos * kArity + step, child_off, b, e});
         PrefetchRead(lin + child_off);
       };
-      if (run.end - run.begin <= grouped_internal::kSplitMinRun) {
-        const auto node_reg = Ops::LoadUnaligned(node);
+      if (run.end - run.begin <= kSplitMinRun) {
         uint32_t b = run.begin;
         int prev_step = -1;
         for (uint32_t j = run.begin; j < run.end; ++j) {
-          const int step = Eval::template Position<T, kBits>(
-              Ops::MoveMask(Ops::CmpGt(node_reg, Ops::Set1(svals[j]))));
+          const int step = step_pos(node, svals[j]);
           if (step != prev_step) {
             if (prev_step >= 0) emit(prev_step, b, j);
             b = j;
@@ -438,6 +477,80 @@ void UpperBoundSortedGroupedDf(const T* lin, int64_t perfect_slots, int64_t n,
   for (const KaryRun& run : frontier) {
     const int64_t rank = std::min(run.pos, n);
     for (uint32_t j = run.begin; j < run.end; ++j) ranks[j] = rank;
+  }
+}
+
+}  // namespace grouped_internal
+
+// Grouped Algorithm 5 (breadth-first) over an ascending batch:
+// ranks[j] = upper bound of svals[j], for svals sorted ascending.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundSortedGroupedBf(const T* lin, int64_t stored_slots, int64_t n,
+                               const T* svals, size_t count, int64_t* ranks,
+                               SearchCounters* counters = nullptr) {
+  if constexpr (B == simd::Backend::kDispatch) {
+    if (simd::DispatchWantsNative(kBits)) {
+      if constexpr (kBits == 128) {
+        if constexpr (simd::kHaveSse) {
+          return UpperBoundSortedGroupedBf<T, Eval, simd::Backend::kSse, 128>(
+              lin, stored_slots, n, svals, count, ranks, counters);
+        }
+      } else if constexpr (kBits == 256 && simd::kHaveAvx2) {
+        return UpperBoundSortedGroupedBf<T, Eval, simd::Backend::kSse, 256>(
+            lin, stored_slots, n, svals, count, ranks, counters);
+      } else {
+        const auto step = NativeKernels<T, Eval, kBits>::instance.compare_step;
+        if (step != nullptr) {
+          return grouped_internal::SortedGroupedBfEngine<T, kBits>(
+              lin, stored_slots, n, svals, count, ranks, counters, step);
+        }
+      }
+    }
+    return UpperBoundSortedGroupedBf<T, Eval, simd::Backend::kScalar, kBits>(
+        lin, stored_slots, n, svals, count, ranks, counters);
+  } else {
+    grouped_internal::SortedGroupedBfEngine<T, kBits>(
+        lin, stored_slots, n, svals, count, ranks, counters,
+        [](const T* node_keys, T v) {
+          return CompareStep<T, Eval, B, kBits>(node_keys, v);
+        });
+  }
+}
+
+// Grouped Algorithm 4 (depth-first, perfect storage) over an ascending
+// batch.
+template <typename T, typename Eval = simd::PopcountEval,
+          simd::Backend B = simd::kDefaultBackend, int kBits = 128>
+void UpperBoundSortedGroupedDf(const T* lin, int64_t perfect_slots, int64_t n,
+                               const T* svals, size_t count, int64_t* ranks,
+                               SearchCounters* counters = nullptr) {
+  if constexpr (B == simd::Backend::kDispatch) {
+    if (simd::DispatchWantsNative(kBits)) {
+      if constexpr (kBits == 128) {
+        if constexpr (simd::kHaveSse) {
+          return UpperBoundSortedGroupedDf<T, Eval, simd::Backend::kSse, 128>(
+              lin, perfect_slots, n, svals, count, ranks, counters);
+        }
+      } else if constexpr (kBits == 256 && simd::kHaveAvx2) {
+        return UpperBoundSortedGroupedDf<T, Eval, simd::Backend::kSse, 256>(
+            lin, perfect_slots, n, svals, count, ranks, counters);
+      } else {
+        const auto step = NativeKernels<T, Eval, kBits>::instance.compare_step;
+        if (step != nullptr) {
+          return grouped_internal::SortedGroupedDfEngine<T, kBits>(
+              lin, perfect_slots, n, svals, count, ranks, counters, step);
+        }
+      }
+    }
+    return UpperBoundSortedGroupedDf<T, Eval, simd::Backend::kScalar, kBits>(
+        lin, perfect_slots, n, svals, count, ranks, counters);
+  } else {
+    grouped_internal::SortedGroupedDfEngine<T, kBits>(
+        lin, perfect_slots, n, svals, count, ranks, counters,
+        [](const T* node_keys, T v) {
+          return CompareStep<T, Eval, B, kBits>(node_keys, v);
+        });
   }
 }
 

@@ -1,0 +1,56 @@
+// AVX2 (256-bit) kernel registration TU.
+//
+// Compiled with per-source -mavx2 (src/CMakeLists.txt) regardless of
+// the global SIMDTREE_AVX2 option, so a baseline-SSE binary still
+// carries 256-bit kernels and selects them at runtime on AVX2 hardware.
+// See kary/dispatch_kernels.h for the registry contract and
+// simd/dispatch.h for the decision that routes calls here.
+
+#include "simd/dispatch.h"
+
+#if defined(__AVX2__)
+
+#include "kary/kernels_registrar.h"
+
+namespace simdtree::simd::internal {
+
+namespace {
+
+struct RegisterAvx2Kernels {
+  RegisterAvx2Kernels() {
+    kary::registrar::RegisterNativeKernels<Backend::kSse, 256>();
+    g_native_kernels_256 = true;
+  }
+};
+
+RegisterAvx2Kernels g_register_avx2_kernels;
+
+}  // namespace
+
+// Link anchor referenced from dispatch.cc: pulls this archive member
+// (and with it the registrar above) into any binary that resolves the
+// dispatch decision. Also registers idempotently itself, covering the
+// corner where ActiveDispatch() runs during another TU's static
+// initialization before g_register_avx2_kernels is constructed.
+void LinkKernels256() {
+  static const bool registered = [] {
+    kary::registrar::RegisterNativeKernels<Backend::kSse, 256>();
+    g_native_kernels_256 = true;
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace simdtree::simd::internal
+
+#else  // !__AVX2__
+
+namespace simdtree::simd::internal {
+
+// Toolchain cannot target AVX2: the anchor exists but registers
+// nothing, and g_native_kernels_256 stays false.
+void LinkKernels256() {}
+
+}  // namespace simdtree::simd::internal
+
+#endif  // __AVX2__

@@ -14,10 +14,33 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 
 namespace simdtree::obs {
 
 namespace {
+
+// Publishes the runtime SIMD dispatch decision (simd/dispatch.h) as
+// gauges, so /metrics scrapes carry the same provenance as the bench
+// JSON headers: which backend serves searches in this process, its
+// register width, whether SIMDTREE_FORCE_BACKEND pinned it, and which
+// widths have native kernels compiled in. The values are fixed for the
+// process lifetime; publishing is idempotent.
+void PublishDispatchMetrics() {
+  auto& reg = MetricsRegistry::Global();
+  const simd::DispatchDecision& d = simd::ActiveDispatch();
+  reg.GetGauge("simdtree_dispatch_level")
+      ->Set(static_cast<double>(static_cast<int>(d.level)));
+  reg.GetGauge("simdtree_dispatch_register_bits")
+      ->Set(static_cast<double>(d.register_bits));
+  reg.GetGauge("simdtree_dispatch_forced")->Set(d.forced ? 1.0 : 0.0);
+  reg.GetGauge("simdtree_dispatch_native_128")
+      ->Set(simd::NativeKernelsCompiled(128) ? 1.0 : 0.0);
+  reg.GetGauge("simdtree_dispatch_native_256")
+      ->Set(simd::NativeKernelsCompiled(256) ? 1.0 : 0.0);
+  reg.GetGauge("simdtree_dispatch_native_512")
+      ->Set(simd::NativeKernelsCompiled(512) ? 1.0 : 0.0);
+}
 
 std::string HttpResponse(int status, const char* reason,
                          const std::string& content_type,
@@ -68,6 +91,7 @@ void SendAll(int fd, const std::string& data) {
 std::string StatsServer::HandleRequest(const std::string& path) {
   // Strip a query string: Prometheus may append one.
   const std::string route = path.substr(0, path.find('?'));
+  PublishDispatchMetrics();
   if (route == "/metrics") {
     return HttpResponse(
         200, "OK",
@@ -92,6 +116,7 @@ std::string StatsServer::HandleRequest(const std::string& path) {
 bool StatsServer::Start(uint16_t port) {
   if (running_.load(std::memory_order_acquire)) return true;
   error_.clear();
+  PublishDispatchMetrics();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {

@@ -17,8 +17,11 @@
 //
 // The evaluation policy is a template parameter of the k-ary search so the
 // Figure 9 experiment can swap algorithms without touching the search
-// code. All three support both register widths (128-bit SSE masks are 16
-// bits, 256-bit AVX2 masks are 32 bits).
+// code. All three support every register width (128-bit SSE masks are 16
+// bits, 256-bit AVX2 masks are 32 bits, 512-bit AVX-512 masks are
+// lane-granular: 8-64 bits). The per-segment stride is
+// LaneTraits::kMaskBitsPerLane — byte-granular movemasks at 128/256,
+// one bit per lane at 512.
 
 #ifndef SIMDTREE_SIMD_BITMASK_EVAL_H_
 #define SIMDTREE_SIMD_BITMASK_EVAL_H_
@@ -29,15 +32,18 @@
 
 namespace simdtree::simd {
 
+// Index of the lowest set bit. Masks here always fit uint64_t.
+inline int CountTrailingZeros64(uint64_t x) { return __builtin_ctzll(x); }
+
 // Algorithm 1: Bit Shifting. Counts one bit per segment, shifting by the
 // per-segment stride, then converts the greater-count into a position.
 struct BitShiftEval {
   static constexpr const char* kName = "bit_shift";
 
   template <typename T, int kRegisterBits = 128>
-  static int Position(uint32_t mask) {
+  static int Position(uint64_t mask) {
     constexpr int c = LaneTraits<T, kRegisterBits>::kLanes;
-    constexpr int stride = LaneTraits<T, kRegisterBits>::kBytesPerLane;
+    constexpr int stride = LaneTraits<T, kRegisterBits>::kMaskBitsPerLane;
     int greater = 0;
     for (int i = 0; i < c; ++i) {
       greater += static_cast<int>(mask & 0x1u);
@@ -55,9 +61,17 @@ struct SwitchCaseEval {
   static constexpr const char* kName = "switch_case";
 
   template <typename T, int kRegisterBits = 128>
-  static int Position(uint32_t mask) {
+  static int Position(uint64_t mask) {
     constexpr int width = LaneTraits<T, kRegisterBits>::kBytesPerLane;
-    if constexpr (kRegisterBits == 128) {
+    if constexpr (kRegisterBits == 512) {
+      // Lane-granular masks: the c + 1 valid values are suffix runs of
+      // set bits, so the paper's dense switch degenerates — each case
+      // body is "return index of the lowest set bit", which is exactly
+      // the jump table a compiler would build for up to 65 cases. We
+      // emit the collapsed form directly.
+      if (mask == 0) return LaneTraits<T, kRegisterBits>::kLanes;
+      return CountTrailingZeros64(mask);
+    } else if constexpr (kRegisterBits == 128) {
       if constexpr (width == 8) {
         switch (mask) {
           case 0xFFFFu: return 0;
@@ -196,10 +210,10 @@ struct PopcountEval {
   static constexpr const char* kName = "popcount";
 
   template <typename T, int kRegisterBits = 128>
-  static int Position(uint32_t mask) {
+  static int Position(uint64_t mask) {
     constexpr int c = LaneTraits<T, kRegisterBits>::kLanes;
-    constexpr int stride = LaneTraits<T, kRegisterBits>::kBytesPerLane;
-    return c - __builtin_popcount(mask) / stride;
+    constexpr int stride = LaneTraits<T, kRegisterBits>::kMaskBitsPerLane;
+    return c - __builtin_popcountll(mask) / stride;
   }
 };
 

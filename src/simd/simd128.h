@@ -9,23 +9,41 @@
 //   5. evaluate the bitmask to a position                 (see bitmask_eval.h)
 //
 // This header provides steps 1-4 for all integer key widths (8/16/32/64
-// bit) behind two interchangeable backends:
+// bit) behind interchangeable backends:
 //
-//   * Backend::kSse    — SSE2/SSE4.2 intrinsics (pcmpgtq for 64-bit lanes).
-//   * Backend::kScalar — a portable lane-by-lane implementation producing
-//                        bit-identical masks; used for differential testing
-//                        and for non-x86 builds.
+//   * Backend::kSse      — SSE2/SSE4.2 intrinsics (pcmpgtq for 64-bit
+//                          lanes); the same tag covers the 256-bit AVX2
+//                          specialization in simd256.h.
+//   * Backend::kAvx512   — 512-bit EVEX kernels (simd512.h), native
+//                          k-bit compare masks instead of movemask.
+//   * Backend::kScalar   — a portable lane-by-lane implementation
+//                          producing bit-identical masks; used for
+//                          differential testing and for non-x86 builds.
+//   * Backend::kDispatch — not an implementation: a routing tag resolved
+//                          at runtime per CpuFeatures (simd/dispatch.h).
+//                          Ops<T, kDispatch, W> is intentionally left
+//                          undefined; the kary search entry points branch
+//                          on it before touching any register type.
 //
 // The paper's future-work direction "as the SIMD bandwidth will increase
 // in the future, index structures using SIMD instructions will further
 // benefit" is implemented as a register-width template parameter: the
-// scalar backend supports any width and simd256.h adds a native 256-bit
-// AVX2 backend (k = 33/17/9/5 instead of 17/9/5/3).
+// scalar backend supports any width, simd256.h adds a native 256-bit
+// AVX2 backend (k = 33/17/9/5 instead of 17/9/5/3), and simd512.h a
+// native AVX-512 backend (k = 65/33/17/9).
 //
 // SSE compares signed integers only. For unsigned key types the paper
 // realigns values by subtracting the signed maximum; we implement the
 // equivalent order-preserving transform — flipping the sign bit with XOR —
-// inside CmpGt, so callers never see biased values.
+// inside CmpGt, so callers never see biased values. (AVX-512 has native
+// unsigned compares and skips the bias.)
+//
+// Mask granularity: the 128/256-bit backends extract comparison results
+// with movemask_epi8, one bit per *byte*; AVX-512 compares produce one
+// bit per *lane*. LaneTraits::kMaskBitsPerLane captures the stride and
+// LaneTraits::Mask the carrier type (uint64_t only for 64 one-bit lanes:
+// 8-bit keys at 512 bits), so the bitmask-evaluation algorithms stay
+// width-agnostic.
 
 #ifndef SIMDTREE_SIMD_SIMD128_H_
 #define SIMDTREE_SIMD_SIMD128_H_
@@ -47,15 +65,22 @@ namespace simdtree::simd {
 enum class Backend {
   kSse,
   kScalar,
+  kAvx512,
+  kDispatch,
 };
 
 #if defined(__SSE2__) && defined(__SSE4_2__)
-inline constexpr Backend kDefaultBackend = Backend::kSse;
 inline constexpr bool kHaveSse = true;
 #else
-inline constexpr Backend kDefaultBackend = Backend::kScalar;
 inline constexpr bool kHaveSse = false;
 #endif
+
+// The default backend is the runtime-dispatch tag: search entry points
+// templated on it consult simd/dispatch.h (CpuFeatures + the
+// SIMDTREE_FORCE_BACKEND override) once per process and route each call
+// to the widest native kernel available, falling back to the scalar
+// image. Structures pin a concrete backend by passing one explicitly.
+inline constexpr Backend kDefaultBackend = Backend::kDispatch;
 
 // Key types supported as SIMD segments.
 template <typename T>
@@ -69,12 +94,22 @@ inline constexpr bool kIsSimdKey =
 template <typename T, int kRegisterBits = 128>
 struct LaneTraits {
   static_assert(kIsSimdKey<T>, "unsupported SIMD key type");
-  static_assert(kRegisterBits == 128 || kRegisterBits == 256,
-                "supported SIMD widths: 128 (SSE), 256 (AVX2)");
+  static_assert(kRegisterBits == 128 || kRegisterBits == 256 ||
+                    kRegisterBits == 512,
+                "supported SIMD widths: 128 (SSE), 256 (AVX2), 512 (AVX-512)");
   static constexpr int kRegisterBytes = kRegisterBits / 8;
   static constexpr int kBytesPerLane = static_cast<int>(sizeof(T));
   static constexpr int kLanes = kRegisterBytes / kBytesPerLane;
   static constexpr int kArity = kLanes + 1;  // paper's k value
+  // Comparison-mask stride: movemask_epi8 yields one bit per byte at
+  // 128/256 bits; AVX-512 compare-to-mask yields one bit per lane (the
+  // scalar image mirrors whichever the native backend of that width
+  // produces, so masks stay bit-identical across backends).
+  static constexpr int kMaskBitsPerLane =
+      kRegisterBits == 512 ? 1 : kBytesPerLane;
+  static constexpr int kMaskBits = kLanes * kMaskBitsPerLane;
+  // Mask carrier. Only 8-bit keys at 512 bits exceed 32 mask bits.
+  using Mask = std::conditional_t<(kMaskBits > 32), uint64_t, uint32_t>;
   using Signed = std::make_signed_t<T>;
   using Unsigned = std::make_unsigned_t<T>;
   // XOR with this flips the sign bit: maps unsigned order onto signed order.
@@ -87,9 +122,11 @@ struct Ops;
 
 // ---------------------------------------------------------------------------
 // Scalar backend (any register width). Reg is a lane array; MoveMask
-// produces the same byte-granular mask layout as _mm_movemask_epi8 /
-// _mm256_movemask_epi8 so the bitmask-evaluation algorithms are
-// backend-agnostic.
+// produces the same mask layout as the native backend of that width —
+// byte-granular like _mm_movemask_epi8 / _mm256_movemask_epi8 at
+// 128/256 bits, lane-granular like _mm512_cmp*_mask at 512 bits — so
+// the bitmask-evaluation algorithms are backend-agnostic and masks are
+// differentially comparable bit for bit.
 // ---------------------------------------------------------------------------
 template <typename T, int kRegisterBits>
 struct Ops<T, Backend::kScalar, kRegisterBits> {
@@ -133,13 +170,14 @@ struct Ops<T, Backend::kScalar, kRegisterBits> {
     return c;
   }
 
-  static uint32_t MoveMask(CmpReg c) {
-    uint32_t mask = 0;
+  static typename Traits::Mask MoveMask(CmpReg c) {
+    using Mask = typename Traits::Mask;
+    Mask mask = 0;
     for (int i = 0; i < Traits::kLanes; ++i) {
       if (c.gt[static_cast<size_t>(i)]) {
-        const uint32_t lane_bits =
-            ((1u << Traits::kBytesPerLane) - 1u)
-            << (i * Traits::kBytesPerLane);
+        const Mask lane_bits =
+            ((Mask{1} << Traits::kMaskBitsPerLane) - Mask{1})
+            << (i * Traits::kMaskBitsPerLane);
         mask |= lane_bits;
       }
     }

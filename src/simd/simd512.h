@@ -1,0 +1,170 @@
+// 512-bit SIMD comparison primitives (AVX-512 F + BW) — the second step
+// of the paper's future-work width scaling: k = 65/33/17/9 for
+// 8/16/32/64-bit keys, twice the fanout of AVX2 and four times the
+// paper's SSE setup.
+//
+// Two contract differences from the 128/256-bit backends, both hidden
+// behind the shared LaneTraits:
+//
+//   * No movemask step. EVEX compares write a k-bit predicate register
+//     (__mmask8/16/32/64) directly — one bit per *lane*, not per byte —
+//     so MoveMask is a plain integer cast and the paper's step 4
+//     disappears. LaneTraits<T, 512>::kMaskBitsPerLane == 1 keeps the
+//     bitmask-evaluation algorithms correct, and the scalar image at
+//     width 512 emits the same lane-granular layout for differential
+//     testing.
+//
+//   * Native unsigned compares (_mm512_cmpgt_epu*_mask): the sign-bias
+//     XOR realignment the narrower backends inherit from the paper is
+//     unnecessary here.
+//
+// This header defines Ops<T, Backend::kAvx512, 512> only when compiled
+// with AVX-512 F and BW enabled (BW provides the 8/16-bit lane
+// compares). Ordinary translation units compile it to nothing; the
+// kernels registered by src/kary/kernels_avx512.cc — a TU built with
+// per-source -mavx512f -mavx512bw flags — are the intended way to reach
+// these ops from a baseline binary (see simd/dispatch.h).
+
+#ifndef SIMDTREE_SIMD_SIMD512_H_
+#define SIMDTREE_SIMD_SIMD512_H_
+
+#include "simd/simd128.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#endif
+
+namespace simdtree::simd {
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+inline constexpr bool kHaveAvx512 = true;
+
+namespace internal512 {
+
+template <int kBytesPerLane>
+struct MaskFor;
+template <>
+struct MaskFor<1> {
+  using type = __mmask64;
+};
+template <>
+struct MaskFor<2> {
+  using type = __mmask32;
+};
+template <>
+struct MaskFor<4> {
+  using type = __mmask16;
+};
+template <>
+struct MaskFor<8> {
+  using type = __mmask8;
+};
+
+inline __mmask64 CmpGtSigned(__m512i a, __m512i b,
+                             std::integral_constant<int, 1>) {
+  return _mm512_cmpgt_epi8_mask(a, b);
+}
+inline __mmask32 CmpGtSigned(__m512i a, __m512i b,
+                             std::integral_constant<int, 2>) {
+  return _mm512_cmpgt_epi16_mask(a, b);
+}
+inline __mmask16 CmpGtSigned(__m512i a, __m512i b,
+                             std::integral_constant<int, 4>) {
+  return _mm512_cmpgt_epi32_mask(a, b);
+}
+inline __mmask8 CmpGtSigned(__m512i a, __m512i b,
+                            std::integral_constant<int, 8>) {
+  return _mm512_cmpgt_epi64_mask(a, b);
+}
+
+inline __mmask64 CmpGtUnsigned(__m512i a, __m512i b,
+                               std::integral_constant<int, 1>) {
+  return _mm512_cmpgt_epu8_mask(a, b);
+}
+inline __mmask32 CmpGtUnsigned(__m512i a, __m512i b,
+                               std::integral_constant<int, 2>) {
+  return _mm512_cmpgt_epu16_mask(a, b);
+}
+inline __mmask16 CmpGtUnsigned(__m512i a, __m512i b,
+                               std::integral_constant<int, 4>) {
+  return _mm512_cmpgt_epu32_mask(a, b);
+}
+inline __mmask8 CmpGtUnsigned(__m512i a, __m512i b,
+                              std::integral_constant<int, 8>) {
+  return _mm512_cmpgt_epu64_mask(a, b);
+}
+
+inline __mmask64 CmpEqWidth(__m512i a, __m512i b,
+                            std::integral_constant<int, 1>) {
+  return _mm512_cmpeq_epi8_mask(a, b);
+}
+inline __mmask32 CmpEqWidth(__m512i a, __m512i b,
+                            std::integral_constant<int, 2>) {
+  return _mm512_cmpeq_epi16_mask(a, b);
+}
+inline __mmask16 CmpEqWidth(__m512i a, __m512i b,
+                            std::integral_constant<int, 4>) {
+  return _mm512_cmpeq_epi32_mask(a, b);
+}
+inline __mmask8 CmpEqWidth(__m512i a, __m512i b,
+                           std::integral_constant<int, 8>) {
+  return _mm512_cmpeq_epi64_mask(a, b);
+}
+
+inline __m512i Set1Width(uint64_t v, std::integral_constant<int, 1>) {
+  return _mm512_set1_epi8(static_cast<char>(v));
+}
+inline __m512i Set1Width(uint64_t v, std::integral_constant<int, 2>) {
+  return _mm512_set1_epi16(static_cast<short>(v));
+}
+inline __m512i Set1Width(uint64_t v, std::integral_constant<int, 4>) {
+  return _mm512_set1_epi32(static_cast<int>(v));
+}
+inline __m512i Set1Width(uint64_t v, std::integral_constant<int, 8>) {
+  return _mm512_set1_epi64(static_cast<long long>(v));
+}
+
+}  // namespace internal512
+
+template <typename T>
+struct Ops<T, Backend::kAvx512, 512> {
+  using Traits = LaneTraits<T, 512>;
+  using Reg = __m512i;
+  using Width = std::integral_constant<int, Traits::kBytesPerLane>;
+  // Comparison result: the native k-bit predicate, one bit per lane.
+  using CmpReg = typename internal512::MaskFor<Traits::kBytesPerLane>::type;
+
+  static Reg LoadUnaligned(const T* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+
+  static Reg Set1(T v) {
+    return internal512::Set1Width(
+        static_cast<uint64_t>(static_cast<typename Traits::Unsigned>(v)),
+        Width{});
+  }
+
+  static CmpReg CmpGt(Reg a, Reg b) {
+    if constexpr (std::is_signed_v<T>) {
+      return internal512::CmpGtSigned(a, b, Width{});
+    } else {
+      return internal512::CmpGtUnsigned(a, b, Width{});
+    }
+  }
+
+  static CmpReg CmpEq(Reg a, Reg b) {
+    return internal512::CmpEqWidth(a, b, Width{});
+  }
+
+  static typename Traits::Mask MoveMask(CmpReg c) {
+    // The compare already produced the lane-granular mask.
+    return static_cast<typename Traits::Mask>(c);
+  }
+};
+#else
+inline constexpr bool kHaveAvx512 = false;
+#endif  // __AVX512F__ && __AVX512BW__
+
+}  // namespace simdtree::simd
+
+#endif  // SIMDTREE_SIMD_SIMD512_H_

@@ -11,6 +11,10 @@ namespace {
 std::vector<uint64_t> DistinctUniform64(size_t n, int bits, Rng& rng) {
   const uint64_t mask =
       bits >= 64 ? ~0ULL : ((uint64_t{1} << bits) - 1);
+  // A domain of 2^bits values holds at most that many distinct samples;
+  // without this clamp the collection loop below can never terminate
+  // (the assert in the caller is compiled out of release builds).
+  if (bits < 64 && n > mask + 1) n = static_cast<size_t>(mask + 1);
   std::vector<uint64_t> out;
   out.reserve(n + n / 8 + 16);
   while (out.size() < n) {

@@ -155,6 +155,25 @@ TEST(BatchKaryArrayTest, Width256) {
   CheckKaryArrayAllShapes<uint16_t, simd::BitShiftEval, Backend::kSse,
                           256>();
 #endif
+  // Runtime dispatch at 256: native when this host+binary carry AVX2
+  // kernels, the scalar image otherwise — the answers are identical
+  // either way, so this runs green everywhere.
+  CheckKaryArrayAllShapes<uint32_t, simd::PopcountEval, simd::kDefaultBackend,
+                          256>();
+}
+
+TEST(BatchKaryArrayTest, Width512) {
+  // The scalar 512-bit image (k = 65/33/17/9) runs on any hardware.
+  CheckKaryArrayAllShapes<uint32_t, simd::PopcountEval, Backend::kScalar,
+                          512>();
+  CheckKaryArrayAllShapes<int16_t, simd::SwitchCaseEval, Backend::kScalar,
+                          512>();
+  // Dispatch routing: native EVEX kernels on AVX-512 hosts, scalar
+  // image elsewhere.
+  CheckKaryArrayAllShapes<uint32_t, simd::PopcountEval, simd::kDefaultBackend,
+                          512>();
+  CheckKaryArrayAllShapes<uint64_t, simd::BitShiftEval, simd::kDefaultBackend,
+                          512>();
 }
 
 // --- B+-Tree / Seg-Tree FindBatch & LowerBoundBatch -----------------------
@@ -271,6 +290,22 @@ TEST(BatchTreeTest, SegTreeEvalAndBackendCombos) {
                                       simd::PopcountEval, Backend::kSse,
                                       256>>();
 #endif
+}
+
+TEST(BatchTreeTest, SegTreeWiderWidths) {
+  CheckTreeAllShapes<segtree::SegTree<uint32_t, uint64_t,
+                                      Layout::kBreadthFirst,
+                                      simd::PopcountEval, Backend::kScalar,
+                                      512>>();
+  // Dispatch-routed inner-node search at 256/512-bit node width.
+  CheckTreeAllShapes<segtree::SegTree<uint32_t, uint64_t,
+                                      Layout::kBreadthFirst,
+                                      simd::PopcountEval,
+                                      simd::kDefaultBackend, 256>>();
+  CheckTreeAllShapes<segtree::SegTree<uint32_t, uint64_t,
+                                      Layout::kDepthFirst,
+                                      simd::PopcountEval,
+                                      simd::kDefaultBackend, 512>>();
 }
 
 // --- Seg-Trie FindBatch ---------------------------------------------------

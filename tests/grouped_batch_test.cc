@@ -206,6 +206,21 @@ TEST(GroupedKaryTest, Width256) {
   CheckKaryGroupedAllShapes<uint32_t, simd::PopcountEval, Backend::kSse,
                             256>();
 #endif
+  // Runtime dispatch: native on AVX2 hosts, scalar image elsewhere —
+  // identical answers either way.
+  CheckKaryGroupedAllShapes<uint32_t, simd::PopcountEval,
+                            simd::kDefaultBackend, 256>();
+}
+
+TEST(GroupedKaryTest, Width512) {
+  // The scalar 512-bit image (k = 65/33/17/9) runs on any hardware; the
+  // dispatch backend upgrades to native EVEX kernels on AVX-512 hosts.
+  CheckKaryGroupedAllShapes<uint32_t, simd::PopcountEval, Backend::kScalar,
+                            512>();
+  CheckKaryGroupedAllShapes<uint32_t, simd::PopcountEval,
+                            simd::kDefaultBackend, 512>();
+  CheckKaryGroupedAllShapes<int64_t, simd::SwitchCaseEval,
+                            simd::kDefaultBackend, 512>();
 }
 
 // --- Tree FindBatchGrouped / LowerBoundBatchGrouped -----------------------

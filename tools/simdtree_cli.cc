@@ -49,6 +49,14 @@
 //       Runs the keys against the index with tracing on (default: every
 //       query) and dumps the flight recorder as one JSON document — the
 //       offline twin of the /tracez endpoint.
+//   simdtree_cli dispatch [--json]
+//       Prints the runtime SIMD dispatch decision: detected CPU
+//       features, the selected backend (after the
+//       SIMDTREE_FORCE_BACKEND override, which this command validates
+//       the same way every search does — an impossible force exits 2),
+//       its register width, and which widths this binary carries native
+//       kernels for. CI probes this before deciding which forced
+//       backends a runner can exercise.
 //   simdtree_cli selftest
 //       Runs a quick build/query/scan round trip on synthetic data.
 
@@ -66,6 +74,7 @@
 #include "obs/export.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
@@ -98,6 +107,7 @@ int Usage() {
                "         [--probes=keys.txt] [--duration-s=N]\n"
                "       simdtree_cli tracez <index.stix> <keys.txt> "
                "[--trace-sample=N] [--slow-us=N] [--max=N]\n"
+               "       simdtree_cli dispatch [--json]\n"
                "       simdtree_cli selftest\n");
   return 2;
 }
@@ -563,6 +573,42 @@ int CmdTracez(int argc, char** argv) {
   return 0;
 }
 
+int CmdDispatch(int argc, char** argv) {
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  namespace simd = simdtree::simd;
+  // ActiveDispatch() itself validates SIMDTREE_FORCE_BACKEND and exits 2
+  // on an impossible override, so this command doubles as the probe.
+  const simd::DispatchDecision& d = simd::ActiveDispatch();
+  if (json) {
+    std::printf(
+        "{\"cpu_features\":\"%s\",\"backend\":\"%s\",\"register_bits\":%d,"
+        "\"forced\":%s,\"native_128\":%s,\"native_256\":%s,"
+        "\"native_512\":%s}\n",
+        simd::CpuFeatureString().c_str(), simd::DispatchLevelName(d.level),
+        d.register_bits, d.forced ? "true" : "false",
+        simd::NativeKernelsCompiled(128) ? "true" : "false",
+        simd::NativeKernelsCompiled(256) ? "true" : "false",
+        simd::NativeKernelsCompiled(512) ? "true" : "false");
+  } else {
+    std::printf("cpu features:   %s\n", simd::CpuFeatureString().c_str());
+    std::printf("backend:        %s%s\n", simd::DispatchLevelName(d.level),
+                d.forced ? " (forced via SIMDTREE_FORCE_BACKEND)" : "");
+    std::printf("register bits:  %d\n", d.register_bits);
+    std::printf("native kernels: 128=%s 256=%s 512=%s\n",
+                simd::NativeKernelsCompiled(128) ? "yes" : "no",
+                simd::NativeKernelsCompiled(256) ? "yes" : "no",
+                simd::NativeKernelsCompiled(512) ? "yes" : "no");
+    std::printf("effective:      128-bit=%s 256-bit=%s 512-bit=%s\n",
+                simd::EffectiveBackendName(128),
+                simd::EffectiveBackendName(256),
+                simd::EffectiveBackendName(512));
+  }
+  return 0;
+}
+
 int CmdSelfTest() {
   simdtree::Rng rng(1);
   Tree tree;
@@ -603,6 +649,7 @@ int main(int argc, char** argv) {
   if (cmd == "profile") return CmdProfile(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "tracez") return CmdTracez(argc, argv);
+  if (cmd == "dispatch") return CmdDispatch(argc, argv);
   if (cmd == "selftest") return CmdSelfTest();
   return Usage();
 }
