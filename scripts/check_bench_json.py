@@ -38,6 +38,14 @@ metric line each for a "/grouped" and a "/pipelined" config, plus a
 "visit_reduction" line. Its absence means the level-wise shared
 traversal stopped reporting its sharing factor.
 
+--require-slo asserts that at least one line carries a well-formed
+"slo" section (bb_serve, the open-loop serving load generator): numeric
+target_qps/achieved_qps/requests/replies/errors and latency percentiles
+with achieved_qps > 0, replies > 0, and p50_ns <= p99_ns <= p999_ns <=
+max_ns. Every "slo" section present is validated regardless of the
+flag; its absence under the flag means the serving smoke produced no
+SLO report.
+
 --require-dispatch asserts that a bench_header line is present and
 carries a well-formed runtime "dispatch" object (bench_util.h
 EmitJsonHeader): backend in {scalar, sse, avx2, avx512}, register_bits
@@ -119,6 +127,40 @@ def check_mem_section(doc: dict, lineno: int) -> bool:
     return True
 
 
+def check_slo_section(doc: dict, lineno: int) -> bool:
+    """Validates one {"slo": {...}} line; prints and returns False on error."""
+    slo = doc["slo"]
+    if not isinstance(slo, dict):
+        print(f'line {lineno}: "slo" is not an object', file=sys.stderr)
+        return False
+    fields = ("target_qps", "achieved_qps", "requests", "replies",
+              "errors", "p50_ns", "p99_ns", "p999_ns", "max_ns")
+    for field in fields:
+        if field not in slo:
+            print(f'line {lineno}: "slo" missing "{field}"', file=sys.stderr)
+            return False
+        if not isinstance(slo[field], (int, float)) or isinstance(
+                slo[field], bool):
+            print(f'line {lineno}: "slo".{field} is not numeric',
+                  file=sys.stderr)
+            return False
+        if slo[field] < 0:
+            print(f'line {lineno}: "slo".{field} is negative',
+                  file=sys.stderr)
+            return False
+    if slo["achieved_qps"] <= 0 or slo["replies"] <= 0:
+        print(f'line {lineno}: "slo" reports no served traffic '
+              f'(achieved_qps={slo["achieved_qps"]}, '
+              f'replies={slo["replies"]})', file=sys.stderr)
+        return False
+    if not slo["p50_ns"] <= slo["p99_ns"] <= slo["p999_ns"] <= slo["max_ns"]:
+        print(f'line {lineno}: "slo" percentiles not monotone: '
+              f'p50={slo["p50_ns"]} p99={slo["p99_ns"]} '
+              f'p999={slo["p999_ns"]} max={slo["max_ns"]}', file=sys.stderr)
+        return False
+    return True
+
+
 def check_dispatch_header(doc: dict, lineno: int) -> bool:
     """Validates a bench_header's "dispatch" object; False on error."""
     header = doc["bench_header"]
@@ -174,6 +216,11 @@ def main() -> int:
              'lines and a "visit_reduction" line are present',
     )
     parser.add_argument(
+        "--require-slo",
+        action="store_true",
+        help='fail unless at least one JSON line has a valid "slo" section',
+    )
+    parser.add_argument(
         "--require-dispatch",
         action="store_true",
         help="fail unless a bench_header line carries a well-formed "
@@ -189,6 +236,7 @@ def main() -> int:
 
     json_lines = 0
     hw_null_lines = 0
+    slo_lines = 0
     mem_lines = 0
     metrics_lines = 0
     dispatch_lines = 0
@@ -216,6 +264,10 @@ def main() -> int:
             if not check_mem_section(doc, lineno):
                 return 1
             mem_lines += 1
+        if "slo" in doc:
+            if not check_slo_section(doc, lineno):
+                return 1
+            slo_lines += 1
         if "registry" in doc or "metrics" in doc:
             if not check_metrics_names(doc, lineno):
                 return 1
@@ -240,6 +292,10 @@ def main() -> int:
     if args.require_hw_null and hw_null_lines == 0:
         print('no line with "hw": null — the perf-counter fallback marker '
               "is missing", file=sys.stderr)
+        return 1
+    if args.require_slo and slo_lines == 0:
+        print('no line with an "slo" section — the serving SLO report is '
+              "missing", file=sys.stderr)
         return 1
     if args.require_mem and mem_lines == 0:
         print('no line with a "mem" section — the arena occupancy report '
@@ -267,6 +323,8 @@ def main() -> int:
         parts.append(f"{hw_null_lines} hw-null markers")
     if mem_lines:
         parts.append(f"{mem_lines} mem sections")
+    if slo_lines:
+        parts.append(f"{slo_lines} slo sections")
     if metrics_lines:
         parts.append(f"{metrics_lines} metrics dumps")
     if dispatch_lines:

@@ -2,19 +2,47 @@
 # Builds everything, runs the full test suite and every bench binary, and
 # records the outputs at the repository root (test_output.txt,
 # bench_output.txt) — the reproduction record referenced by EXPERIMENTS.md.
+#
+# Usage: scripts/run_all.sh [--smoke]
+#   --smoke  CI-sized pass: skips the `stress` ctest label and forwards
+#            --smoke to every bench that understands it (the others run
+#            their normal workload), so the whole sweep finishes in
+#            minutes instead of hours.
 set -u
 cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+if [ "$SMOKE" = 1 ]; then
+  ctest --test-dir build -LE stress 2>&1 | tee test_output.txt
+else
+  ctest --test-dir build 2>&1 | tee test_output.txt
+fi
+
+# Benches that accept --smoke (kept in sync with bench/*.cc by grep at
+# run time, so a new bench that adds the flag is picked up for free).
+supports_smoke() {
+  grep -q -- '--smoke' "bench/$(basename "$1").cc" 2>/dev/null
+}
 
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "===== $b =====" | tee -a bench_output.txt
-    "$b" 2>&1 | tee -a bench_output.txt
+    args=()
+    if [ "$SMOKE" = 1 ] && supports_smoke "$b"; then
+      args+=(--smoke)
+    fi
+    echo "===== $b ${args[*]:-} =====" | tee -a bench_output.txt
+    "$b" ${args[@]+"${args[@]}"} 2>&1 | tee -a bench_output.txt
     echo | tee -a bench_output.txt
   fi
 done

@@ -1,0 +1,239 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace simdtree::net {
+
+bool KvClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  error_.clear();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    error_ = "invalid address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void KvClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  next_id_ = 1;
+  pending_ = 0;
+  sendbuf_.clear();
+  recvbuf_.clear();
+  recv_off_ = 0;
+}
+
+uint32_t KvClient::EnqueueGet(uint64_t key) {
+  const uint32_t id = next_id_++;
+  AppendGet(&sendbuf_, id, key);
+  ++pending_;
+  return id;
+}
+
+uint32_t KvClient::EnqueueMget(const uint64_t* keys, uint32_t n) {
+  const uint32_t id = next_id_++;
+  AppendMget(&sendbuf_, id, keys, n);
+  ++pending_;
+  return id;
+}
+
+uint32_t KvClient::EnqueueLowerBound(uint64_t key) {
+  const uint32_t id = next_id_++;
+  AppendLowerBound(&sendbuf_, id, key);
+  ++pending_;
+  return id;
+}
+
+uint32_t KvClient::EnqueuePut(uint64_t key, uint64_t value) {
+  const uint32_t id = next_id_++;
+  AppendPut(&sendbuf_, id, key, value);
+  ++pending_;
+  return id;
+}
+
+uint32_t KvClient::EnqueueDel(uint64_t key) {
+  const uint32_t id = next_id_++;
+  AppendDel(&sendbuf_, id, key);
+  ++pending_;
+  return id;
+}
+
+uint32_t KvClient::EnqueueStats() {
+  const uint32_t id = next_id_++;
+  AppendStats(&sendbuf_, id);
+  ++pending_;
+  return id;
+}
+
+bool KvClient::Flush() {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  size_t off = 0;
+  while (off < sendbuf_.size()) {
+    const ssize_t n = ::send(fd_, sendbuf_.data() + off,
+                             sendbuf_.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = std::string("send: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  sendbuf_.clear();
+  return true;
+}
+
+bool KvClient::SendRaw(const void* data, size_t n) {
+  sendbuf_.insert(sendbuf_.end(), static_cast<const uint8_t*>(data),
+                  static_cast<const uint8_t*>(data) + n);
+  return Flush();
+}
+
+bool KvClient::ReadReply(Response* out, int timeout_ms) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  while (true) {
+    const uint8_t* payload;
+    size_t payload_len, consumed;
+    const int rc = ExtractFrame(recvbuf_.data(), recvbuf_.size(),
+                                recv_off_, &payload, &payload_len,
+                                &consumed);
+    if (rc < 0) {
+      error_ = "oversized response frame";
+      Close();
+      return false;
+    }
+    if (rc == 1) {
+      const bool ok = DecodeResponse(payload, payload_len, out);
+      recv_off_ += consumed;
+      if (recv_off_ == recvbuf_.size()) {
+        recvbuf_.clear();
+        recv_off_ = 0;
+      }
+      if (!ok) {
+        error_ = "undecodable response";
+        Close();
+        return false;
+      }
+      if (pending_ > 0) --pending_;
+      return true;
+    }
+    // Need more bytes.
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) {
+      error_ = "reply timeout";
+      return false;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      Close();
+      return false;
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recvbuf_.insert(recvbuf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = n == 0 ? "connection closed by server"
+                    : std::string("recv: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+}
+
+bool KvClient::RoundTrip(Response* out) {
+  if (!Flush()) return false;
+  return ReadReply(out);
+}
+
+std::optional<uint64_t> KvClient::Get(uint64_t key) {
+  EnqueueGet(key);
+  Response r;
+  if (!RoundTrip(&r) || r.status != kStatusOk || !r.found) {
+    return std::nullopt;
+  }
+  return r.value;
+}
+
+bool KvClient::Put(uint64_t key, uint64_t value) {
+  EnqueuePut(key, value);
+  Response r;
+  return RoundTrip(&r) && r.status == kStatusOk;
+}
+
+bool KvClient::Del(uint64_t key, bool* erased) {
+  EnqueueDel(key);
+  Response r;
+  if (!RoundTrip(&r) || r.status != kStatusOk) return false;
+  if (erased != nullptr) *erased = r.found;
+  return true;
+}
+
+bool KvClient::LowerBound(uint64_t key, uint64_t* out_key,
+                          uint64_t* out_value, bool* found) {
+  EnqueueLowerBound(key);
+  Response r;
+  if (!RoundTrip(&r) || r.status != kStatusOk) return false;
+  *found = r.found;
+  if (r.found) {
+    *out_key = r.key;
+    *out_value = r.value;
+  }
+  return true;
+}
+
+bool KvClient::Mget(const std::vector<uint64_t>& keys,
+                    std::vector<MgetEntry>* out) {
+  EnqueueMget(keys.data(), static_cast<uint32_t>(keys.size()));
+  Response r;
+  if (!RoundTrip(&r) || r.status != kStatusOk) return false;
+  *out = std::move(r.entries);
+  return true;
+}
+
+bool KvClient::Stats(std::string* json) {
+  EnqueueStats();
+  Response r;
+  if (!RoundTrip(&r) || r.status != kStatusOk) return false;
+  *json = std::move(r.text);
+  return true;
+}
+
+}  // namespace simdtree::net

@@ -1,0 +1,100 @@
+// Blocking pipelined client for the KV serving protocol (net/protocol.h).
+//
+// The client separates *enqueue* from *completion* so callers control
+// the pipeline depth — the lever that drives the server's coalescing:
+//
+//   KvClient c;
+//   c.Connect("127.0.0.1", port);
+//   for (int i = 0; i < depth; ++i) c.EnqueueGet(keys[i]);
+//   c.Flush();                        // one write() for the whole burst
+//   Response r;
+//   while (c.PendingReplies() > 0) c.ReadReply(&r);
+//
+// Replies arrive in request order (the server's contract); ReadReply
+// blocks until the next complete response frame (or the timeout).
+// Convenience synchronous wrappers (Get/Put/...) enqueue, flush, and
+// read one reply — pipeline depth 1.
+//
+// Not thread-safe: one KvClient per thread (the load generator opens
+// one per connection).
+
+#ifndef SIMDTREE_NET_CLIENT_H_
+#define SIMDTREE_NET_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace simdtree::net {
+
+class KvClient {
+ public:
+  KvClient() = default;
+  ~KvClient() { Close(); }
+
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  // Connects (blocking) to host:port. Returns false with the OS error
+  // in error().
+  bool Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  // --- pipelined API ------------------------------------------------------
+
+  // Each Enqueue* appends one request frame to the send buffer and
+  // returns its request id (a per-connection sequence number).
+  uint32_t EnqueueGet(uint64_t key);
+  uint32_t EnqueueMget(const uint64_t* keys, uint32_t n);
+  uint32_t EnqueueLowerBound(uint64_t key);
+  uint32_t EnqueuePut(uint64_t key, uint64_t value);
+  uint32_t EnqueueDel(uint64_t key);
+  uint32_t EnqueueStats();
+
+  // Sends the whole buffered burst. Returns false on a socket error.
+  bool Flush();
+
+  // Requests enqueued (and flushed) whose replies have not been read.
+  size_t PendingReplies() const { return pending_; }
+
+  // Blocks until the next complete response frame, decodes it into
+  // *out. Returns false on timeout, socket error, or an undecodable
+  // response (error() says which; the connection is closed on the
+  // latter two).
+  bool ReadReply(Response* out, int timeout_ms = 5000);
+
+  // Sends raw bytes as-is — test hook for malformed-frame injection.
+  bool SendRaw(const void* data, size_t n);
+
+  // --- synchronous convenience (depth-1 pipelines) ------------------------
+
+  std::optional<uint64_t> Get(uint64_t key);
+  bool Put(uint64_t key, uint64_t value);
+  bool Del(uint64_t key, bool* erased = nullptr);
+  bool LowerBound(uint64_t key, uint64_t* out_key, uint64_t* out_value,
+                  bool* found);
+  bool Mget(const std::vector<uint64_t>& keys,
+            std::vector<MgetEntry>* out);
+  bool Stats(std::string* json);
+
+ private:
+  bool RoundTrip(Response* out);
+
+  int fd_ = -1;
+  uint32_t next_id_ = 1;
+  size_t pending_ = 0;
+  std::vector<uint8_t> sendbuf_;
+  std::vector<uint8_t> recvbuf_;
+  size_t recv_off_ = 0;
+  std::string error_;
+};
+
+}  // namespace simdtree::net
+
+#endif  // SIMDTREE_NET_CLIENT_H_

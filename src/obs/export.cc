@@ -58,6 +58,12 @@ void AppendTraceJson(std::string* out, const DescentTrace& t) {
   *out += ",\"latency_ns\":" + FmtU64(t.latency_ns);
   *out += ",\"lock_wait_ns\":" + FmtU64(t.lock_wait_ns);
   *out += ",\"thread\":" + FmtU64(t.thread_id);
+  *out += ",\"conn\":";
+  *out += t.conn_id == kTraceNoConn ? std::string("null")
+                                    : FmtU64(t.conn_id);
+  *out += ",\"request\":";
+  *out += t.conn_id == kTraceNoConn ? std::string("null")
+                                    : FmtU64(t.request_id);
   *out += ",\"shard\":";
   *out += t.shard == kTraceNoShard ? std::string("null")
                                    : FmtU64(t.shard);

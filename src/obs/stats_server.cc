@@ -113,7 +113,7 @@ std::string StatsServer::HandleRequest(const std::string& path) {
   return HttpResponse(404, "Not Found", "text/plain", "not found\n");
 }
 
-bool StatsServer::Start(uint16_t port) {
+bool StatsServer::Start(uint16_t port, const std::string& bind_addr) {
   if (running_.load(std::memory_order_acquire)) return true;
   error_.clear();
   PublishDispatchMetrics();
@@ -128,7 +128,12 @@ bool StatsServer::Start(uint16_t port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapes only
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    error_ = "invalid bind address: " + bind_addr;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0 ||

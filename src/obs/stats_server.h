@@ -8,10 +8,12 @@
 //
 // Deliberately not a web framework: one acceptor thread, serial
 // request handling, HTTP/1.1 with Connection: close, bound to
-// 127.0.0.1 only. A scrape every few seconds from one Prometheus
-// instance is the design load; anything beyond that belongs behind a
-// real ingress. Port 0 binds an ephemeral port (tests), readable via
-// port() after Start().
+// 127.0.0.1 by default (pass an explicit bind address — e.g. "0.0.0.0"
+// for a containerized Prometheus scraping over a bridge network — to
+// widen it). A scrape every few seconds from one Prometheus instance is
+// the design load; anything beyond that belongs behind a real ingress.
+// Port 0 binds an ephemeral port (tests), readable via port() after
+// Start().
 
 #ifndef SIMDTREE_OBS_STATS_SERVER_H_
 #define SIMDTREE_OBS_STATS_SERVER_H_
@@ -31,10 +33,11 @@ class StatsServer {
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the acceptor
-  // thread. Returns false with the OS error in error() if the bind
-  // fails; calling Start on a running server is a no-op returning true.
-  bool Start(uint16_t port);
+  // Binds `addr`:`port` (port 0 = ephemeral; addr defaults to loopback)
+  // and starts the acceptor thread. Returns false with the OS error in
+  // error() if the bind fails; calling Start on a running server is a
+  // no-op returning true.
+  bool Start(uint16_t port, const std::string& addr = "127.0.0.1");
 
   // Stops the acceptor and joins the thread. Idempotent.
   void Stop();

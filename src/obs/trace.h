@@ -94,6 +94,9 @@ static_assert(sizeof(LevelSpan) == 16);
 // 64-bit 8-bit-segment trie is 8, a 4-bit-segment trie is 16.
 inline constexpr int kMaxTraceLevels = 20;
 
+// Connection/request attribution absent (no serving context).
+inline constexpr uint32_t kTraceNoConn = 0;
+
 // One sampled descent. Trivially copyable (the ring stores it word-wise
 // through atomics) and fixed-size (no allocation on the record path).
 struct DescentTrace {
@@ -102,6 +105,8 @@ struct DescentTrace {
   uint64_t latency_ns = 0;    // full operation latency
   uint64_t lock_wait_ns = 0;  // wrapper lock acquisition wait (0 if none)
   uint32_t thread_id = 0;     // tracer-assigned small id (ring index)
+  uint32_t conn_id = kTraceNoConn;  // serving connection (net/server.cc)
+  uint32_t request_id = 0;    // wire request id of the attributed op
   uint16_t shard = kTraceNoShard;  // owning shard (sharded wrapper only)
   uint8_t backend = static_cast<uint8_t>(TraceBackend::kUnknown);
   uint8_t levels = 0;         // valid entries in level[]
@@ -146,7 +151,25 @@ bool SampleSlowPath(uint32_t rate);
 // Resets the calling thread's sampling countdown (test determinism).
 void ResetThreadSampleCountdown();
 
+// Per-thread serving attribution (see SetTraceRequestContext). Plain
+// thread-locals: only the owning thread reads or writes them.
+extern thread_local uint32_t g_conn_id;
+extern thread_local uint32_t g_request_id;
+
 }  // namespace trace_internal
+
+// Serving-path attribution: the KV server stamps the connection and
+// wire request id it is about to execute, and every TraceScope opened
+// on this thread until the next call (including the scopes ShardedIndex
+// opens inside FindBatch) carries them — so a slow wire request can be
+// joined against its descent trace in /tracez. Zero-cost for
+// non-serving callers: the thread-locals default to kTraceNoConn/0.
+inline void SetTraceRequestContext(uint32_t conn_id, uint32_t request_id) {
+  trace_internal::g_conn_id = conn_id;
+  trace_internal::g_request_id = request_id;
+}
+
+inline void ClearTraceRequestContext() { SetTraceRequestContext(0, 0); }
 
 // The hot-path sampling decision. With tracing off this is one relaxed
 // load of a process-wide atomic plus one predictable (never-taken)
@@ -303,6 +326,8 @@ class TraceScope {
   TraceScope() : start_cycles_(CycleTimer::Now()) {
     trace_.start_ns = static_cast<uint64_t>(
         CycleTimer::ToNanoseconds(start_cycles_));
+    trace_.conn_id = trace_internal::g_conn_id;
+    trace_.request_id = trace_internal::g_request_id;
   }
 
   DescentTrace* trace() { return &trace_; }

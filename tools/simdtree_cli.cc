@@ -33,17 +33,35 @@
 //       reported as "hw": null when the syscall is denied), and the
 //       instrumented wrapper's metrics registry. --json replaces the
 //       human summary with one JSON document on stdout.
-//   simdtree_cli serve <index.stix> [--port=N] [--trace-sample=N]
-//       [--slow-us=N] [--probes=keys.txt] [--duration-s=N]
-//       Loads the index and serves its observability surface over HTTP
-//       on 127.0.0.1: /metrics (OpenMetrics), /metrics.json, /tracez
-//       (recent + slow query traces as JSON), /healthz. Query tracing is
-//       sampled 1-in-N (--trace-sample, default 64; 0 disables);
-//       --slow-us promotes descents slower than N microseconds into the
-//       slow-query log. With --probes, a foreground loop replays the
-//       keys against the index so the endpoints have live data; with
-//       --duration-s the process exits after N seconds (default: serve
-//       until killed). --port=0 picks an ephemeral port (printed).
+//   simdtree_cli serve <index.stix> [--port=N] [--bind=ADDR]
+//       [--trace-sample=N] [--slow-us=N] [--probes=keys.txt]
+//       [--duration-s=N]
+//       Loads the index and serves its observability surface over HTTP:
+//       /metrics (OpenMetrics), /metrics.json, /tracez (recent + slow
+//       query traces as JSON), /healthz. --bind widens the listen
+//       address beyond the 127.0.0.1 default (e.g. --bind=0.0.0.0 for a
+//       containerized Prometheus). Query tracing is sampled 1-in-N
+//       (--trace-sample, default 64; 0 disables); --slow-us promotes
+//       descents slower than N microseconds into the slow-query log.
+//       With --probes, a foreground loop replays the keys against the
+//       index so the endpoints have live data; with --duration-s the
+//       process exits after N seconds (default: serve until killed).
+//       --port=0 picks an ephemeral port (printed).
+//   simdtree_cli serve-kv <index.stix> [--port=N] [--threads=N]
+//       [--shards=N] [--bind=ADDR] [--stats-port=N] [--stats-bind=ADDR]
+//       [--trace-sample=N] [--slow-us=N] [--duration-s=N]
+//       The end-to-end query service: loads the index, redistributes it
+//       into a range-partitioned ShardedIndex (splitters at the stored
+//       keys' quantiles, --shards, default 8), and serves the pipelined
+//       binary KV protocol (net/protocol.h: GET / MGET / LOWER_BOUND /
+//       PUT / DEL / STATS) with --threads epoll workers (default 2),
+//       coalescing each connection's in-flight pipeline into grouped
+//       FindBatch descents. The observability HTTP surface (/metrics,
+//       /tracez, ...) runs alongside on --stats-port (default 9100;
+//       --stats-port=-1 disables). --port=0 picks an ephemeral KV port
+//       (printed as "kv port: N"). SIGINT/SIGTERM (or --duration-s)
+//       drains gracefully: in-flight pipelines finish and replies flush
+//       before the sockets close. Drive it with bench/bb_serve.
 //   simdtree_cli tracez <index.stix> <keys.txt> [--trace-sample=N]
 //       [--slow-us=N] [--max=N]
 //       Runs the keys against the index with tracing on (default: every
@@ -60,7 +78,9 @@
 //   simdtree_cli selftest
 //       Runs a quick build/query/scan round trip on synthetic data.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +91,8 @@
 
 #include "core/serialize.h"
 #include "core/simdtree.h"
+#include "net/backend.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
@@ -103,8 +125,16 @@ int Usage() {
                "       simdtree_cli profile <index.stix> <keys.txt> "
                "[--passes=N] [--json]\n"
                "       simdtree_cli serve <index.stix> [--port=N] "
-               "[--trace-sample=N] [--slow-us=N]\n"
-               "         [--probes=keys.txt] [--duration-s=N]\n"
+               "[--bind=ADDR] [--trace-sample=N]\n"
+               "         [--slow-us=N] [--probes=keys.txt] [--duration-s=N]\n"
+               "       simdtree_cli serve-kv <index.stix> [--port=N] "
+               "[--threads=N] [--shards=N]\n"
+               "         [--bind=ADDR] [--stats-port=N] [--stats-bind=ADDR]\n"
+               "         [--trace-sample=N] [--slow-us=N] [--duration-s=N]\n"
+               "         (pipelined binary KV protocol over a sharded "
+               "index;\n"
+               "          --stats-port=-1 disables the HTTP /metrics "
+               "surface)\n"
                "       simdtree_cli tracez <index.stix> <keys.txt> "
                "[--trace-sample=N] [--slow-us=N] [--max=N]\n"
                "       simdtree_cli dispatch [--json]\n"
@@ -467,10 +497,13 @@ int CmdServe(int argc, char** argv) {
   long sample = 64;
   long slow_us = -1;
   long duration_s = 0;
+  std::string bind_addr = "127.0.0.1";
   const char* probes_path = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
       port = std::atol(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--bind=", 7) == 0) {
+      bind_addr = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       sample = std::atol(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--slow-us=", 10) == 0) {
@@ -499,15 +532,16 @@ int CmdServe(int argc, char** argv) {
   }
 
   simdtree::obs::StatsServer server;
-  if (!server.Start(static_cast<uint16_t>(port))) {
+  if (!server.Start(static_cast<uint16_t>(port), bind_addr)) {
     std::fprintf(stderr, "cannot start stats server: %s\n",
                  server.error().c_str());
     return 1;
   }
-  std::printf("serving %s on http://127.0.0.1:%u "
+  std::printf("serving %s on http://%s:%u "
               "(/metrics /metrics.json /tracez /healthz), "
               "trace sample 1-in-%ld, %zu probe keys\n",
-              argv[2], server.port(), sample, probes.size());
+              argv[2], bind_addr.c_str(), server.port(), sample,
+              probes.size());
   std::fflush(stdout);
 
   const auto until = std::chrono::steady_clock::now() +
@@ -529,6 +563,139 @@ int CmdServe(int argc, char** argv) {
                   simdtree::obs::Tracer::Global().recorded()),
               static_cast<unsigned long long>(
                   simdtree::obs::Tracer::Global().slow_recorded()));
+  return 0;
+}
+
+std::atomic<bool> g_serve_kv_stop{false};
+
+void ServeKvSignalHandler(int /*signum*/) {
+  g_serve_kv_stop.store(true, std::memory_order_relaxed);
+}
+
+// The end-to-end query service: the loaded index redistributed into a
+// range-partitioned ShardedIndex, served over the pipelined binary KV
+// protocol (net/server.h), with the observability HTTP surface running
+// alongside. SIGINT/SIGTERM (or --duration-s) drains gracefully.
+int CmdServeKv(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  long port = 0;
+  long threads = 2;
+  long shards = 8;
+  long stats_port = 9100;
+  long sample = 64;
+  long slow_us = -1;
+  long duration_s = 0;
+  std::string bind_addr = "127.0.0.1";
+  std::string stats_bind = "127.0.0.1";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atol(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atol(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--bind=", 7) == 0) {
+      bind_addr = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--stats-port=", 13) == 0) {
+      stats_port = std::atol(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--stats-bind=", 13) == 0) {
+      stats_bind = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      sample = std::atol(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--slow-us=", 10) == 0) {
+      slow_us = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--duration-s=", 13) == 0) {
+      duration_s = std::atol(argv[i] + 13);
+    } else {
+      return Usage();
+    }
+  }
+  if (port < 0 || port > 65535 || threads < 1 || shards < 1 ||
+      stats_port > 65535 || sample < 0) {
+    return Usage();
+  }
+  auto tree = LoadIndex(argv[2]);
+  if (!tree.has_value()) return 1;
+
+  // Redistribute into a ShardedIndex with splitters at the stored keys'
+  // quantiles, the same idiom as lookup-batch --shards.
+  std::vector<uint64_t> stored_keys;
+  stored_keys.reserve(tree->size());
+  tree->ScanRange(0, ~0ULL,
+                  [&stored_keys](uint64_t k, const uint64_t&) {
+                    stored_keys.push_back(k);
+                  },
+                  /*hi_inclusive=*/true);
+  simdtree::ShardedIndex<Tree> sharded(
+      static_cast<size_t>(shards),
+      simdtree::ShardedIndex<Tree>::SplittersFromSample(
+          stored_keys.data(), stored_keys.size(),
+          static_cast<size_t>(shards)));
+  tree->ScanRange(0, ~0ULL,
+                  [&sharded](uint64_t k, const uint64_t& v) {
+                    sharded.Insert(k, v);
+                  },
+                  /*hi_inclusive=*/true);
+  sharded.EnableMetrics("kv.index");
+
+  simdtree::obs::EnableTracing(static_cast<uint32_t>(sample));
+  if (slow_us >= 0) {
+    simdtree::obs::Tracer::Global().SetSlowThresholdNs(
+        static_cast<uint64_t>(slow_us) * 1000);
+  }
+
+  simdtree::net::ShardedKvBackend<Tree> backend(&sharded);
+  simdtree::net::KvServer server(&backend);
+  simdtree::net::KvServerOptions opts;
+  opts.port = static_cast<uint16_t>(port);
+  opts.bind_addr = bind_addr;
+  opts.num_workers = static_cast<int>(threads);
+  if (!server.Start(opts)) {
+    std::fprintf(stderr, "cannot start kv server: %s\n",
+                 server.error().c_str());
+    return 1;
+  }
+
+  simdtree::obs::StatsServer stats;
+  if (stats_port >= 0) {
+    if (!stats.Start(static_cast<uint16_t>(stats_port), stats_bind)) {
+      std::fprintf(stderr, "cannot start stats server: %s\n",
+                   stats.error().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
+  std::printf("kv port: %u\n", server.port());
+  std::printf("serving %s (%zu keys, %zu shards) on %s:%u with %ld "
+              "worker threads",
+              argv[2], stored_keys.size(), sharded.num_shards(),
+              bind_addr.c_str(), server.port(), threads);
+  if (stats_port >= 0) {
+    std::printf("; metrics on http://%s:%u/metrics", stats_bind.c_str(),
+                stats.port());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, ServeKvSignalHandler);
+  std::signal(SIGTERM, ServeKvSignalHandler);
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(duration_s);
+  while (!g_serve_kv_stop.load(std::memory_order_relaxed) &&
+         (duration_s == 0 || std::chrono::steady_clock::now() < until)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();  // graceful drain: pipelines finish, replies flush
+  stats.Stop();
+  auto& reg = simdtree::obs::MetricsRegistry::Global();
+  std::printf("drained: %llu connections accepted, %llu requests "
+              "served\n",
+              static_cast<unsigned long long>(
+                  reg.GetCounter("net.accepted")->Get()),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("net.requests")->Get()));
   return 0;
 }
 
@@ -648,6 +815,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "profile") return CmdProfile(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "serve-kv") return CmdServeKv(argc, argv);
   if (cmd == "tracez") return CmdTracez(argc, argv);
   if (cmd == "dispatch") return CmdDispatch(argc, argv);
   if (cmd == "selftest") return CmdSelfTest();
