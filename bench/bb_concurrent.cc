@@ -28,15 +28,27 @@
 // removes, so `writes/s` and its `write_speedup_vs_sync` ratio are the
 // honest headline on small machines.
 //
-// Usage: bb_concurrent [--json] [--quick]
+// Read-mostly sweep: the lock-free read path (optimistic lock coupling,
+// see core/olc.h and DESIGN.md "Concurrency") is aimed at read-dominated
+// mixes, so a second sweep runs the B+-tree at 90/99/100% reads across a
+// thread ladder and reports reads/s plus per-thread scaling efficiency
+// r(T) / (T * r(1)). Under the rwlock every reader bounces the lock's
+// cache line, so efficiency decays as threads rise even with zero
+// writers; with OLC readers share the tree read-only and the efficiency
+// holds. Run with SIMDTREE_FORCE_SHARD_LOCKS=1 for the rwlock baseline
+// A/B (each point also emits olc_enabled so collected sweeps
+// self-identify).
+//
+// Usage: bb_concurrent [--json] [--quick] [--keys=N]
 //   --quick trims the sweep (SegTree only, 8 shards, 1/8 threads) for a
 //   fast sanity run; --json emits one line per point as in every other
-//   bench binary.
+//   bench binary; --keys=N sets the preload population (default 1M).
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -47,6 +59,7 @@
 #include "bench/bench_util.h"
 #include "bench/hw_section.h"
 #include "btree/btree.h"
+#include "core/olc.h"
 #include "core/sharded.h"
 #include "core/synchronized.h"
 #include "obs/histogram.h"
@@ -58,6 +71,15 @@
 #include "util/table_printer.h"
 
 namespace simdtree {
+
+// Preload population, overridable with --keys=N (the EXPERIMENTS.md A/B
+// runs the read-mostly sweep at 16M keys so the tree outgrows L3).
+// Outside the anonymous namespace so main's flag parsing can set it.
+size_t& PreloadCount() {
+  static size_t count = 1'000'000;
+  return count;
+}
+
 namespace {
 
 using Key = uint64_t;
@@ -68,17 +90,17 @@ using Value = uint64_t;
 // rarely collides. Splitters always come from the preload sample, as a
 // bulk-load distribution would supply them.
 constexpr uint64_t kDomain = 1ULL << 30;
-constexpr size_t kPreload = 1'000'000;
 constexpr double kWindowSecs = 0.5;  // per measurement point
 constexpr size_t kBatch = 32;        // periodic FindBatch width
 
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
 constexpr size_t kShardCounts[] = {2, 4, 8};
 constexpr int kReadPercents[] = {50, 95};
+constexpr int kReadMostlyPercents[] = {90, 99, 100};
 
 std::vector<Key> MakePreloadKeys() {
   Rng rng(2014);
-  std::vector<Key> keys(kPreload);
+  std::vector<Key> keys(PreloadCount());
   for (auto& k : keys) k = rng.NextBounded(kDomain);
   return keys;
 }
@@ -99,7 +121,7 @@ template <typename IndexLike>
 PointCounts RunPoint(IndexLike& index, const std::vector<Key>& population,
                      int threads, int read_pct, uint64_t point_seed) {
   int writers = 0;
-  if (threads >= 2) {
+  if (threads >= 2 && read_pct < 100) {
     writers = static_cast<int>(
         (static_cast<long>(threads) * (100 - read_pct) + 50) / 100);
     if (writers < 1) writers = 1;
@@ -249,7 +271,7 @@ void RunBackend(const char* backend, const std::vector<Key>& keys,
 
   // One index instance per wrapper, reused across measurement points:
   // the write mix draws from the preloaded population, so the size
-  // stays near kPreload as points run.
+  // stays near the preload count as points run.
   SynchronizedIndex<Index> sync_index;
   Preload(sync_index, keys);
   std::vector<std::unique_ptr<ShardedIndex<Index>>> sharded;
@@ -307,6 +329,88 @@ void RunBackend(const char* backend, const std::vector<Key>& keys,
       std::fflush(stdout);
     }
   }
+}
+
+// Read-mostly sweep over the OLC-capable B+-tree: 90/99/100% reads
+// across a thread ladder (powers of two through the hardware thread
+// count, minimum 4 rungs so few-core hosts still produce a curve —
+// oversubscribed rungs are reported as measured). Each point emits
+// reads/s, writes/s, and for T>1 the per-thread scaling efficiency
+// r(T) / (T * r(1)) against the same wrapper's single-thread rate.
+// olc_enabled tags whether the lock-free path was armed, so an
+// A/B against SIMDTREE_FORCE_SHARD_LOCKS=1 is two runs of the same
+// binary.
+void ReadMostlySweep(const std::vector<Key>& keys, bool quick) {
+  using Index = btree::BPlusTree<Key, Value>;
+
+  std::vector<int> ladder;
+  {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 8) hw = 8;
+    for (unsigned t = 1; t <= hw; t *= 2) {
+      ladder.push_back(static_cast<int>(t));
+    }
+  }
+  std::vector<int> percents(std::begin(kReadMostlyPercents),
+                            std::end(kReadMostlyPercents));
+  if (quick) {
+    ladder = {1, 2};
+    percents = {99};
+  }
+
+  SynchronizedIndex<Index> sync_index;
+  Preload(sync_index, keys);
+  constexpr size_t kShards = 8;
+  ShardedIndex<Index> sharded(
+      kShards,
+      ShardedIndex<Index>::SplittersFromSample(keys.data(), keys.size(),
+                                               kShards));
+  Preload(sharded, keys);
+  const double olc_enabled = olc::ForceShardLocks() ? 0.0 : 1.0;
+
+  TablePrinter table({"wrapper", "reads", "threads", "Mreads/s",
+                      "Kwrites/s", "scaling eff"});
+  uint64_t point_seed = 0xA11CE;
+  auto sweep_one = [&](const char* wrapper, auto& index) {
+    for (int read_pct : percents) {
+      double single_thread_reads = 0.0;
+      for (int threads : ladder) {
+        const PointCounts c =
+            RunPoint(index, keys, threads, read_pct, point_seed++);
+        const double rps = static_cast<double>(c.reads) / c.secs;
+        const double wps = static_cast<double>(c.writes) / c.secs;
+        if (threads == 1) single_thread_reads = rps;
+        const double efficiency =
+            (threads > 1 && single_thread_reads > 0.0)
+                ? rps / (static_cast<double>(threads) * single_thread_reads)
+                : 1.0;
+        const std::string cfg = std::string("btree/") + wrapper + "/rm" +
+                                std::to_string(read_pct) + "/t" +
+                                std::to_string(threads);
+        bench::EmitJson("bb_concurrent", cfg, "reads_per_sec", rps);
+        bench::EmitJson("bb_concurrent", cfg, "writes_per_sec", wps);
+        bench::EmitJson("bb_concurrent", cfg, "olc_enabled", olc_enabled);
+        if (threads > 1) {
+          bench::EmitJson("bb_concurrent", cfg, "scaling_efficiency",
+                          efficiency);
+        }
+        table.AddRow({wrapper, std::to_string(read_pct) + "%",
+                      std::to_string(threads),
+                      TablePrinter::Fmt(rps / 1e6, 2),
+                      TablePrinter::Fmt(wps / 1e3, 1),
+                      TablePrinter::Fmt(efficiency, 2)});
+        std::fflush(stdout);
+      }
+    }
+  };
+  sweep_one("sync", sync_index);
+  sweep_one("shard8", sharded);
+
+  std::printf("\nread-mostly sweep (btree, %zu keys, %s reads):\n",
+              keys.size(),
+              olc_enabled != 0.0 ? "lock-free OLC" : "rwlock (forced)");
+  table.Print();
+  std::printf("\n");
 }
 
 // Observability phase: per-read latency distribution under write
@@ -417,6 +521,7 @@ void Run(bool quick) {
               std::thread::hardware_concurrency(), kWindowSecs);
 
   const std::vector<Key> keys = MakePreloadKeys();
+  ReadMostlySweep(keys, quick);
   LatencyPhase(keys, quick);
   TablePrinter table({"structure", "wrapper", "reads", "threads", "Mops/s",
                       "Kwrites/s", "vs sync", "w vs sync"});
@@ -437,6 +542,10 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      const unsigned long long n = std::strtoull(argv[i] + 7, nullptr, 10);
+      if (n > 0) simdtree::PreloadCount() = static_cast<size_t>(n);
+    }
   }
   simdtree::Run(quick);
   return 0;

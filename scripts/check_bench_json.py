@@ -38,6 +38,12 @@ metric line each for a "/grouped" and a "/pipelined" config, plus a
 "visit_reduction" line. Its absence means the level-wise shared
 traversal stopped reporting its sharing factor.
 
+--require-olc-scaling asserts the read-mostly sweep of bb_concurrent is
+present: at least one "/rm" config line with a positive reads_per_sec
+and at least one with a positive scaling_efficiency. Its absence means
+the lock-free read path's scaling report silently stopped being
+emitted.
+
 --require-slo asserts that at least one line carries a well-formed
 "slo" section (bb_serve, the open-loop serving load generator): numeric
 target_qps/achieved_qps/requests/replies/errors and latency percentiles
@@ -216,6 +222,12 @@ def main() -> int:
              'lines and a "visit_reduction" line are present',
     )
     parser.add_argument(
+        "--require-olc-scaling",
+        action="store_true",
+        help='fail unless the read-mostly sweep ("/rm" configs) reports '
+             "positive reads_per_sec and scaling_efficiency lines",
+    )
+    parser.add_argument(
         "--require-slo",
         action="store_true",
         help='fail unless at least one JSON line has a valid "slo" section',
@@ -243,6 +255,8 @@ def main() -> int:
     grouped_visit_lines = 0
     pipelined_visit_lines = 0
     reduction_lines = 0
+    olc_read_lines = 0
+    olc_scaling_lines = 0
     for lineno, line in enumerate(sys.stdin, start=1):
         stripped = line.strip()
         if not stripped.startswith("{"):
@@ -284,6 +298,14 @@ def main() -> int:
                 pipelined_visit_lines += 1
         if doc.get("metric") == "visit_reduction":
             reduction_lines += 1
+        if "/rm" in config:
+            value = doc.get("value")
+            positive = (isinstance(value, (int, float))
+                        and not isinstance(value, bool) and value > 0)
+            if doc.get("metric") == "reads_per_sec" and positive:
+                olc_read_lines += 1
+            if doc.get("metric") == "scaling_efficiency" and positive:
+                olc_scaling_lines += 1
 
     if json_lines < args.min_lines:
         print(f"expected at least {args.min_lines} JSON line(s), "
@@ -309,6 +331,13 @@ def main() -> int:
         print('no bench_header line with a "dispatch" object — the runtime '
               "dispatch decision is missing", file=sys.stderr)
         return 1
+    if args.require_olc_scaling and (olc_read_lines == 0
+                                     or olc_scaling_lines == 0):
+        print("read-mostly sweep incomplete: "
+              f"{olc_read_lines} positive reads_per_sec and "
+              f"{olc_scaling_lines} positive scaling_efficiency lines "
+              'under "/rm" configs', file=sys.stderr)
+        return 1
     if args.require_group_descent and (
             grouped_visit_lines == 0 or pipelined_visit_lines == 0
             or reduction_lines == 0):
@@ -329,6 +358,9 @@ def main() -> int:
         parts.append(f"{metrics_lines} metrics dumps")
     if dispatch_lines:
         parts.append(f"{dispatch_lines} dispatch headers")
+    if olc_read_lines or olc_scaling_lines:
+        parts.append(f"{olc_read_lines}+{olc_scaling_lines} "
+                     "read-mostly reads/scaling lines")
     if grouped_visit_lines or pipelined_visit_lines:
         parts.append(f"{grouped_visit_lines}+{pipelined_visit_lines} "
                      "grouped/pipelined visit lines")

@@ -37,11 +37,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
 #include "core/batch.h"
 #include "core/batch_sort.h"
+#include "core/olc.h"
 #include "obs/trace.h"
 #include "util/counters.h"
 #include "util/cycle_timer.h"
@@ -118,6 +120,196 @@ class BatchDescent {
     if (n > 0) {
       t->batched = 1;
       tree.FindTraced(keys[0], t);
+    }
+  }
+
+  // --- optimistic (lock-free) batch descents ------------------------------
+  //
+  // Same pipelined / level-wise schedules as FindBatch / FindBatchGrouped,
+  // but over optimistic-lock-coupling version validation instead of a
+  // shard lock (see generic_btree.h "optimistic reads" and core/olc.h).
+  // Both are ONE attempt per query: out[i] is assigned for every query
+  // that resolved on a consistent snapshot; queries invalidated by a
+  // concurrent writer are appended to *failed (original index) with
+  // out[i] untouched, for the caller to retry per-key or under its lock.
+  // Values are copied out (not pointed to): a pointer into a node is
+  // only valid under a lock. Caller must hold an olc::EpochGuard pin.
+
+  static void FindBatchOptimistic(const Tree& tree, const Key* keys, size_t n,
+                                  std::optional<Value>* out,
+                                  std::vector<uint32_t>* failed) {
+    olc::TsanIgnoreReadsScope tsan;
+    for (size_t off = 0; off < n; off += static_cast<size_t>(kMaxBatchGroup)) {
+      const int g = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(kMaxBatchGroup), n - off));
+      FindGroupOptimistic(tree, keys + off, g, out + off,
+                          static_cast<uint32_t>(off), failed);
+    }
+  }
+
+  // Level-wise variant: sorts the batch once and validates each frontier
+  // node once per batch, so the whole sorted run over a node shares one
+  // version check. Queries whose answer may end the *previous* leaf
+  // (upper-bound position 0 with a non-null prev) — or whose right-edge
+  // miss the sibling probe cannot prove (RightEdgeMissProven) — are
+  // reported as failed rather than hopping leaves mid-run; the per-key
+  // retry resolves them.
+  static void FindBatchGroupedOptimistic(const Tree& tree, const Key* keys,
+                                         size_t n, std::optional<Value>* out,
+                                         std::vector<uint32_t>* failed) {
+    if (n == 0) return;
+    olc::TsanIgnoreReadsScope tsan;
+    SortedBatch<Key> sorted;
+    SortBatchWithPermutation(keys, n, &sorted);
+    const Key* skeys = sorted.keys.data();
+    const auto fail_range = [&](uint32_t b, uint32_t e) {
+      for (uint32_t j = b; j < e; ++j) failed->push_back(sorted.perm[j]);
+    };
+    const uint64_t vt = tree.tree_version_.ReadBegin();
+    if (!olc::VersionWord::IsStable(vt)) {
+      fail_range(0, static_cast<uint32_t>(n));
+      return;
+    }
+    const NodeBase* root = tree.root_;
+    if (!tree.tree_version_.Validate(vt)) {
+      fail_range(0, static_cast<uint32_t>(n));
+      return;
+    }
+    if (root == nullptr) {
+      for (size_t i = 0; i < n; ++i) out[i] = std::nullopt;
+      return;
+    }
+    const uint64_t vr = root->version.ReadBegin();
+    if (!olc::VersionWord::IsStable(vr)) {
+      fail_range(0, static_cast<uint32_t>(n));
+      return;
+    }
+    std::vector<OptRun> frontier;
+    std::vector<OptRun> next;
+    frontier.push_back(OptRun{root, vr, 0, static_cast<uint32_t>(n)});
+    const int64_t inner_cap = tree.inner_ctx_->capacity;
+    struct Part {
+      typename Tree::NodeRef ref;
+      uint32_t begin;
+      uint32_t end;
+    };
+    std::vector<Part> parts;
+    int depth = 0;
+    for (;;) {
+      bool any_inner = false;
+      for (const OptRun& r : frontier) {
+        if (!r.node->is_leaf) {
+          any_inner = true;
+          break;
+        }
+      }
+      if (!any_inner) break;
+      if (++depth > kMaxOptimisticDepth) {  // garbage-ref cycle backstop
+        for (const OptRun& r : frontier) fail_range(r.begin, r.end);
+        return;
+      }
+      next.clear();
+      for (const OptRun& run : frontier) {
+        if (run.node->is_leaf) {
+          next.push_back(run);
+          continue;
+        }
+        const InnerNode* inner = static_cast<const InnerNode*>(run.node);
+        const int64_t sep_count = inner->keys.count();
+        if (sep_count < 0 || sep_count > inner_cap) {
+          fail_range(run.begin, run.end);
+          continue;
+        }
+        // Partition the sorted run across the children on the racy
+        // snapshot, then validate once for the whole run.
+        parts.clear();
+        bool bad = false;
+        uint32_t cur = run.begin;
+        while (cur < run.end) {
+          const int64_t idx = inner->keys.UpperBound(skeys[cur]);
+          if (idx < 0 || idx > sep_count) {
+            bad = true;
+            break;
+          }
+          uint32_t sub_end = run.end;
+          if (idx < sep_count) {
+            const Key sep = inner->keys.At(idx);
+            sub_end = static_cast<uint32_t>(
+                std::lower_bound(skeys + cur + 1, skeys + run.end, sep) -
+                skeys);
+          }
+          parts.push_back(
+              Part{inner->children[static_cast<size_t>(idx)], cur, sub_end});
+          cur = sub_end;
+        }
+        if (bad || !inner->version.Validate(run.ver)) {
+          fail_range(run.begin, run.end);
+          continue;
+        }
+        for (const Part& p : parts) {
+          const NodeBase* child = tree.DecodeRefOptimistic(p.ref);
+          if (child == nullptr) {
+            fail_range(p.begin, p.end);
+            continue;
+          }
+          const uint64_t vc = child->version.ReadBegin();
+          if (!olc::VersionWord::IsStable(vc)) {
+            fail_range(p.begin, p.end);
+            continue;
+          }
+          Prefetch(child);
+          next.push_back(OptRun{child, vc, p.begin, p.end});
+        }
+      }
+      frontier.swap(next);
+    }
+    // Leaf level: gather each run's answers into scratch on the racy
+    // snapshot, validate the leaf once, then commit through the sort
+    // permutation.
+    const int64_t leaf_cap = tree.leaf_ctx_->capacity;
+    std::vector<std::optional<Value>> tmp;
+    std::vector<uint8_t> tmp_defer;
+    for (const OptRun& run : frontier) {
+      const LeafNode* leaf = static_cast<const LeafNode*>(run.node);
+      tmp.assign(run.end - run.begin, std::nullopt);
+      tmp_defer.assign(run.end - run.begin, 0);
+      bool bad = false;
+      const int64_t leaf_count = leaf->keys.count();
+      if (leaf_count < 0 || leaf_count > leaf_cap) {
+        fail_range(run.begin, run.end);
+        continue;
+      }
+      for (uint32_t j = run.begin; j < run.end; ++j) {
+        const Key q = skeys[j];
+        const int64_t pos = leaf->keys.UpperBound(q);
+        if (pos < 0 || pos > leaf_cap) {
+          bad = true;
+          break;
+        }
+        if (pos == 0) {
+          // Occurrence, if any, ends the previous leaf: defer to the
+          // caller's per-key retry instead of hopping mid-run.
+          if (leaf->prev != nullptr) tmp_defer[j - run.begin] = 1;
+          continue;
+        }
+        if (leaf->keys.At(pos - 1) == q) {
+          tmp[j - run.begin] = leaf->values[static_cast<size_t>(pos - 1)];
+        } else if (pos == leaf_count && leaf->next != nullptr &&
+                   !RightEdgeMissProven(leaf->next, q, leaf_cap)) {
+          tmp_defer[j - run.begin] = 1;
+        }
+      }
+      if (bad || !leaf->version.Validate(run.ver)) {
+        fail_range(run.begin, run.end);
+        continue;
+      }
+      for (uint32_t j = run.begin; j < run.end; ++j) {
+        if (tmp_defer[j - run.begin] != 0) {
+          failed->push_back(sorted.perm[j]);
+        } else {
+          out[sorted.perm[j]] = tmp[j - run.begin];
+        }
+      }
     }
   }
 
@@ -317,6 +509,192 @@ class BatchDescent {
     uint32_t begin;
     uint32_t end;
   };
+
+  // Optimistic frontier entry: Run plus the node's version at first
+  // touch, validated before the run's child refs are trusted.
+  struct OptRun {
+    const NodeBase* node;
+    uint64_t ver;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  // Backstop against following garbage references in a cycle: no real
+  // descent is deeper than this (a height-40 tree would be astronomically
+  // large), so exceeding it means the snapshot is hopeless — fail the
+  // queries and let the caller retry.
+  static constexpr int kMaxOptimisticDepth = 40;
+
+  // A miss at the right edge of a leaf (upper-bound == count, live next
+  // sibling) is only provable by confirming the key precedes the next
+  // leaf's first key: a split racing the descent may have moved the
+  // key's range into that sibling. Probes the sibling under its own
+  // seqlock; true == miss proven, false == caller must defer to the
+  // per-key retry (FindOptimistic right-hops the chain). The caller
+  // still validates the current leaf afterwards, which covers the
+  // next-pointer read itself.
+  static bool RightEdgeMissProven(const LeafNode* next, Key q,
+                                  int64_t leaf_cap) {
+    const uint64_t vn = next->version.ReadBegin();
+    if (!olc::VersionWord::IsStable(vn)) return false;
+    const int64_t nc = next->keys.count();
+    if (nc <= 0 || nc > leaf_cap) return false;
+    const Key first = next->keys.At(0);
+    if (!next->version.Validate(vn)) return false;
+    return q < first;
+  }
+
+  // Pipelined lockstep descent of one group with per-query version
+  // coupling; failures are per-query (index base + i appended to
+  // *failed), survivors resolve exactly like FindGroup but copy the
+  // value out before the final leaf validation.
+  static void FindGroupOptimistic(const Tree& tree, const Key* keys, int g,
+                                  std::optional<Value>* out, uint32_t base,
+                                  std::vector<uint32_t>* failed) {
+    const NodeBase* cur[kMaxBatchGroup];
+    uint64_t ver[kMaxBatchGroup];
+    bool live[kMaxBatchGroup];
+    const auto fail_all = [&] {
+      for (int i = 0; i < g; ++i) failed->push_back(base + static_cast<uint32_t>(i));
+    };
+    const uint64_t vt = tree.tree_version_.ReadBegin();
+    if (!olc::VersionWord::IsStable(vt)) {
+      fail_all();
+      return;
+    }
+    const NodeBase* root = tree.root_;
+    if (!tree.tree_version_.Validate(vt)) {
+      fail_all();
+      return;
+    }
+    if (root == nullptr) {
+      for (int i = 0; i < g; ++i) out[i] = std::nullopt;
+      return;
+    }
+    const uint64_t vr = root->version.ReadBegin();
+    if (!olc::VersionWord::IsStable(vr)) {
+      fail_all();
+      return;
+    }
+    for (int i = 0; i < g; ++i) {
+      cur[i] = root;
+      ver[i] = vr;
+      live[i] = true;
+    }
+    const auto fail_one = [&](int i) {
+      live[i] = false;
+      failed->push_back(base + static_cast<uint32_t>(i));
+    };
+    const int64_t inner_cap = tree.inner_ctx_->capacity;
+    int depth = 0;
+    for (;;) {
+      bool any_inner = false;
+      for (int i = 0; i < g; ++i) {
+        if (live[i] && !cur[i]->is_leaf) {
+          any_inner = true;
+          break;
+        }
+      }
+      if (!any_inner) break;
+      if (++depth > kMaxOptimisticDepth) {
+        for (int i = 0; i < g; ++i) {
+          if (live[i]) fail_one(i);
+        }
+        return;
+      }
+      for (int i = 0; i < g; ++i) {
+        if (!live[i] || cur[i]->is_leaf) continue;
+        const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
+        inner->keys.PrefetchKeys();
+        Prefetch(inner->children.data());
+      }
+      for (int i = 0; i < g; ++i) {
+        if (!live[i] || cur[i]->is_leaf) continue;
+        const InnerNode* inner = static_cast<const InnerNode*>(cur[i]);
+        const int64_t idx = inner->keys.UpperBound(keys[i]);
+        if (idx < 0 || idx > inner_cap) {
+          fail_one(i);
+          continue;
+        }
+        const typename Tree::NodeRef ref =
+            inner->children[static_cast<size_t>(idx)];
+        if (!inner->version.Validate(ver[i])) {
+          fail_one(i);
+          continue;
+        }
+        const NodeBase* child = tree.DecodeRefOptimistic(ref);
+        if (child == nullptr) {
+          fail_one(i);
+          continue;
+        }
+        const uint64_t vc = child->version.ReadBegin();
+        if (!olc::VersionWord::IsStable(vc)) {
+          fail_one(i);
+          continue;
+        }
+        cur[i] = child;
+        ver[i] = vc;
+        Prefetch(child);
+      }
+    }
+    // Leaf resolution with the FindOptimistic prev-leaf hop protocol.
+    const int64_t leaf_cap = tree.leaf_ctx_->capacity;
+    for (int i = 0; i < g; ++i) {
+      if (!live[i]) continue;
+      const LeafNode* leaf = static_cast<const LeafNode*>(cur[i]);
+      uint64_t v = ver[i];
+      int64_t pos = leaf->keys.UpperBound(keys[i]);
+      if (pos < 0 || pos > leaf_cap) {
+        fail_one(i);
+        continue;
+      }
+      if (pos == 0) {
+        const LeafNode* prev = leaf->prev;
+        if (!leaf->version.Validate(v)) {
+          fail_one(i);
+          continue;
+        }
+        if (prev == nullptr) {
+          out[i] = std::nullopt;
+          continue;
+        }
+        const uint64_t vp = prev->version.ReadBegin();
+        if (!olc::VersionWord::IsStable(vp)) {
+          fail_one(i);
+          continue;
+        }
+        leaf = prev;
+        v = vp;
+        pos = leaf->keys.count();
+        if (pos <= 0 || pos > leaf_cap) {
+          fail_one(i);
+          continue;
+        }
+      }
+      const Key found = leaf->keys.At(pos - 1);
+      Value value{};
+      const bool hit = found == keys[i];
+      if (hit) value = leaf->values[static_cast<size_t>(pos - 1)];
+      if (!hit) {
+        const int64_t count = leaf->keys.count();
+        if (count < 0 || count > leaf_cap) {
+          fail_one(i);
+          continue;
+        }
+        const LeafNode* next = leaf->next;
+        if (pos == count && next != nullptr &&
+            !RightEdgeMissProven(next, keys[i], leaf_cap)) {
+          fail_one(i);
+          continue;
+        }
+      }
+      if (!leaf->version.Validate(v)) {
+        fail_one(i);
+        continue;
+      }
+      out[i] = hit ? std::optional<Value>(std::move(value)) : std::nullopt;
+    }
+  }
 
   static void RecordLevel(GroupedLevelStats* stats, size_t nodes,
                           uint64_t start) {

@@ -47,7 +47,17 @@
 //
 // Thread compatibility: concurrent reads are safe with the plain store;
 // any mutation requires external synchronization (the paper's evaluation
-// is single-threaded; multi-threading is its future work).
+// is single-threaded; multi-threading is its future work). On top of
+// that baseline, EnableConcurrentReads() arms optimistic lock coupling:
+// every node carries an olc::VersionWord, writers version-lock exactly
+// the nodes they mutate, and the *Optimistic read paths (FindOptimistic,
+// ScanRangeOptimistic, the batch engines in batch_descent.h) descend
+// without writing any shared state, validating versions before trusting
+// a node and reporting kConflict for the caller to retry. Readers must
+// hold an olc::EpochGuard pin; freed nodes are marked dead and their
+// memory is quarantined by the pools until all pinned readers advance
+// (mem/arena.h). Writers still require external mutual exclusion among
+// themselves — the concurrency wrappers' per-shard exclusive lock.
 
 #ifndef SIMDTREE_BTREE_GENERIC_BTREE_H_
 #define SIMDTREE_BTREE_GENERIC_BTREE_H_
@@ -68,6 +78,7 @@
 #include <vector>
 
 #include "btree/batch_descent.h"
+#include "core/olc.h"
 #include "mem/arena.h"
 #include "obs/trace.h"
 #include "util/counters.h"
@@ -152,9 +163,14 @@ class GenericBPlusTree {
         root_(other.root_),
         first_leaf_(other.first_leaf_),
         size_(other.size_) {
+    height_hint_.store(other.height_hint_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    concurrent_ = other.concurrent_;
     other.root_ = nullptr;
     other.first_leaf_ = nullptr;
     other.size_ = 0;
+    other.height_hint_.store(0, std::memory_order_relaxed);
+    other.concurrent_ = false;
   }
   GenericBPlusTree& operator=(GenericBPlusTree&& other) noexcept {
     if (this != &other) {
@@ -170,9 +186,14 @@ class GenericBPlusTree {
       root_ = other.root_;
       first_leaf_ = other.first_leaf_;
       size_ = other.size_;
+      height_hint_.store(other.height_hint_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      concurrent_ = other.concurrent_;
       other.root_ = nullptr;
       other.first_leaf_ = nullptr;
       other.size_ = 0;
+      other.height_hint_.store(0, std::memory_order_relaxed);
+      other.concurrent_ = false;
     }
     return *this;
   }
@@ -190,16 +211,27 @@ class GenericBPlusTree {
       LeafNode* leaf = NewLeaf();
       leaf->keys.InsertAt(0, key);
       leaf->values.insert(0, std::move(value));
-      root_ = leaf;
-      first_leaf_ = leaf;
+      {
+        TreeGuard tg(this);
+        root_ = leaf;
+        first_leaf_ = leaf;
+      }
+      height_hint_.store(1, std::memory_order_relaxed);
       size_ = 1;
       return;
     }
     if (IsFull(root_)) {
+      // The old root stays version-locked for the whole grow: a reader
+      // that loads root_ just before the swap must conflict rather than
+      // validate against the already-split (half-coverage) old root.
+      NodeGuard g(this);
+      g.Add(root_);
       InnerNode* new_root = NewInner();
       new_root->children.push_back(root_->self);
-      SplitChild(new_root, 0);
+      SplitChild(new_root, 0, g);
+      TreeGuard tg(this);
       root_ = new_root;
+      height_hint_.fetch_add(1, std::memory_order_relaxed);
     }
     InsertNonFull(root_, key, std::move(value));
     ++size_;
@@ -224,10 +256,19 @@ class GenericBPlusTree {
         l->values.DestroyAll();
       }
     }
+    // Unpublish the structure before resetting the pools: with deferred
+    // reclamation armed, readers mid-descent keep validating against
+    // the intact pre-Clear slabs (quarantined, not released) and their
+    // results linearize before the Clear; new readers see the empty
+    // tree immediately.
+    {
+      TreeGuard tg(this);
+      root_ = nullptr;
+      first_leaf_ = nullptr;
+    }
+    height_hint_.store(0, std::memory_order_relaxed);
     leaf_pool_.Reset();
     inner_pool_.Reset();
-    root_ = nullptr;
-    first_leaf_ = nullptr;
     size_ = 0;
   }
 
@@ -401,6 +442,264 @@ class GenericBPlusTree {
     }
   }
 
+  // --- optimistic (lock-free) reads ---------------------------------------
+  //
+  // Requires EnableConcurrentReads() to have returned true and the
+  // calling thread to hold an olc::EpochGuard pin. Every method is one
+  // bounded attempt: kConflict means a concurrent writer invalidated a
+  // node on the path and the caller decides whether to retry or fall
+  // back to its lock. Only trees with trivially copyable Key/Value
+  // qualify (values are copied out of the racy window by value).
+
+  static constexpr bool kOptimisticCapable =
+      std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>;
+
+  // Bound on the FindOptimistic right-hop chain (racing splits can move
+  // a key's position a few leaves right mid-read; more than this many
+  // hops means the snapshot is hopelessly stale — restart instead).
+  static constexpr int kMaxLeafHops = 8;
+
+  // Arms per-node version words for optimistic readers and switches
+  // both pools to epoch-deferred reclamation. Returns false (and leaves
+  // the tree lock-read-only) in heap mode (SIMDTREE_DISABLE_ARENA=1,
+  // which has no stable slab table) or for non-trivially-copyable
+  // payloads. Must be called before the first concurrent reader;
+  // idempotent.
+  bool EnableConcurrentReads() {
+    if constexpr (!kOptimisticCapable) {
+      return false;
+    } else {
+      if (concurrent_) return true;
+      auto& em = olc::EpochManager::Global();
+      if (!leaf_pool_.EnableDeferredReclamation(&em)) return false;
+      if (!inner_pool_.EnableDeferredReclamation(&em)) return false;
+      concurrent_ = true;
+      return true;
+    }
+  }
+  bool concurrent_reads_enabled() const { return concurrent_; }
+
+  // Height maintained by writers as an atomic hint, safe to read
+  // without locks (height() walks the tree and is not). Used by the
+  // wrappers' grouped-descent heuristic on the optimistic path.
+  int height_hint() const {
+    return height_hint_.load(std::memory_order_relaxed);
+  }
+
+  // One optimistic descent. On kOk, *out holds the value of some
+  // occurrence of `key` (nullopt when absent).
+  olc::ReadResult FindOptimistic(Key key, std::optional<Value>* out) const {
+    olc::TsanIgnoreReadsScope tsan;
+    const uint64_t vt = tree_version_.ReadBegin();
+    if (!olc::VersionWord::IsStable(vt)) return olc::ReadResult::kConflict;
+    const NodeBase* node = root_;
+    if (!tree_version_.Validate(vt)) return olc::ReadResult::kConflict;
+    if (node == nullptr) {
+      *out = std::nullopt;
+      return olc::ReadResult::kOk;
+    }
+    uint64_t v = node->version.ReadBegin();
+    if (!olc::VersionWord::IsStable(v)) return olc::ReadResult::kConflict;
+    while (!node->is_leaf) {
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      const int64_t idx = inner->keys.UpperBound(key);
+      if (idx < 0 || idx > inner_ctx_->capacity) {
+        return olc::ReadResult::kConflict;  // torn count, bail out
+      }
+      const NodeRef ref = inner->children[static_cast<size_t>(idx)];
+      // Validate the parent BEFORE decoding: a validated ref is a real
+      // child ref from a consistent snapshot, and the epoch pin keeps
+      // whatever it points at mapped even if it is freed underneath us.
+      if (!node->version.Validate(v)) return olc::ReadResult::kConflict;
+      const NodeBase* child = DecodeRefOptimistic(ref);
+      if (child == nullptr) return olc::ReadResult::kConflict;
+      const uint64_t vc = child->version.ReadBegin();
+      if (!olc::VersionWord::IsStable(vc)) return olc::ReadResult::kConflict;
+      node = child;
+      v = vc;
+    }
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    int64_t pos = leaf->keys.UpperBound(key);
+    if (pos < 0 || pos > leaf_ctx_->capacity) {
+      return olc::ReadResult::kConflict;
+    }
+    if (pos == 0) {
+      // The occurrence, if any, ends the previous leaf: hop there under
+      // its own version after validating this leaf's prev pointer.
+      const LeafNode* prev = leaf->prev;
+      if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+      if (prev == nullptr) {
+        *out = std::nullopt;
+        return olc::ReadResult::kOk;
+      }
+      const uint64_t vp = prev->version.ReadBegin();
+      if (!olc::VersionWord::IsStable(vp)) return olc::ReadResult::kConflict;
+      leaf = prev;
+      v = vp;
+      pos = leaf->keys.count();
+      if (pos <= 0 || pos > leaf_ctx_->capacity) {
+        return olc::ReadResult::kConflict;
+      }
+    }
+    // Right-hop loop. The descent's parent validation and this leaf's
+    // ReadBegin are separated in time: a split committing in between
+    // moves the upper part of the leaf's range into a new right
+    // sibling, so "key greater than everything here" does NOT prove
+    // absence — only a leaf whose key range provably brackets the key
+    // can answer a miss. Chase `next` (bounded) until the key is
+    // bracketed; each hop re-validates the leaf it read the pointer
+    // from, so the chain step itself is consistent.
+    for (int hop = 0; hop <= kMaxLeafHops; ++hop) {
+      if (pos > 0) {
+        const Key found = leaf->keys.At(pos - 1);
+        Value value{};
+        const bool hit = found == key;
+        if (hit) value = leaf->values[static_cast<size_t>(pos - 1)];
+        if (hit) {
+          if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+          *out = std::optional<Value>(std::move(value));
+          return olc::ReadResult::kOk;
+        }
+      } else {
+        // Hopped into a leaf whose keys are all greater: genuine miss.
+        if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+        *out = std::nullopt;
+        return olc::ReadResult::kOk;
+      }
+      const int64_t count = leaf->keys.count();
+      if (count < 0 || count > leaf_ctx_->capacity) {
+        return olc::ReadResult::kConflict;
+      }
+      if (pos < count) {
+        // Bracketed: a key strictly greater exists in this same leaf.
+        if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+        *out = std::nullopt;
+        return olc::ReadResult::kOk;
+      }
+      const LeafNode* next = leaf->next;
+      if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+      if (next == nullptr) {
+        *out = std::nullopt;
+        return olc::ReadResult::kOk;
+      }
+      const uint64_t vn = next->version.ReadBegin();
+      if (!olc::VersionWord::IsStable(vn)) return olc::ReadResult::kConflict;
+      leaf = next;
+      v = vn;
+      pos = leaf->keys.UpperBound(key);
+      if (pos < 0 || pos > leaf_ctx_->capacity) {
+        return olc::ReadResult::kConflict;
+      }
+    }
+    return olc::ReadResult::kConflict;  // hop bound exceeded
+  }
+
+  // Optimistic pipelined / grouped batch lookups (batch_descent.h).
+  // out[i] is written for every resolved query; conflicted query
+  // indices are appended to *failed with out[i] untouched.
+  void FindBatchOptimistic(const Key* keys, size_t n,
+                           std::optional<Value>* out,
+                           std::vector<uint32_t>* failed) const {
+    BatchDescent<GenericBPlusTree>::FindBatchOptimistic(*this, keys, n, out,
+                                                        failed);
+  }
+  void FindBatchGroupedOptimistic(const Key* keys, size_t n,
+                                  std::optional<Value>* out,
+                                  std::vector<uint32_t>* failed) const {
+    BatchDescent<GenericBPlusTree>::FindBatchGroupedOptimistic(*this, keys, n,
+                                                               out, failed);
+  }
+
+  // One optimistic attempt at a range scan, delivering pairs through
+  // `sink(key, value)` leaf-by-leaf: each leaf's content is buffered,
+  // the leaf version validated, and only then delivered — so the sink
+  // never observes torn data, and each leaf's pairs form a consistent
+  // snapshot (cross-leaf atomicity is NOT promised under concurrent
+  // writers; the locked ScanRange keeps the shard-stable contract).
+  //
+  // Resume protocol: *resume_key / *resume_skip describe the delivery
+  // floor — only keys > *resume_key are delivered, plus occurrences of
+  // *resume_key beyond the first *resume_skip. Both are updated as
+  // leaves commit, so after kConflict the caller retries (or falls back
+  // to the locked scan) with the same pointers and no pair is delivered
+  // twice. Initialize with *resume_key = lo, *resume_skip = 0. The
+  // floor also enforces monotone (non-decreasing) delivery across the
+  // mixed-snapshot leaf hops.
+  template <typename Sink>
+  olc::ReadResult ScanRangeOptimistic(Key hi, bool hi_inclusive,
+                                      Key* resume_key, uint32_t* resume_skip,
+                                      Sink sink) const {
+    olc::TsanIgnoreReadsScope tsan;
+    Key floor = *resume_key;
+    uint32_t floor_quota = *resume_skip;
+    uint32_t floor_seen = 0;
+    // Descend to the leaf holding the lower bound of the floor key.
+    const uint64_t vt = tree_version_.ReadBegin();
+    if (!olc::VersionWord::IsStable(vt)) return olc::ReadResult::kConflict;
+    const NodeBase* node = root_;
+    if (!tree_version_.Validate(vt)) return olc::ReadResult::kConflict;
+    if (node == nullptr) return olc::ReadResult::kOk;
+    uint64_t v = node->version.ReadBegin();
+    if (!olc::VersionWord::IsStable(v)) return olc::ReadResult::kConflict;
+    while (!node->is_leaf) {
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      const int64_t idx = inner->keys.LowerBound(floor);
+      if (idx < 0 || idx > inner_ctx_->capacity) {
+        return olc::ReadResult::kConflict;
+      }
+      const NodeRef ref = inner->children[static_cast<size_t>(idx)];
+      if (!node->version.Validate(v)) return olc::ReadResult::kConflict;
+      const NodeBase* child = DecodeRefOptimistic(ref);
+      if (child == nullptr) return olc::ReadResult::kConflict;
+      const uint64_t vc = child->version.ReadBegin();
+      if (!olc::VersionWord::IsStable(vc)) return olc::ReadResult::kConflict;
+      node = child;
+      v = vc;
+    }
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    std::vector<std::pair<Key, Value>> buffered;
+    for (;;) {
+      buffered.clear();
+      const int64_t count = leaf->keys.count();
+      if (count < 0 || count > leaf_ctx_->capacity) {
+        return olc::ReadResult::kConflict;
+      }
+      int64_t start = leaf->keys.LowerBound(floor);
+      if (start < 0) start = 0;
+      if (start > count) start = count;
+      bool past_hi = false;
+      for (int64_t i = start; i < count; ++i) {
+        const Key k = leaf->keys.At(i);
+        if (hi_inclusive ? (k > hi) : (k >= hi)) {
+          past_hi = true;
+          break;
+        }
+        buffered.emplace_back(k, leaf->values[static_cast<size_t>(i)]);
+      }
+      const LeafNode* next = leaf->next;
+      if (!leaf->version.Validate(v)) return olc::ReadResult::kConflict;
+      // Committed: apply the floor filter and deliver.
+      for (const auto& [k, val] : buffered) {
+        if (k < floor) continue;
+        if (k == floor) {
+          ++floor_seen;
+          if (floor_seen <= floor_quota) continue;
+        } else {
+          floor = k;
+          floor_quota = 0;
+          floor_seen = 1;
+        }
+        sink(k, val);
+        *resume_key = floor;
+        *resume_skip = floor_seen;
+      }
+      if (past_hi || next == nullptr) return olc::ReadResult::kOk;
+      v = next->version.ReadBegin();
+      if (!olc::VersionWord::IsStable(v)) return olc::ReadResult::kConflict;
+      leaf = next;
+    }
+  }
+
   // --- iteration ----------------------------------------------------------
 
   class ConstIterator {
@@ -565,6 +864,10 @@ class GenericBPlusTree {
     NodeBase(bool leaf, NodeRef self_ref) : self(self_ref), is_leaf(leaf) {}
     const NodeRef self;  // this node's compressed reference
     const bool is_leaf;
+    // Optimistic-lock-coupling version word (core/olc.h). Placement-new
+    // re-initializes it to stable on block reuse — safe because deferred
+    // reclamation guarantees no reader still holds a ref by then.
+    olc::VersionWord version;
   };
 
   // Fixed-capacity array of child references living inside the node
@@ -689,6 +992,68 @@ class GenericBPlusTree {
   template <typename Tree>
   friend class BatchDescent;
 
+  // --- writer-side version locking ---------------------------------------
+
+  // Version-locks the (at most 4: parent, child, one sibling, one leaf
+  // chain neighbor) nodes a structural mutation touches, unlocking them
+  // all on scope exit. A no-op until EnableConcurrentReads(): the
+  // single-threaded paths pay one branch per Add. Add is idempotent so
+  // helper layers can re-Add a node their caller already locked.
+  class NodeGuard {
+   public:
+    explicit NodeGuard(const GenericBPlusTree* tree) : on_(tree->concurrent_) {}
+    ~NodeGuard() {
+      for (int i = 0; i < n_; ++i) nodes_[i]->version.Unlock();
+    }
+    void Add(NodeBase* node) {
+      if (!on_ || node == nullptr) return;
+      for (int i = 0; i < n_; ++i) {
+        if (nodes_[i] == node) return;
+      }
+      assert(n_ < kMaxNodes);
+      node->version.Lock();
+      nodes_[n_++] = node;
+    }
+    // Forgets a node about to be freed: it must stay odd (MarkDead in
+    // FreeLeaf/FreeInner), so the destructor must not flip it back to
+    // stable.
+    void Dismiss(NodeBase* node) {
+      for (int i = 0; i < n_; ++i) {
+        if (nodes_[i] == node) {
+          nodes_[i] = nodes_[--n_];
+          return;
+        }
+      }
+    }
+    NodeGuard(const NodeGuard&) = delete;
+    NodeGuard& operator=(const NodeGuard&) = delete;
+
+   private:
+    static constexpr int kMaxNodes = 4;
+    NodeBase* nodes_[kMaxNodes] = {};
+    int n_ = 0;
+    bool on_;
+  };
+
+  // Version-locks the tree-level fields (root_, first_leaf_) for the
+  // duration of a root swap / publication. Readers validate
+  // tree_version_ around their root_ load.
+  class TreeGuard {
+   public:
+    explicit TreeGuard(GenericBPlusTree* tree)
+        : tree_(tree->concurrent_ ? tree : nullptr) {
+      if (tree_ != nullptr) tree_->tree_version_.Lock();
+    }
+    ~TreeGuard() {
+      if (tree_ != nullptr) tree_->tree_version_.Unlock();
+    }
+    TreeGuard(const TreeGuard&) = delete;
+    TreeGuard& operator=(const TreeGuard&) = delete;
+
+   private:
+    GenericBPlusTree* tree_;
+  };
+
   // --- node helpers -------------------------------------------------------
 
   // Key slots are 16-byte aligned inside the block so the SIMD key
@@ -721,6 +1086,18 @@ class GenericBPlusTree {
                      static_cast<InnerNode*>(inner_pool_.Decode(ref)));
   }
 
+  // Bounds-checked decode for optimistic readers: `ref` may be garbage
+  // read off a concurrently-mutated node, so out-of-range slots return
+  // nullptr (= conflict) instead of faulting. Only valid while the
+  // caller holds an epoch pin.
+  const NodeBase* DecodeRefOptimistic(NodeRef ref) const {
+    if ((ref & kLeafBit) != 0) {
+      return static_cast<const LeafNode*>(
+          leaf_pool_.DecodeOptimistic(ref & ~kLeafBit));
+    }
+    return static_cast<const InnerNode*>(inner_pool_.DecodeOptimistic(ref));
+  }
+
   LeafNode* NewLeaf() {
     uint32_t slot = 0;
     void* block = leaf_pool_.Alloc(&slot);
@@ -743,12 +1120,14 @@ class GenericBPlusTree {
   }
 
   void FreeLeaf(LeafNode* leaf) {
+    leaf->version.MarkDead();  // permanently odd: late readers conflict
     const NodeRef ref = leaf->self;
     leaf->values.DestroyAll();
     leaf->~LeafNode();
     leaf_pool_.Free(leaf, ref & ~kLeafBit);
   }
   void FreeInner(InnerNode* inner) {
+    inner->version.MarkDead();
     const NodeRef ref = inner->self;
     inner->~InnerNode();
     inner_pool_.Free(inner, ref);
@@ -781,12 +1160,20 @@ class GenericBPlusTree {
   // --- insertion ----------------------------------------------------------
 
   // Splits the full child at `idx` of `parent` (which has spare room).
-  void SplitChild(InnerNode* parent, int64_t idx) {
+  // Version-locks the parent, the child, and — for a leaf split — the
+  // old chain successor whose prev pointer is rewired; the freshly
+  // allocated right node needs no lock (unreachable until the parent
+  // publishes it on unlock). The guard is caller-scoped so Insert's
+  // root grow can hold the old root locked across the root_ swap too.
+  void SplitChild(InnerNode* parent, int64_t idx, NodeGuard& g) {
     NodeBase* child = DecodeRef(parent->children[static_cast<size_t>(idx)]);
+    g.Add(parent);
+    g.Add(child);
     Key separator;
     NodeBase* right_node = nullptr;
     if (child->is_leaf) {
       LeafNode* left = static_cast<LeafNode*>(child);
+      g.Add(left->next);
       LeafNode* right = NewLeaf();
       const int64_t mid = left->keys.count() / 2;
       left->keys.MoveSuffixTo(right->keys, mid);
@@ -820,7 +1207,10 @@ class GenericBPlusTree {
       int64_t idx = inner->keys.UpperBound(key);
       NodeBase* child = DecodeRef(inner->children[static_cast<size_t>(idx)]);
       if (IsFull(child)) {
-        SplitChild(inner, idx);
+        {
+          NodeGuard g(this);
+          SplitChild(inner, idx, g);
+        }
         idx = inner->keys.UpperBound(key);
         child = DecodeRef(inner->children[static_cast<size_t>(idx)]);
       }
@@ -828,6 +1218,8 @@ class GenericBPlusTree {
     }
     LeafNode* leaf = static_cast<LeafNode*>(node);
     const int64_t pos = leaf->keys.UpperBound(key);
+    NodeGuard g(this);
+    g.Add(leaf);
     leaf->keys.InsertAt(pos, key);
     leaf->values.insert(pos, std::move(value));
   }
@@ -869,8 +1261,10 @@ class GenericBPlusTree {
       LeafNode* leaf = static_cast<LeafNode*>(node);
       const int64_t pos = leaf->keys.LowerBound(key);
       if (pos >= leaf->keys.count() || leaf->keys.At(pos) != key) {
-        return false;
+        return false;  // failed probe: nothing mutated, no lock needed
       }
+      NodeGuard g(this);
+      g.Add(leaf);
       leaf->keys.RemoveAt(pos);
       leaf->values.erase(pos);
       return true;
@@ -904,16 +1298,23 @@ class GenericBPlusTree {
         idx + 1 < n_children
             ? DecodeRef(parent->children[static_cast<size_t>(idx + 1)])
             : nullptr;
+    NodeGuard g(this);
+    g.Add(parent);
+    g.Add(child);
     if (left_sib != nullptr && CountOf(left_sib) > MinKeys(left_sib)) {
+      g.Add(left_sib);
       BorrowFromLeft(parent, idx, left_sib, child);
     } else if (right_sib != nullptr &&
                CountOf(right_sib) > MinKeys(right_sib)) {
+      g.Add(right_sib);
       BorrowFromRight(parent, idx, child, right_sib);
     } else if (left_sib != nullptr) {
-      MergeChildren(parent, idx - 1);
+      g.Add(left_sib);
+      MergeChildren(parent, idx - 1, g);
     } else {
       assert(right_sib != nullptr);
-      MergeChildren(parent, idx);
+      g.Add(right_sib);
+      MergeChildren(parent, idx, g);
     }
   }
 
@@ -975,18 +1376,26 @@ class GenericBPlusTree {
   }
 
   // Merges children[idx] and children[idx+1]; the right node is freed
-  // back to its pool (the slot goes on the free list for reuse).
-  void MergeChildren(InnerNode* parent, int64_t idx) {
+  // back to its pool (deferred via epoch quarantine under concurrent
+  // reads, straight to the free list otherwise). The caller's guard
+  // already holds parent and both merge partners; the right node is
+  // Dismissed before the free so MarkDead leaves it permanently odd
+  // instead of the guard flipping it back to stable.
+  void MergeChildren(InnerNode* parent, int64_t idx, NodeGuard& g) {
     NodeBase* left_base = DecodeRef(parent->children[static_cast<size_t>(idx)]);
     NodeBase* right_base =
         DecodeRef(parent->children[static_cast<size_t>(idx + 1)]);
+    g.Add(left_base);
+    g.Add(right_base);
     if (left_base->is_leaf) {
       LeafNode* left = static_cast<LeafNode*>(left_base);
       LeafNode* right = static_cast<LeafNode*>(right_base);
+      g.Add(right->next);  // its prev pointer is rewired below
       left->keys.AppendFrom(right->keys);
       left->values.MoveTailFrom(right->values, 0);
       left->next = right->next;
       if (left->next != nullptr) left->next->prev = left;
+      g.Dismiss(right);
       FreeLeaf(right);
     } else {
       InnerNode* left = static_cast<InnerNode*>(left_base);
@@ -995,6 +1404,7 @@ class GenericBPlusTree {
       left->keys.InsertAt(left->keys.count(), parent->keys.At(idx));
       left->keys.AppendFrom(right->keys);
       left->children.AppendAll(right->children);
+      g.Dismiss(right);
       FreeInner(right);
     }
     parent->keys.RemoveAt(idx);
@@ -1004,13 +1414,33 @@ class GenericBPlusTree {
   void ShrinkRoot() {
     while (root_ != nullptr && !root_->is_leaf && CountOf(root_) == 0) {
       InnerNode* old_root = static_cast<InnerNode*>(root_);
-      root_ = DecodeRef(old_root->children[0]);
-      FreeInner(old_root);
+      NodeBase* new_root = DecodeRef(old_root->children[0]);
+      {
+        NodeGuard g(this);
+        g.Add(old_root);
+        {
+          TreeGuard tg(this);
+          root_ = new_root;
+        }
+        g.Dismiss(old_root);
+        FreeInner(old_root);
+      }
+      height_hint_.fetch_sub(1, std::memory_order_relaxed);
     }
     if (root_ != nullptr && root_->is_leaf && CountOf(root_) == 0) {
-      FreeLeaf(static_cast<LeafNode*>(root_));
-      root_ = nullptr;
-      first_leaf_ = nullptr;
+      LeafNode* leaf = static_cast<LeafNode*>(root_);
+      {
+        NodeGuard g(this);
+        g.Add(leaf);
+        {
+          TreeGuard tg(this);
+          root_ = nullptr;
+          first_leaf_ = nullptr;
+        }
+        g.Dismiss(leaf);
+        FreeLeaf(leaf);
+      }
+      height_hint_.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -1175,6 +1605,7 @@ class GenericBPlusTree {
     int64_t per_inner = static_cast<int64_t>(
         static_cast<double>(max_children) * fill + 0.5);
     per_inner = std::clamp<int64_t>(per_inner, min_children, max_children);
+    int levels = 1;
     while (level.size() > 1) {
       std::vector<Entry> next_level;
       size_t j = 0;
@@ -1192,8 +1623,10 @@ class GenericBPlusTree {
         j += static_cast<size_t>(take);
       }
       level = std::move(next_level);
+      ++levels;
     }
     root_ = level[0].node;
+    height_hint_.store(levels, std::memory_order_relaxed);
   }
 
   std::unique_ptr<Context> leaf_ctx_;
@@ -1208,6 +1641,13 @@ class GenericBPlusTree {
   NodeBase* root_ = nullptr;
   LeafNode* first_leaf_ = nullptr;
   size_t size_ = 0;
+  // Optimistic-read state: the tree-level version word guards root_ /
+  // first_leaf_ swaps, height_hint_ lets lock-free callers size batch
+  // scratch, and concurrent_ (set once by EnableConcurrentReads before
+  // any concurrent reader exists) turns the writer-side guards on.
+  olc::VersionWord tree_version_;
+  std::atomic<int32_t> height_hint_{0};
+  bool concurrent_ = false;
 };
 
 }  // namespace simdtree::btree

@@ -18,6 +18,10 @@
 #define SIMDTREE_CORE_BATCH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
 
 namespace simdtree {
 
@@ -87,6 +91,33 @@ concept HasGroupedFindBatch =
     requires(const Index& index, const K* keys, size_t n, const V** out) {
       index.FindBatchGrouped(keys, n, out);
     };
+
+// Whether the index exposes the optimistic-lock-coupling read paths
+// (generic_btree.h "optimistic reads"): the arming call plus the
+// version-validated single / batched / range reads the concurrency
+// wrappers route lock-free reads through.
+template <typename Index, typename K, typename V>
+concept HasOptimisticReads =
+    requires(Index& index, const Index& cindex, K key, size_t n,
+             std::optional<V>* out, std::vector<uint32_t>* failed) {
+      { index.EnableConcurrentReads() } -> std::convertible_to<bool>;
+      cindex.FindOptimistic(key, out);
+      cindex.FindBatchOptimistic(&key, n, out, failed);
+      cindex.FindBatchGroupedOptimistic(&key, n, out, failed);
+      { cindex.height_hint() } -> std::convertible_to<int>;
+    };
+
+// Structure depth for the optimistic batch heuristic: the lock-free
+// paths must not walk the structure (height() chases child pointers
+// without validation), so they use the writer-maintained atomic hint.
+template <typename Index>
+int OptimisticLevels(const Index& index) {
+  if constexpr (requires { index.height_hint(); }) {
+    return index.height_hint();
+  } else {
+    return 1;
+  }
+}
 
 }  // namespace simdtree
 

@@ -34,6 +34,20 @@
 // FindBatch (btree/batch_descent.h, kary/batch_search.h, the trie's
 // FindBatch) under ONE lock acquisition per shard, and results scatter
 // back to the caller's order.
+//
+// Lock-free reads (optimistic lock coupling): when the wrapped index
+// exposes the optimistic read paths (the B+-trees with trivially
+// copyable payloads in arena mode, see generic_btree.h), the
+// constructor arms them and Find / Contains / FindBatch / ScanRange
+// descend WITHOUT touching the shard lock: readers pin a reclamation
+// epoch (core/olc.h), validate per-node versions, and restart on
+// writer conflict — at most olc::kMaxReadRetries times, then fall back
+// to one shared-lock acquisition. Writers still take the shard's
+// exclusive lock (serializing writers per shard) but no longer stall
+// readers, and readers no longer starve writers through glibc's
+// reader-preferring rwlock. SIMDTREE_FORCE_SHARD_LOCKS=1 restores the
+// pure locked behavior process-wide. Conflict/fallback volume is
+// observable via the olc.* counters (obs/metrics.h).
 
 #ifndef SIMDTREE_CORE_SHARDED_H_
 #define SIMDTREE_CORE_SHARDED_H_
@@ -54,6 +68,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/olc.h"
 #include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
@@ -78,13 +93,27 @@ class ShardedIndex {
   // Explicit splitters: must be sorted, size == num_shards - 1. Equal
   // adjacent splitters are allowed and simply leave a shard empty.
   ShardedIndex(size_t num_shards, std::vector<KeyType> splitters)
-      : splitters_(std::move(splitters)) {
+      : splitters_(std::move(splitters)),
+        olc_metrics_(obs::OlcMetrics::Register()) {
     num_shards = RoundUpShards(num_shards);
     assert(splitters_.size() == num_shards - 1);
     assert(std::is_sorted(splitters_.begin(), splitters_.end()));
     shards_.reserve(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
       shards_.push_back(std::make_unique<Shard>());
+    }
+    // Arm lock-free reads when the index supports them and the env
+    // override doesn't force the pure locked path. All shards must arm
+    // (heap mode refuses) or none do — mixed modes would complicate the
+    // read paths for no benefit.
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (!olc::ForceShardLocks()) {
+        bool all = true;
+        for (auto& shard : shards_) {
+          if (!shard->index.EnableConcurrentReads()) all = false;
+        }
+        olc_enabled_ = all;
+      }
     }
   }
 
@@ -167,6 +196,12 @@ class ShardedIndex {
       return TracedFind(key);
     }
     const Shard& shard = *shards_[ShardOf(key)];
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (olc_enabled_) {
+        std::optional<ValueType> out;
+        if (FindOptimisticWithRetries(shard, key, &out)) return out;
+      }
+    }
     std::shared_lock lock(shard.mutex);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return shard.index.Find(key);
@@ -178,6 +213,14 @@ class ShardedIndex {
       return TracedFind(key).has_value();
     }
     const Shard& shard = *shards_[ShardOf(key)];
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (olc_enabled_) {
+        std::optional<ValueType> out;
+        if (FindOptimisticWithRetries(shard, key, &out)) {
+          return out.has_value();
+        }
+      }
+    }
     std::shared_lock lock(shard.mutex);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return shard.index.Contains(key);
@@ -216,6 +259,16 @@ class ShardedIndex {
       if (obs::TraceShouldSample()) [[unlikely]] {
         scope.emplace();
         scope->trace()->shard = 0;
+      }
+      if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+        if (olc_enabled_ && !scope) {
+          RunSubBatchOptimistic(
+              *shards_[0], keys, n,
+              [out](size_t j, std::optional<ValueType>&& v) {
+                out[j] = std::move(v);
+              });
+          return;
+        }
       }
       RunSubBatch(*shards_[0], keys, n, scope ? scope->trace() : nullptr,
                   [out](size_t j, const ValueType* p) {
@@ -279,6 +332,16 @@ class ShardedIndex {
       if (lo == hi) continue;
       const bool traced = scope && s == shard_of[0];
       const size_t* pos = spos.data() + lo;
+      if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+        if (olc_enabled_ && !traced) {
+          RunSubBatchOptimistic(
+              *shards_[s], skeys.data() + lo, hi - lo,
+              [out, pos](size_t j, std::optional<ValueType>&& v) {
+                out[pos[j]] = std::move(v);
+              });
+          continue;
+        }
+      }
       RunSubBatch(*shards_[s], skeys.data() + lo, hi - lo,
                   traced ? scope->trace() : nullptr,
                   [out, pos](size_t j, const ValueType* p) {
@@ -317,6 +380,13 @@ class ShardedIndex {
     const size_t first = ShardOf(lo);
     const size_t last = ShardOf(hi);
     for (size_t s = first; s <= last; ++s) {
+      if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+        if (olc_enabled_) {
+          if (ScanShardOptimistic(*shards_[s], lo, hi, fn, hi_inclusive)) {
+            continue;
+          }
+        }
+      }
       std::shared_lock lock(shards_[s]->mutex);
       shards_[s]->index.ScanRange(
           lo, hi, [&fn](KeyType k, const ValueType& v) { fn(k, v); },
@@ -415,6 +485,126 @@ class ShardedIndex {
     }
   }
 
+  // --- optimistic read plumbing -----------------------------------------
+
+  // One epoch-pinned, bounded-retry optimistic lookup. True: *out holds
+  // the answer. False: the epoch registry was exhausted or
+  // olc::kMaxReadRetries attempts conflicted — the caller takes the
+  // shard's shared lock (the writer-preferring fallback rung: a reader
+  // losing races repeatedly queues once instead of spinning on tree
+  // state forever).
+  bool FindOptimisticWithRetries(const Shard& shard, KeyType key,
+                                 std::optional<ValueType>* out) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) return false;
+    for (int attempt = 0; attempt < olc::kMaxReadRetries; ++attempt) {
+      if (shard.index.FindOptimistic(key, out) == olc::ReadResult::kOk) {
+        return true;
+      }
+      olc_metrics_.read_retries->Add();
+    }
+    olc_metrics_.fallback_acquisitions->Add();
+    return false;
+  }
+
+  // Lock-free counterpart of RunSubBatch: one epoch pin covers the whole
+  // sub-batch through the optimistic grouped/pipelined engines, queries
+  // a writer invalidated retry per-key, and only still-conflicted
+  // leftovers take ONE shared-lock acquisition. emit(j, optional&&)
+  // receives every result (values are copies, valid indefinitely).
+  template <typename Emit>
+  void RunSubBatchOptimistic(const Shard& shard, const KeyType* keys,
+                             size_t m, Emit emit) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) {
+      // Registry exhausted (256+ reader threads): locked path, copying
+      // out of the ptr-based emit protocol.
+      std::shared_lock lock(shard.mutex);
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
+      std::vector<std::optional<ValueType>> vals(m);
+      LockedFindInto(shard.index, keys, m, vals.data());
+      for (size_t j = 0; j < m; ++j) emit(j, std::move(vals[j]));
+      return;
+    }
+    std::vector<std::optional<ValueType>> vals(m);
+    std::vector<uint32_t> failed;
+    if (UseGroupedDescent(m, OptimisticLevels(shard.index))) {
+      shard.index.FindBatchGroupedOptimistic(keys, m, vals.data(), &failed);
+    } else {
+      shard.index.FindBatchOptimistic(keys, m, vals.data(), &failed);
+    }
+    if (!failed.empty()) {
+      olc_metrics_.read_retries->Add(failed.size());
+      std::vector<uint32_t> leftovers;
+      for (const uint32_t idx : failed) {
+        bool ok = false;
+        for (int attempt = 1; attempt < olc::kMaxReadRetries; ++attempt) {
+          if (shard.index.FindOptimistic(keys[idx], &vals[idx]) ==
+              olc::ReadResult::kOk) {
+            ok = true;
+            break;
+          }
+          olc_metrics_.read_retries->Add();
+        }
+        if (!ok) leftovers.push_back(idx);
+      }
+      if (!leftovers.empty()) {
+        olc_metrics_.fallback_acquisitions->Add();
+        std::shared_lock lock(shard.mutex);
+        obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                            : nullptr);
+        for (const uint32_t idx : leftovers) {
+          vals[idx] = shard.index.Find(keys[idx]);
+        }
+      }
+    }
+    for (size_t j = 0; j < m; ++j) emit(j, std::move(vals[j]));
+  }
+
+  // Locked per-key lookups into an optional array (epoch-registry
+  // overflow path only — not performance-relevant).
+  static void LockedFindInto(const Index& index, const KeyType* keys,
+                             size_t m, std::optional<ValueType>* vals) {
+    for (size_t j = 0; j < m; ++j) vals[j] = index.Find(keys[j]);
+  }
+
+  // Optimistic scan of one shard with delivery-floor resume: conflicted
+  // attempts restart where the last validated leaf left off, so the
+  // callback never sees a pair twice, and after kMaxReadRetries the
+  // remainder of the range runs once under the shard's shared lock.
+  // Returns false (nothing delivered) only when no epoch slot was
+  // available.
+  template <typename Fn>
+  bool ScanShardOptimistic(const Shard& shard, KeyType lo, KeyType hi,
+                           Fn& fn, bool hi_inclusive) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) return false;
+    KeyType resume = lo;
+    uint32_t skip = 0;
+    for (int attempt = 0; attempt < olc::kMaxReadRetries; ++attempt) {
+      if (shard.index.ScanRangeOptimistic(
+              hi, hi_inclusive, &resume, &skip,
+              [&fn](KeyType k, const ValueType& v) { fn(k, v); }) ==
+          olc::ReadResult::kOk) {
+        return true;
+      }
+      olc_metrics_.read_retries->Add();
+    }
+    olc_metrics_.fallback_acquisitions->Add();
+    std::shared_lock lock(shard.mutex);
+    uint32_t seen = 0;
+    shard.index.ScanRange(
+        resume, hi,
+        [&](KeyType k, const ValueType& v) {
+          // Skip the occurrences of the resume key already delivered.
+          if (k == resume && seen++ < skip) return;
+          fn(k, v);
+        },
+        hi_inclusive);
+    return true;
+  }
+
   // Cold path for a sampled single-key read: stamps the owning shard id,
   // measures that shard's lock wait separately from the descent, and
   // routes through the index's FindTraced when it has one. Kept out of
@@ -477,6 +667,12 @@ class ShardedIndex {
   std::vector<KeyType> splitters_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<obs::IndexMetrics> metrics_;
+  // Lock-free read state: armed by the constructor when every shard's
+  // index accepted EnableConcurrentReads (see class comment). The olc.*
+  // counters are process-global and pre-resolved so the conflict paths
+  // pay one relaxed add each.
+  bool olc_enabled_ = false;
+  obs::OlcMetrics olc_metrics_;
 };
 
 }  // namespace simdtree

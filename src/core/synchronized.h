@@ -2,21 +2,36 @@
 //
 // The paper's evaluation is single-threaded and names concurrency as
 // future work ("the impact of SIMD instructions on concurrently used
-// index structures is an ongoing research task", Section 7). The
-// underlying structures are thread-compatible (concurrent reads are safe
-// for the trees; SegKeyStore mutation uses a shared scratch buffer, so
-// any write requires exclusion). SynchronizedIndex provides the coarse
-// reader/writer exclusion that makes them safely shareable: many
-// concurrent readers, single writer.
+// index structures is an ongoing research task", Section 7).
+// SynchronizedIndex provides the reader/writer exclusion that makes the
+// structures safely shareable — with one important refinement: when the
+// wrapped index supports optimistic lock coupling (the arena-backed
+// B+-trees, see generic_btree.h "optimistic reads" and DESIGN.md
+// "Concurrency"), reads run LOCK-FREE by default. The constructor arms
+// epoch-based reclamation and readers descend without writing any shared
+// state, validating per-node version words and restarting on conflict.
 //
-// This is deliberately the simplest correct design — finer-grained
-// schemes (lock coupling, optimistic lock versions as in ART/OLC) change
-// the structures themselves and are out of scope for this reproduction.
+// The fallback ladder for a read is:
+//   1. optimistic attempt(s), up to olc::kMaxReadRetries
+//   2. one shared_mutex shared-lock acquisition for the remainder
+// Bounding the retries is also the writer-starvation fix: glibc's
+// pthread rwlock is reader-preferring, so under a read-heavy open loop a
+// writer could wait unboundedly for the shared lock to drain. With OLC,
+// readers in the common case never touch the rwlock at all — the only
+// shared-lock readers are the (rare, bounded) conflict losers — so the
+// writer acquires promptly. See DESIGN.md "Concurrency" for the
+// protocol.
+//
+// Indexes without the optimistic hooks (tries, SegKeyStore-backed
+// structures, heap-mode trees) keep the coarse rwlock for every read —
+// still the simplest correct design for them. Set
+// SIMDTREE_FORCE_SHARD_LOCKS=1 to force the locked path everywhere.
 
 #ifndef SIMDTREE_CORE_SYNCHRONIZED_H_
 #define SIMDTREE_CORE_SYNCHRONIZED_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <mutex>
 #include <shared_mutex>
@@ -25,6 +40,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/olc.h"
 #include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
@@ -39,8 +55,14 @@ class SynchronizedIndex {
   using KeyType = typename Index::KeyType;
   using ValueType = typename Index::ValueType;
 
-  SynchronizedIndex() = default;
-  explicit SynchronizedIndex(Index index) : index_(std::move(index)) {}
+  SynchronizedIndex() : olc_metrics_(obs::OlcMetrics::Register()) {
+    ArmOptimisticReads();
+  }
+  explicit SynchronizedIndex(Index index)
+      : index_(std::move(index)),
+        olc_metrics_(obs::OlcMetrics::Register()) {
+    ArmOptimisticReads();
+  }
 
   SynchronizedIndex(const SynchronizedIndex&) = delete;
   SynchronizedIndex& operator=(const SynchronizedIndex&) = delete;
@@ -85,6 +107,12 @@ class SynchronizedIndex {
     if (obs::TraceShouldSample()) [[unlikely]] {
       return TracedFind(key);
     }
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (olc_enabled_) {
+        std::optional<ValueType> out;
+        if (FindOptimisticWithRetries(key, &out)) return out;
+      }
+    }
     std::shared_lock lock(mutex_);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
     return index_.Find(key);
@@ -94,6 +122,12 @@ class SynchronizedIndex {
     if (metrics_) metrics_->reads->Add();
     if (obs::TraceShouldSample()) [[unlikely]] {
       return TracedFind(key).has_value();
+    }
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (olc_enabled_) {
+        std::optional<ValueType> out;
+        if (FindOptimisticWithRetries(key, &out)) return out.has_value();
+      }
     }
     std::shared_lock lock(mutex_);
     obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns : nullptr);
@@ -118,6 +152,14 @@ class SynchronizedIndex {
     std::optional<obs::TraceScope> scope;
     if (obs::TraceShouldSample()) [[unlikely]] {
       scope.emplace();
+    }
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      // Sampled batches fall through to the locked path so the trace
+      // captures lock_wait_ns and the per-level descent hooks.
+      if (olc_enabled_ && !scope) {
+        RunBatchOptimistic(keys, n, out);
+        return;
+      }
     }
     {
       const uint64_t lock_start = scope ? CycleTimer::Now() : 0;
@@ -191,6 +233,11 @@ class SynchronizedIndex {
   template <typename Fn>
   void ScanRange(KeyType lo, KeyType hi, Fn fn,
                  bool hi_inclusive = false) const {
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (olc_enabled_) {
+        if (ScanOptimistic(lo, hi, fn, hi_inclusive)) return;
+      }
+    }
     std::shared_lock lock(mutex_);
     index_.ScanRange(lo, hi, std::move(fn), hi_inclusive);
   }
@@ -210,6 +257,115 @@ class SynchronizedIndex {
   }
 
  private:
+  // Arms lock-free reads when the wrapped index supports them: defers
+  // node reclamation to the global epoch manager and flips the
+  // optimistic fast paths on. No-op (coarse rwlock for everything) for
+  // non-capable indexes, heap-mode trees, and under
+  // SIMDTREE_FORCE_SHARD_LOCKS=1.
+  void ArmOptimisticReads() {
+    if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
+      if (!olc::ForceShardLocks()) {
+        olc_enabled_ = index_.EnableConcurrentReads();
+      }
+    }
+  }
+
+  // One epoch-pinned, bounded-retry optimistic lookup; false directs the
+  // caller to the shared-lock rung of the fallback ladder (see the class
+  // comment — the bound is what keeps writers from starving).
+  bool FindOptimisticWithRetries(KeyType key,
+                                 std::optional<ValueType>* out) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) return false;
+    for (int attempt = 0; attempt < olc::kMaxReadRetries; ++attempt) {
+      if (index_.FindOptimistic(key, out) == olc::ReadResult::kOk) {
+        return true;
+      }
+      olc_metrics_.read_retries->Add();
+    }
+    olc_metrics_.fallback_acquisitions->Add();
+    return false;
+  }
+
+  // Lock-free FindBatch: one epoch pin covers the batch through the
+  // optimistic grouped/pipelined engine; writer-invalidated keys retry
+  // individually and only persistent losers take one shared-lock
+  // acquisition.
+  void RunBatchOptimistic(const KeyType* keys, size_t n,
+                          std::optional<ValueType>* out) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) {
+      // Epoch registry exhausted (256+ reader threads): locked reads.
+      std::shared_lock lock(mutex_);
+      obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                          : nullptr);
+      for (size_t j = 0; j < n; ++j) out[j] = index_.Find(keys[j]);
+      return;
+    }
+    std::vector<uint32_t> failed;
+    if (UseGroupedDescent(n, OptimisticLevels(index_))) {
+      index_.FindBatchGroupedOptimistic(keys, n, out, &failed);
+    } else {
+      index_.FindBatchOptimistic(keys, n, out, &failed);
+    }
+    if (failed.empty()) return;
+    olc_metrics_.read_retries->Add(failed.size());
+    std::vector<uint32_t> leftovers;
+    for (const uint32_t idx : failed) {
+      bool ok = false;
+      for (int attempt = 1; attempt < olc::kMaxReadRetries; ++attempt) {
+        if (index_.FindOptimistic(keys[idx], &out[idx]) ==
+            olc::ReadResult::kOk) {
+          ok = true;
+          break;
+        }
+        olc_metrics_.read_retries->Add();
+      }
+      if (!ok) leftovers.push_back(idx);
+    }
+    if (leftovers.empty()) return;
+    olc_metrics_.fallback_acquisitions->Add();
+    std::shared_lock lock(mutex_);
+    obs::ScopedDurationNs hold(metrics_ ? metrics_->read_lock_ns
+                                        : nullptr);
+    for (const uint32_t idx : leftovers) {
+      out[idx] = index_.Find(keys[idx]);
+    }
+  }
+
+  // Optimistic range scan with delivery-floor resume (no pair delivered
+  // twice across restarts); after kMaxReadRetries the remainder runs
+  // once under the shared lock. False (nothing delivered) only when no
+  // epoch slot was available.
+  template <typename Fn>
+  bool ScanOptimistic(KeyType lo, KeyType hi, Fn& fn,
+                      bool hi_inclusive) const {
+    olc::EpochGuard epoch;
+    if (!epoch.pinned()) return false;
+    KeyType resume = lo;
+    uint32_t skip = 0;
+    for (int attempt = 0; attempt < olc::kMaxReadRetries; ++attempt) {
+      if (index_.ScanRangeOptimistic(
+              hi, hi_inclusive, &resume, &skip,
+              [&fn](KeyType k, const ValueType& v) { fn(k, v); }) ==
+          olc::ReadResult::kOk) {
+        return true;
+      }
+      olc_metrics_.read_retries->Add();
+    }
+    olc_metrics_.fallback_acquisitions->Add();
+    std::shared_lock lock(mutex_);
+    uint32_t seen = 0;
+    index_.ScanRange(
+        resume, hi,
+        [&](KeyType k, const ValueType& v) {
+          if (k == resume && seen++ < skip) return;
+          fn(k, v);
+        },
+        hi_inclusive);
+    return true;
+  }
+
   // Cold path for a sampled single-key read: measures the shared-lock
   // wait separately from the descent, routes through the index's
   // FindTraced when it has one (the trees and tries), and records the
@@ -234,6 +390,10 @@ class SynchronizedIndex {
   mutable std::shared_mutex mutex_;
   Index index_;
   std::optional<obs::IndexMetrics> metrics_;
+  // Lock-free read state (see class comment). olc.* counters are
+  // process-global, pre-resolved at construction.
+  bool olc_enabled_ = false;
+  obs::OlcMetrics olc_metrics_;
 };
 
 }  // namespace simdtree

@@ -40,14 +40,19 @@
 #define SIMDTREE_MEM_ARENA_H_
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/olc.h"
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -116,6 +121,8 @@ struct ArenaStats {
   uint64_t allocs = 0;         // lifetime block allocations
   uint64_t frees = 0;          // lifetime per-block frees (erase churn)
   uint64_t resets = 0;         // lifetime O(1) slab releases
+  size_t deferred_blocks = 0;  // blocks quarantined awaiting epoch advance
+  size_t deferred_slabs = 0;   // slabs quarantined awaiting epoch advance
 
   double utilization() const {
     return reserved_bytes > 0
@@ -134,6 +141,8 @@ struct ArenaStats {
     allocs += o.allocs;
     frees += o.frees;
     resets += o.resets;
+    deferred_blocks += o.deferred_blocks;
+    deferred_slabs += o.deferred_slabs;
     return *this;
   }
 };
@@ -205,12 +214,12 @@ class NodePool {
     }
   }
 
-  ~NodePool() { ReleaseAll(); }
+  ~NodePool() { Teardown(); }
 
   NodePool(NodePool&& other) noexcept { *this = std::move(other); }
   NodePool& operator=(NodePool&& other) noexcept {
     if (this != &other) {
-      ReleaseAll();
+      Teardown();
       arena_mode_ = other.arena_mode_;
       block_bytes_ = other.block_bytes_;
       slab_bytes_ = other.slab_bytes_;
@@ -224,11 +233,27 @@ class NodePool {
       bump_ = other.bump_;
       free_list_ = std::move(other.free_list_);
       stats_ = other.stats_;
+      epoch_mgr_ = other.epoch_mgr_;
+      opt_table_ = other.opt_table_;
+      opt_table_size_ = other.opt_table_size_;
+      quarantine_ = std::move(other.quarantine_);
+      quarantined_slabs_ = std::move(other.quarantined_slabs_);
+      deferred_block_count_ = other.deferred_block_count_;
+      purge_tick_ = other.purge_tick_;
+      slab_index_base_ = other.slab_index_base_;
       other.slabs_.clear();
       other.slab_blocks_.clear();
       other.bump_ = 0;
       other.free_list_.clear();
       other.stats_ = {};
+      other.epoch_mgr_ = nullptr;
+      other.opt_table_ = nullptr;
+      other.opt_table_size_ = 0;
+      other.quarantine_.clear();
+      other.quarantined_slabs_.clear();
+      other.deferred_block_count_ = 0;
+      other.purge_tick_ = 0;
+      other.slab_index_base_ = 0;
     }
     return *this;
   }
@@ -237,11 +262,75 @@ class NodePool {
 
   bool arena_mode() const { return arena_mode_; }
   size_t block_bytes() const { return block_bytes_; }
+  bool deferred_enabled() const { return epoch_mgr_ != nullptr; }
+
+  // Switches the pool to epoch-deferred reclamation for optimistic
+  // (lock-free) readers:
+  //   * Free() quarantines slots instead of recycling them, and Reset()
+  //     quarantines whole slabs instead of releasing them; both drain
+  //     only once every in-flight reader has advanced past the epoch of
+  //     the free (MinActive() > bucket epoch). This is what makes a
+  //     validated-but-stale node pointer safe to dereference: the
+  //     memory cannot be recycled or unmapped while the reader's pin is
+  //     older than the free.
+  //   * A stable, atomically-published slab table is built so readers
+  //     can decode slot refs without touching the (reallocating)
+  //     slabs_ vector; DecodeOptimistic() bounds-checks against it and
+  //     returns nullptr for refs torn mid-read.
+  // Arena mode only — the heap fallback has one table entry per block
+  // (2^31 for trees), so it keeps the locked read path. Returns whether
+  // deferral is active. Idempotent.
+  bool EnableDeferredReclamation(olc::EpochManager* em) {
+    if (!arena_mode_ || em == nullptr) return false;
+    if (epoch_mgr_ != nullptr) return true;
+    const uint32_t shift =
+        max_slot_bits_ > slot_bits_ ? max_slot_bits_ - slot_bits_ : 0;
+    const size_t table = size_t{1} << shift;
+    // calloc: the table can be large in slot-space terms (tens of MiB
+    // virtual) but is only ever touched one entry per live slab, so the
+    // lazily-zeroed pages cost nothing until used.
+    auto* t = static_cast<SlabTableEntry*>(
+        std::calloc(table, sizeof(SlabTableEntry)));
+    if (t == nullptr) return false;
+    opt_table_ = t;
+    opt_table_size_ = table;
+    for (size_t i = 0; i < slabs_.size(); ++i) {
+      const size_t idx = slab_index_base_ + i;
+      if (idx >= opt_table_size_) break;
+      opt_table_[idx].blocks.store(slab_blocks_[i],
+                                   std::memory_order_relaxed);
+      opt_table_[idx].base.store(slabs_[i], std::memory_order_release);
+    }
+    epoch_mgr_ = em;
+    return true;
+  }
+
+  // Slot decode for optimistic readers: every input is treated as
+  // potentially torn garbage, so the lookup is bounds-guarded against
+  // the atomic slab table and returns nullptr instead of faulting; the
+  // caller maps nullptr to a version conflict and restarts.
+  const void* DecodeOptimistic(uint32_t slot) const {
+    const size_t idx = slot >> slot_bits_;
+    if (opt_table_ == nullptr || idx >= opt_table_size_) return nullptr;
+    const char* base = opt_table_[idx].base.load(std::memory_order_acquire);
+    if (base == nullptr) return nullptr;
+    const uint64_t blk = slot & slot_mask_;
+    if (blk >= opt_table_[idx].blocks.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return base + static_cast<size_t>(blk) * block_bytes_;
+  }
 
   // Allocates one block; *slot receives its 32-bit reference. Returns
   // nullptr when the slot space (max_slot_bits) is exhausted — the only
   // failure mode besides the allocator itself throwing.
   void* Alloc(uint32_t* slot) {
+    if (free_list_.empty() && epoch_mgr_ != nullptr) {
+      // Writer-side housekeeping: drain any quarantine the readers have
+      // advanced past before growing a new slab.
+      epoch_mgr_->TryAdvance();
+      Purge();
+    }
     if (!free_list_.empty()) {
       const uint32_t s = free_list_.back();
       free_list_.pop_back();
@@ -254,12 +343,29 @@ class NodePool {
   }
 
   // Returns a block to the pool's free list (arena mode) or the heap.
-  // The slot is reused by a later Alloc in both modes.
+  // With deferred reclamation the slot is quarantined under the current
+  // epoch first and only re-enters the free list after every in-flight
+  // reader has advanced past it.
   void Free(void* block, uint32_t slot) {
     ++stats_.frees;
     --stats_.live_blocks;
     if (arena_mode_) {
-      free_list_.push_back(slot);
+      if (epoch_mgr_ != nullptr) {
+        const uint64_t e = epoch_mgr_->current();
+        if (quarantine_.empty() || quarantine_.back().epoch != e ||
+            quarantine_.back().discard) {
+          quarantine_.push_back(QuarantineBucket{e, false, {}});
+        }
+        quarantine_.back().slots.push_back(slot);
+        ++deferred_block_count_;
+        epoch_mgr_->NoteDeferredBlocks(1);
+        if ((++purge_tick_ & 63u) == 0) {
+          epoch_mgr_->TryAdvance();
+          Purge();
+        }
+      } else {
+        free_list_.push_back(slot);
+      }
     } else {
       internal::ReleaseSlab(block, block_bytes_);
       slabs_[slot] = nullptr;
@@ -268,8 +374,11 @@ class NodePool {
   }
 
   // Decodes a slot to its block address. Hot path of every descent.
+  // Slab indices are logical: under deferred reclamation they grow
+  // monotonically across Reset() cycles (slab_index_base_), so a stale
+  // pre-Reset ref can never alias a post-Reset slab.
   void* Decode(uint32_t slot) const {
-    return slabs_[slot >> slot_bits_] +
+    return slabs_[(slot >> slot_bits_) - slab_index_base_] +
            static_cast<size_t>(slot & slot_mask_) * block_bytes_;
   }
   const void* DecodeConst(uint32_t slot) const { return Decode(slot); }
@@ -281,9 +390,33 @@ class NodePool {
   // Releases every slab at once — O(slabs), not O(blocks). All
   // outstanding blocks and slots are invalidated; no per-block work is
   // done in arena mode (the counter contract the teardown tests assert).
+  // Under deferred reclamation the slabs are quarantined rather than
+  // released: a reader mid-descent either validates against a node it
+  // already reached (the pre-Reset snapshot stays mapped) or fails the
+  // zeroed slab-table lookup and restarts against the new structure.
   void Reset() {
     ++stats_.resets;
-    ReleaseAll();
+    if (arena_mode_ && epoch_mgr_ != nullptr) {
+      // Park every slab in the quarantine with its logical table index.
+      // The table entries stay populated until purge: a reader that
+      // pinned before this Reset keeps decoding a fully intact
+      // pre-Reset snapshot (its result linearizes before the Clear).
+      // New slabs take fresh logical indices (slab_index_base_ bump
+      // below), so no post-Reset ref ever collides with a parked entry.
+      const uint64_t e = epoch_mgr_->current();
+      for (size_t i = 0; i < slabs_.size(); ++i) {
+        quarantined_slabs_.push_back(
+            QuarantinedSlab{e, slabs_[i], slab_blocks_[i] * block_bytes_,
+                            slab_index_base_ + i});
+      }
+      epoch_mgr_->NoteDeferredSlabs(static_cast<int64_t>(slabs_.size()));
+      slab_index_base_ += slabs_.size();
+      // Slots already quarantined point into the slabs parked above;
+      // they must never re-enter the free list.
+      for (auto& bucket : quarantine_) bucket.discard = true;
+    } else {
+      ReleaseAll();
+    }
     slabs_.clear();
     slab_blocks_.clear();
     free_list_.clear();
@@ -295,6 +428,10 @@ class NodePool {
           std::min(blocks_per_slab_,
                    std::max<size_t>(kMinBlocksFirstSlab,
                                     size_t{4096} / block_bytes_));
+    }
+    if (epoch_mgr_ != nullptr) {
+      epoch_mgr_->TryAdvance();
+      Purge();
     }
   }
 
@@ -316,15 +453,76 @@ class NodePool {
       s.free_list_blocks = 0;
     }
     s.used_bytes = s.live_blocks * block_bytes_;
+    s.deferred_blocks = deferred_block_count_;
+    s.deferred_slabs = quarantined_slabs_.size();
     return s;
   }
 
+  // Drains every quarantine bucket all in-flight readers have advanced
+  // past. Called from the writer side (Alloc/Free/Reset), which already
+  // holds the shard's exclusive lock.
+  void Purge() {
+    if (epoch_mgr_ == nullptr ||
+        (quarantine_.empty() && quarantined_slabs_.empty())) {
+      return;
+    }
+    const uint64_t min_active = epoch_mgr_->MinActive();
+    while (!quarantine_.empty() && quarantine_.front().epoch < min_active) {
+      QuarantineBucket& bucket = quarantine_.front();
+      deferred_block_count_ -= bucket.slots.size();
+      epoch_mgr_->NoteDeferredBlocks(
+          -static_cast<int64_t>(bucket.slots.size()));
+      if (!bucket.discard) {
+        free_list_.insert(free_list_.end(), bucket.slots.begin(),
+                          bucket.slots.end());
+      }
+      quarantine_.pop_front();
+    }
+    while (!quarantined_slabs_.empty() &&
+           quarantined_slabs_.front().epoch < min_active) {
+      const QuarantinedSlab& slab = quarantined_slabs_.front();
+      // Unpublish before releasing: any reader that could still decode
+      // into this slab pinned at or before the quarantine epoch, and
+      // min_active says no such reader remains.
+      if (slab.table_index < opt_table_size_) {
+        opt_table_[slab.table_index].base.store(nullptr,
+                                                std::memory_order_release);
+        opt_table_[slab.table_index].blocks.store(
+            0, std::memory_order_relaxed);
+      }
+      internal::ReleaseSlab(slab.base, slab.bytes);
+      epoch_mgr_->NoteDeferredSlabs(-1);
+      quarantined_slabs_.pop_front();
+    }
+  }
+
  private:
+  struct SlabTableEntry {
+    std::atomic<char*> base;
+    std::atomic<uint64_t> blocks;
+  };
+  static_assert(std::atomic<char*>::is_always_lock_free);
+  static_assert(sizeof(SlabTableEntry) == 16);
+
+  struct QuarantineBucket {
+    uint64_t epoch = 0;
+    bool discard = false;  // slots predate a Reset; slab memory is
+                           // tracked in quarantined_slabs_ instead
+    std::vector<uint32_t> slots;
+  };
+
+  struct QuarantinedSlab {
+    uint64_t epoch = 0;
+    char* base = nullptr;
+    size_t bytes = 0;
+    size_t table_index = 0;  // logical slab index (opt_table_ entry)
+  };
+
   void* AllocBump(uint32_t* slot) {
     if (slabs_.empty() || bump_ == slab_blocks_.back()) {
       // Next slab: geometric growth up to the full slab size, and a
       // slot-space check before committing.
-      const size_t slab_index = slabs_.size();
+      const size_t slab_index = slab_index_base_ + slabs_.size();
       const uint64_t base_slot = static_cast<uint64_t>(slab_index)
                                  << slot_bits_;
       const uint64_t slot_cap = uint64_t{1} << max_slot_bits_;
@@ -338,11 +536,20 @@ class NodePool {
       slabs_.push_back(static_cast<char*>(
           internal::AllocateSlab(blocks * block_bytes_)));
       slab_blocks_.push_back(blocks);
+      if (opt_table_ != nullptr && slab_index < opt_table_size_) {
+        // Publish the slab for optimistic decoders: block count first
+        // (relaxed), then the base with release so a reader that sees
+        // the base also sees a usable count.
+        opt_table_[slab_index].blocks.store(blocks,
+                                            std::memory_order_relaxed);
+        opt_table_[slab_index].base.store(slabs_.back(),
+                                          std::memory_order_release);
+      }
       bump_ = 0;
       next_slab_blocks_ = std::min(blocks_per_slab_, blocks * 4);
     }
     const uint32_t s = static_cast<uint32_t>(
-        ((slabs_.size() - 1) << slot_bits_) | bump_);
+        ((slab_index_base_ + slabs_.size() - 1) << slot_bits_) | bump_);
     ++bump_;
     ++stats_.allocs;
     ++stats_.live_blocks;
@@ -381,6 +588,32 @@ class NodePool {
     }
   }
 
+  // Full teardown (destructor / move-assign target). Destroying a pool
+  // with readers still in flight is a caller contract violation — same
+  // as destroying the tree itself — so the quarantine is drained
+  // unconditionally here.
+  void Teardown() {
+    ReleaseAll();
+    for (const QuarantinedSlab& slab : quarantined_slabs_) {
+      internal::ReleaseSlab(slab.base, slab.bytes);
+    }
+    if (epoch_mgr_ != nullptr) {
+      epoch_mgr_->NoteDeferredSlabs(
+          -static_cast<int64_t>(quarantined_slabs_.size()));
+      epoch_mgr_->NoteDeferredBlocks(
+          -static_cast<int64_t>(deferred_block_count_));
+    }
+    quarantined_slabs_.clear();
+    quarantine_.clear();
+    deferred_block_count_ = 0;
+    if (opt_table_ != nullptr) {
+      std::free(opt_table_);
+      opt_table_ = nullptr;
+      opt_table_size_ = 0;
+    }
+    epoch_mgr_ = nullptr;
+  }
+
   bool arena_mode_ = true;
   size_t block_bytes_ = 0;
   size_t slab_bytes_ = kDefaultSlabBytes;
@@ -395,6 +628,18 @@ class NodePool {
   std::vector<uint32_t> free_list_;
   std::vector<uint32_t> free_heap_slots_;
   ArenaStats stats_;
+
+  // Epoch-deferred reclamation state (all writer-side except the
+  // reader-facing opt_table_). Null/empty until
+  // EnableDeferredReclamation().
+  olc::EpochManager* epoch_mgr_ = nullptr;
+  SlabTableEntry* opt_table_ = nullptr;
+  size_t opt_table_size_ = 0;
+  std::deque<QuarantineBucket> quarantine_;
+  std::deque<QuarantinedSlab> quarantined_slabs_;
+  size_t deferred_block_count_ = 0;
+  uint32_t purge_tick_ = 0;
+  size_t slab_index_base_ = 0;  // logical index of slabs_[0]
 };
 
 // --- ByteArena --------------------------------------------------------------

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "core/olc.h"
+
 namespace simdtree::obs {
 
 namespace {
@@ -139,6 +141,25 @@ IndexMetrics IndexMetrics::Register(const std::string& prefix) {
   m.arena_utilization = reg.GetGauge(prefix + ".arena_utilization");
   m.arena_slabs = reg.GetGauge(prefix + ".arena_slabs");
   return m;
+}
+
+OlcMetrics OlcMetrics::Register() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  OlcMetrics m;
+  m.read_retries = reg.GetCounter("olc.read_retries");
+  m.fallback_acquisitions = reg.GetCounter("olc.fallback_acquisitions");
+  m.epoch_current = reg.GetGauge("epoch.current");
+  m.epoch_deferred_slabs = reg.GetGauge("epoch.deferred_slabs");
+  m.epoch_deferred_blocks = reg.GetGauge("epoch.deferred_blocks");
+  return m;
+}
+
+void PublishEpochStats() {
+  const olc::EpochManager& em = olc::EpochManager::Global();
+  const OlcMetrics m = OlcMetrics::Register();
+  m.epoch_current->Set(static_cast<double>(em.current()));
+  m.epoch_deferred_slabs->Set(static_cast<double>(em.deferred_slabs()));
+  m.epoch_deferred_blocks->Set(static_cast<double>(em.deferred_blocks()));
 }
 
 }  // namespace simdtree::obs

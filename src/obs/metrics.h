@@ -160,6 +160,35 @@ class ScopedDurationNs {
   uint64_t start_;
 };
 
+// The optimistic-lock-coupling / epoch-reclamation metric set
+// (core/olc.h). Unlike IndexMetrics these are process-global, not
+// per-prefix: the epoch manager is a singleton and every wrapper's
+// optimistic read path feeds the same counters.
+//
+//   olc.read_retries           optimistic attempts invalidated by a
+//                              concurrent writer (each restart counts)
+//   olc.fallback_acquisitions  reads that exhausted kMaxReadRetries and
+//                              took the shard's shared lock
+//   epoch.current              global epoch (gauge)
+//   epoch.deferred_slabs       quarantined slabs awaiting reader advance
+//   epoch.deferred_blocks      quarantined node blocks awaiting reuse
+struct OlcMetrics {
+  Counter* read_retries = nullptr;
+  Counter* fallback_acquisitions = nullptr;
+  Gauge* epoch_current = nullptr;
+  Gauge* epoch_deferred_slabs = nullptr;
+  Gauge* epoch_deferred_blocks = nullptr;
+
+  // Resolves the set in the global registry. Cheap enough to call per
+  // wrapper construction; the names always map to the same objects.
+  static OlcMetrics Register();
+};
+
+// Refreshes the epoch.* gauges from the global olc::EpochManager. The
+// stats server calls this before rendering /metrics so scrapes see
+// current reclamation state without a hot-path publisher.
+void PublishEpochStats();
+
 }  // namespace simdtree::obs
 
 #endif  // SIMDTREE_OBS_METRICS_H_

@@ -92,6 +92,7 @@ std::string StatsServer::HandleRequest(const std::string& path) {
   // Strip a query string: Prometheus may append one.
   const std::string route = path.substr(0, path.find('?'));
   PublishDispatchMetrics();
+  PublishEpochStats();
   if (route == "/metrics") {
     return HttpResponse(
         200, "OK",

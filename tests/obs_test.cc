@@ -334,7 +334,9 @@ TEST(IndexMetricsHookTest, SynchronizedIndexCountsOps) {
   for (uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(index.Contains(k));
   EXPECT_EQ(index.Find(7), std::optional<uint64_t>(70));
   EXPECT_EQ(m.reads->Get() - reads0, 51u);
-  EXPECT_GT(m.read_lock_ns->Count(), 0u);
+  // Reads on OLC-capable indexes are lock-free by default, so the
+  // read-lock histogram records only fallback acquisitions — it may
+  // legitimately stay empty here (core/olc.h).
   EXPECT_GT(m.write_lock_ns->Count(), 0u);
 
   const uint64_t batches0 = m.batches->Get();
