@@ -50,7 +50,10 @@ target_qps/achieved_qps/requests/replies/errors and latency percentiles
 with achieved_qps > 0, replies > 0, and p50_ns <= p99_ns <= p999_ns <=
 max_ns. Every "slo" section present is validated regardless of the
 flag; its absence under the flag means the serving smoke produced no
-SLO report.
+SLO report. When the line also carries an "ops" object (the per-opcode
+latency breakdown bb_serve emits next to "slo"), each entry must be an
+object with numeric replies/p50_ns/p99_ns/p999_ns, monotone
+percentiles, and the op replies must not exceed the total.
 
 --require-dispatch asserts that a bench_header line is present and
 carries a well-formed runtime "dispatch" object (bench_util.h
@@ -163,6 +166,48 @@ def check_slo_section(doc: dict, lineno: int) -> bool:
         print(f'line {lineno}: "slo" percentiles not monotone: '
               f'p50={slo["p50_ns"]} p99={slo["p99_ns"]} '
               f'p999={slo["p999_ns"]} max={slo["max_ns"]}', file=sys.stderr)
+        return False
+    if "ops" in doc and not check_ops_section(doc, slo, lineno):
+        return False
+    return True
+
+
+def check_ops_section(doc: dict, slo: dict, lineno: int) -> bool:
+    """Validates the per-opcode "ops" breakdown bb_serve emits."""
+    ops = doc["ops"]
+    if not isinstance(ops, dict):
+        print(f'line {lineno}: "ops" is not an object', file=sys.stderr)
+        return False
+    known = {"get", "mget", "put", "del", "lower_bound"}
+    total_replies = 0
+    for op, stats in ops.items():
+        if op not in known:
+            print(f'line {lineno}: "ops" has unknown opcode {op!r}',
+                  file=sys.stderr)
+            return False
+        if not isinstance(stats, dict):
+            print(f'line {lineno}: "ops".{op} is not an object',
+                  file=sys.stderr)
+            return False
+        for field in ("replies", "p50_ns", "p99_ns", "p999_ns"):
+            value = stats.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                print(f'line {lineno}: "ops".{op}.{field} is not numeric',
+                      file=sys.stderr)
+                return False
+            if value < 0:
+                print(f'line {lineno}: "ops".{op}.{field} is negative',
+                      file=sys.stderr)
+                return False
+        if not stats["p50_ns"] <= stats["p99_ns"] <= stats["p999_ns"]:
+            print(f'line {lineno}: "ops".{op} percentiles not monotone: '
+                  f'p50={stats["p50_ns"]} p99={stats["p99_ns"]} '
+                  f'p999={stats["p999_ns"]}', file=sys.stderr)
+            return False
+        total_replies += stats["replies"]
+    if total_replies > slo["replies"]:
+        print(f'line {lineno}: "ops" replies sum to {total_replies}, more '
+              f'than the slo total {slo["replies"]}', file=sys.stderr)
         return False
     return True
 

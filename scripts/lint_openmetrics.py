@@ -9,15 +9,22 @@ the exporter (src/obs/export.cc RenderOpenMetrics) promises:
   * every family is declared by a `# TYPE` line before its samples,
     and declared at most once
   * counter samples carry the `_total` suffix
+  * gauge samples may carry a label set (the simdtree_build_info
+    pattern: constant 1 with provenance labels); every label name must
+    be a valid metric name and values must be well-quoted
   * histogram families expose `_bucket{le="..."}` samples with
     monotonically non-decreasing upper bounds and cumulative counts,
     close with a le="+Inf" bucket, and expose `_count` == the +Inf
     bucket's value plus a `_sum`
+  * exemplars (` # {trace_id="..."} value`) are accepted ONLY on
+    `_bucket` lines with a finite le, must parse, and must satisfy the
+    in-range rule value <= le
   * the exposition ends with exactly one `# EOF` line, with nothing
     after it
 
 Usage:
   curl -s http://127.0.0.1:9100/metrics | scripts/lint_openmetrics.py
+  scripts/lint_openmetrics.py --self-test
 """
 
 import re
@@ -26,13 +33,20 @@ import sys
 NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
 TYPE_RE = re.compile(r"# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
                      r"(counter|gauge|histogram)\Z")
+# name{labels} value [# {exemplar-labels} exemplar-value]
 SAMPLE_RE = re.compile(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
-                       r'(?:\{le="([^"]*)"\})? (\S+)\Z')
+                       r"(?:\{([^{}]*)\})?"
+                       r" (\S+)"
+                       r"(?: # \{([^{}]*)\} (\S+))?\Z")
+LABEL_RE = re.compile(r'([a-zA-Z_:][a-zA-Z0-9_:]*)="((?:[^"\\]|\\.)*)"\Z')
+
+
+class LintError(Exception):
+    pass
 
 
 def fail(lineno: int, message: str) -> None:
-    print(f"line {lineno}: {message}", file=sys.stderr)
-    sys.exit(1)
+    raise LintError(f"line {lineno}: {message}")
 
 
 def parse_le(raw: str) -> float:
@@ -42,6 +56,43 @@ def parse_le(raw: str) -> float:
         return float(raw)
     except ValueError:
         return float("nan")
+
+
+def parse_labels(raw: str, lineno: int) -> dict:
+    """'k="v",k2="v2"' -> dict, failing on malformed pairs."""
+    labels = {}
+    if raw == "":
+        return labels
+    for pair in split_label_pairs(raw, lineno):
+        m = LABEL_RE.match(pair)
+        if not m:
+            fail(lineno, f"malformed label pair {pair[:60]!r}")
+        name = m.group(1)
+        if name in labels:
+            fail(lineno, f"duplicate label {name!r}")
+        labels[name] = m.group(2)
+    return labels
+
+
+def split_label_pairs(raw: str, lineno: int) -> list:
+    """Splits on commas outside quoted values."""
+    pairs, depth_quote, start = [], False, 0
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\" and depth_quote:
+            i += 2
+            continue
+        if c == '"':
+            depth_quote = not depth_quote
+        elif c == "," and not depth_quote:
+            pairs.append(raw[start:i])
+            start = i + 1
+        i += 1
+    if depth_quote:
+        fail(lineno, "unterminated quoted label value")
+    pairs.append(raw[start:])
+    return pairs
 
 
 def family_of(name: str, families: dict) -> str:
@@ -55,14 +106,16 @@ def family_of(name: str, families: dict) -> str:
     return ""
 
 
-def main() -> int:
+def lint(stream) -> str:
     families = {}      # family name -> type
     buckets = {}       # histogram family -> [(le, count)]
     samples = {}       # family -> {suffix: value}
+    exemplars = 0
+    labeled_gauges = 0
     saw_eof = False
     lines = 0
 
-    for lineno, line in enumerate(sys.stdin, start=1):
+    for lineno, line in enumerate(stream, start=1):
         line = line.rstrip("\n")
         lines += 1
         if saw_eof:
@@ -87,13 +140,16 @@ def main() -> int:
         m = SAMPLE_RE.match(line)
         if not m:
             fail(lineno, f"malformed sample line: {line[:100]!r}")
-        name, le_raw, value_raw = m.group(1), m.group(2), m.group(3)
+        name, labels_raw, value_raw = m.group(1), m.group(2), m.group(3)
+        ex_labels_raw, ex_value_raw = m.group(4), m.group(5)
         if not NAME_RE.match(name):
             fail(lineno, f"invalid metric name {name!r}")
         try:
             value = float(value_raw)
         except ValueError:
             fail(lineno, f"non-numeric sample value {value_raw!r}")
+        labels = (parse_labels(labels_raw, lineno)
+                  if labels_raw is not None else {})
 
         family = family_of(name, families)
         if not family:
@@ -101,32 +157,56 @@ def main() -> int:
         mtype = families[family]
         suffix = name[len(family):]
 
+        if ex_labels_raw is not None and not (
+                mtype == "histogram" and suffix == "_bucket"):
+            fail(lineno, f"exemplar on non-bucket sample {name!r}")
+
         if mtype == "counter":
             if suffix != "_total":
                 fail(lineno, f"counter sample {name!r} must end in _total")
+            if labels:
+                fail(lineno, f"unexpected labels on counter {name!r}")
             if value < 0:
                 fail(lineno, f"negative counter value {value}")
         elif mtype == "gauge":
             if suffix != "":
                 fail(lineno, f"gauge sample {name!r} has a suffix")
+            if labels:
+                labeled_gauges += 1  # info-style gauge: labels validated
         else:  # histogram
             if suffix == "_bucket":
-                if le_raw is None:
+                if "le" not in labels:
                     fail(lineno, f"histogram bucket {name!r} missing le")
-                le = parse_le(le_raw)
+                le = parse_le(labels["le"])
                 if le != le:  # NaN
-                    fail(lineno, f"unparseable le {le_raw!r}")
+                    fail(lineno, f"unparseable le {labels['le']!r}")
                 fam_buckets = buckets[family]
                 if fam_buckets:
                     prev_le, prev_count = fam_buckets[-1]
                     if le <= prev_le:
-                        fail(lineno, f"{family}: le {le_raw!r} not "
+                        fail(lineno, f"{family}: le {labels['le']!r} not "
                                      "increasing")
                     if value < prev_count:
                         fail(lineno, f"{family}: bucket counts not "
                                      f"cumulative ({value} < {prev_count})")
                 fam_buckets.append((le, value))
+                if ex_labels_raw is not None:
+                    if le == float("inf"):
+                        fail(lineno, f"{family}: exemplar on +Inf bucket")
+                    parse_labels(ex_labels_raw, lineno)
+                    try:
+                        ex_value = float(ex_value_raw)
+                    except ValueError:
+                        fail(lineno, "non-numeric exemplar value "
+                                     f"{ex_value_raw!r}")
+                    if ex_value > le:
+                        fail(lineno, f"{family}: exemplar value "
+                                     f"{ex_value} > le {le} (in-range "
+                                     "rule)")
+                    exemplars += 1
             elif suffix in ("_count", "_sum"):
+                if labels:
+                    fail(lineno, f"unexpected labels on {name!r}")
                 samples[family][suffix] = value
             else:
                 fail(lineno, f"unexpected histogram sample {name!r}")
@@ -148,8 +228,77 @@ def main() -> int:
             fail(lines, f"{family}: _count {samples[family]['_count']} != "
                         f"+Inf bucket {fam_buckets[-1][1]}")
 
-    print(f"ok: {len(families)} families ({histograms} histograms), "
-          f"{lines} lines")
+    parts = [f"ok: {len(families)} families ({histograms} histograms)",
+             f"{lines} lines"]
+    if exemplars:
+        parts.append(f"{exemplars} exemplars")
+    if labeled_gauges:
+        parts.append(f"{labeled_gauges} labeled gauges")
+    return ", ".join(parts)
+
+
+GOOD_FIXTURE = """\
+# TYPE net_requests counter
+net_requests_total 42
+# TYPE simdtree_build_info gauge
+simdtree_build_info{git_sha="abc123",backend="avx2",hugepages="0"} 1
+# TYPE process_uptime_seconds gauge
+process_uptime_seconds 12.5
+# TYPE net_op_get_ns histogram
+net_op_get_ns_bucket{le="1024"} 3 # {trace_id="00000000000000ab"} 900
+net_op_get_ns_bucket{le="2048"} 7
+net_op_get_ns_bucket{le="+Inf"} 9
+net_op_get_ns_count 9
+net_op_get_ns_sum 12345
+# EOF
+"""
+
+BAD_FIXTURES = {
+    "exemplar breaks in-range rule": GOOD_FIXTURE.replace(
+        '} 900', '} 2000'),
+    "exemplar on +Inf bucket": GOOD_FIXTURE.replace(
+        'le="+Inf"} 9', 'le="+Inf"} 9 # {trace_id="ab"} 1'),
+    "exemplar on a gauge": GOOD_FIXTURE.replace(
+        "process_uptime_seconds 12.5",
+        'process_uptime_seconds 12.5 # {trace_id="ab"} 1'),
+    "malformed label pair": GOOD_FIXTURE.replace(
+        'git_sha="abc123"', "git_sha=abc123"),
+    "count mismatch": GOOD_FIXTURE.replace(
+        "net_op_get_ns_count 9", "net_op_get_ns_count 8"),
+}
+
+
+def self_test() -> int:
+    try:
+        summary = lint(GOOD_FIXTURE.splitlines(True))
+    except LintError as err:
+        print(f"self-test FAILED: good fixture rejected: {err}",
+              file=sys.stderr)
+        return 1
+    if "1 exemplars" not in summary or "1 labeled gauges" not in summary:
+        print(f"self-test FAILED: good fixture summary {summary!r} "
+              "missed the exemplar/labeled-gauge counts", file=sys.stderr)
+        return 1
+    for name, fixture in BAD_FIXTURES.items():
+        try:
+            lint(fixture.splitlines(True))
+        except LintError:
+            continue
+        print(f"self-test FAILED: bad fixture {name!r} passed",
+              file=sys.stderr)
+        return 1
+    print("self-test ok")
+    return 0
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    try:
+        print(lint(sys.stdin))
+    except LintError as err:
+        print(err, file=sys.stderr)
+        return 1
     return 0
 
 

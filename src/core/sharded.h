@@ -72,6 +72,7 @@
 #include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "util/cycle_timer.h"
 
@@ -260,6 +261,10 @@ class ShardedIndex {
         scope.emplace();
         scope->trace()->shard = 0;
       }
+      // Request-span hook (obs/request_trace.h): the whole single-shard
+      // batch is one descent span; there is no fan-out to attribute.
+      obs::CollectedSpanScope descent_span(
+          obs::RequestSpanKind::kDescent);
       if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
         if (olc_enabled_ && !scope) {
           RunSubBatchOptimistic(
@@ -281,6 +286,10 @@ class ShardedIndex {
       if (scope) scope->Finish();
       return;
     }
+    // Request-span hook: passes 1-2 (partition + scatter) are the
+    // shard_fanout span, pass 3 (per-shard descents) the descent span.
+    obs::CollectedSpanScope fanout_span(
+        obs::RequestSpanKind::kShardFanout);
     // Pass 1: shard id per key + per-shard counts.
     std::vector<uint32_t> shard_of(n);
     std::vector<size_t> start(num + 1, 0);
@@ -324,6 +333,8 @@ class ShardedIndex {
       scope.emplace();
       scope->trace()->shard = static_cast<uint16_t>(shard_of[0]);
     }
+    fanout_span.Finish();
+    obs::CollectedSpanScope descent_span(obs::RequestSpanKind::kDescent);
     // Pass 3: per shard, one lock, the whole sub-batch through the
     // grouped descent (when it clears the heuristic) or the chunked
     // pipelined FindBatch, scattering back to caller order.

@@ -44,6 +44,7 @@
 #include "core/trace_hooks.h"
 #include "mem/arena.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "util/cycle_timer.h"
 
@@ -153,6 +154,9 @@ class SynchronizedIndex {
     if (obs::TraceShouldSample()) [[unlikely]] {
       scope.emplace();
     }
+    // Request-span hook (obs/request_trace.h): no shards here, so the
+    // whole batch — lock wait included — is one descent span.
+    obs::CollectedSpanScope descent_span(obs::RequestSpanKind::kDescent);
     if constexpr (HasOptimisticReads<Index, KeyType, ValueType>) {
       // Sampled batches fall through to the locked path so the trace
       // captures lock_wait_ns and the per-level descent hooks.

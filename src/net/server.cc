@@ -13,10 +13,14 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/profiler.h"
+#include "obs/request_trace.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "util/cycle_timer.h"
 
@@ -35,11 +39,38 @@ uint64_t ElapsedNs(uint64_t start_cycles) {
       CycleTimer::ToNanoseconds(CycleTimer::Now() - start_cycles));
 }
 
+uint64_t CyclesToNs(uint64_t cycles) {
+  return static_cast<uint64_t>(CycleTimer::ToNanoseconds(cycles));
+}
+
 // One decoded frame of a connection's pipeline, ready to execute.
 struct PendingRequest {
   Request req;
   DecodeResult rc = DecodeResult::kOk;
 };
+
+obs::ExemplarStore* ExemplarForOp(const NetMetrics& m, uint8_t opcode) {
+  switch (opcode) {
+    case kOpGet: return m.ex_get;
+    case kOpMget: return m.ex_mget;
+    case kOpLowerBound: return m.ex_lower_bound;
+    case kOpPut: return m.ex_put;
+    case kOpDel: return m.ex_del;
+    default: return nullptr;  // stats/error replies carry no exemplar
+  }
+}
+
+// Copies the index-internal sub-phases (shard_fanout, descent) the
+// concurrency wrappers marked into the collector onto one request's
+// trace.
+void AppendCollectedSpans(obs::RequestTrace* t,
+                          const obs::SpanCollector& collector) {
+  for (int s = 0; s < collector.count; ++s) {
+    const obs::RequestSpan& cs = collector.spans[s];
+    obs::AppendRequestSpan(t, static_cast<obs::RequestSpanKind>(cs.kind),
+                           cs.start_ns, cs.duration_ns);
+  }
+}
 
 }  // namespace
 
@@ -61,6 +92,11 @@ NetMetrics NetMetrics::Register() {
   m.op_put_ns = reg.GetHistogram("net.op_put_ns");
   m.op_del_ns = reg.GetHistogram("net.op_del_ns");
   m.op_stats_ns = reg.GetHistogram("net.op_stats_ns");
+  m.ex_get = reg.GetExemplars("net.op_get_ns");
+  m.ex_mget = reg.GetExemplars("net.op_mget_ns");
+  m.ex_lower_bound = reg.GetExemplars("net.op_lower_bound_ns");
+  m.ex_put = reg.GetExemplars("net.op_put_ns");
+  m.ex_del = reg.GetExemplars("net.op_del_ns");
   return m;
 }
 
@@ -92,6 +128,10 @@ struct KvServer::Worker {
   // Shared scratch for read-run coalescing (reused across pipelines).
   std::vector<uint64_t> batch_keys;
   std::vector<std::optional<uint64_t>> batch_out;
+
+  // Request-span scratch, one slot per pipeline entry; only populated
+  // while the request tracer is armed (empty otherwise).
+  std::vector<obs::RequestTrace> trace_scratch;
 
   ~Worker() {
     for (auto& [fd, conn] : conns) ::close(fd);
@@ -212,6 +252,9 @@ struct KvServer::Worker {
   // then executes every complete frame. Returns false when the
   // connection was closed.
   bool HandleReadable(Conn* c, bool draining) {
+    // Disarmed, span recording costs this one relaxed load per drain.
+    const bool tracing = obs::RequestTracer::Global().enabled();
+    const uint64_t gulp_start = tracing ? CycleTimer::Now() : 0;
     char buf[16 * 1024];
     bool peer_closed = false;
     while (c->rbuf.size() < server->options_.read_buffer_limit) {
@@ -232,7 +275,10 @@ struct KvServer::Worker {
       }
       break;
     }
-    if (!ProcessPipeline(c, draining)) return false;  // conn closed
+    const uint64_t read_ns = tracing ? ElapsedNs(gulp_start) : 0;
+    if (!ProcessPipeline(c, draining, tracing, gulp_start, read_ns)) {
+      return false;  // conn closed
+    }
     if (peer_closed) {
       CloseConn(c);
       return false;
@@ -243,7 +289,8 @@ struct KvServer::Worker {
   // Extracts and executes every complete frame in c->rbuf, appends the
   // replies to c->wbuf in request order, flushes. Returns false when
   // the connection was closed (framing violation or flush failure).
-  bool ProcessPipeline(Conn* c, bool draining) {
+  bool ProcessPipeline(Conn* c, bool draining, bool tracing,
+                      uint64_t gulp_start_cycles, uint64_t read_ns) {
     std::vector<PendingRequest> pipeline;
     size_t off = 0;
     bool framing_violation = false;
@@ -266,7 +313,32 @@ struct KvServer::Worker {
                   c->rbuf.begin() + static_cast<ptrdiff_t>(off));
     c->partial_since_ms = c->rbuf.empty() ? -1 : NowMs();
 
-    if (!pipeline.empty()) Execute(c, pipeline);
+    // Each decoded frame gets its trace id HERE — before execution —
+    // so a request that stalls mid-pipeline is already identifiable.
+    trace_scratch.clear();
+    if (tracing && !pipeline.empty()) {
+      auto& tracer = obs::RequestTracer::Global();
+      const uint64_t gulp_start_ns = CyclesToNs(gulp_start_cycles);
+      trace_scratch.reserve(pipeline.size());
+      for (const PendingRequest& p : pipeline) {
+        obs::RequestTrace t;
+        t.trace_id = tracer.NextTraceId();
+        t.start_ns = gulp_start_ns;
+        t.conn_id = c->id;
+        t.request_id = p.req.request_id;
+        t.opcode = p.req.opcode;
+        // The gulp that delivered this frame also delivered its pipeline
+        // siblings; they honestly share one socket_read span.
+        obs::AppendRequestSpan(&t, obs::RequestSpanKind::kSocketRead,
+                               gulp_start_ns, read_ns);
+        trace_scratch.push_back(t);
+      }
+    }
+
+    if (!pipeline.empty()) {
+      Execute(c, pipeline,
+              trace_scratch.empty() ? nullptr : trace_scratch.data());
+    }
 
     if (framing_violation) {
       server->metrics_.malformed->Add();
@@ -275,20 +347,67 @@ struct KvServer::Worker {
       c->rbuf.clear();
       c->partial_since_ms = -1;
     }
-    return FlushAndManage(c, draining);
+
+    if (trace_scratch.empty()) return FlushAndManage(c, draining);
+
+    // Tail decision happens after the flush, when end-to-end latency is
+    // known. FlushAndManage may close the connection; the traces are
+    // values, so finishing them stays safe either way.
+    const uint64_t flush_start = CycleTimer::Now();
+    const bool alive = FlushAndManage(c, draining);
+    const uint64_t flush_ns = ElapsedNs(flush_start);
+    const uint64_t flush_start_ns = CyclesToNs(flush_start);
+    const uint64_t latency_ns = ElapsedNs(gulp_start_cycles);
+    auto& tracer = obs::RequestTracer::Global();
+    for (obs::RequestTrace& t : trace_scratch) {
+      obs::AppendRequestSpan(&t, obs::RequestSpanKind::kWriteFlush,
+                             flush_start_ns, flush_ns);
+      t.latency_ns = latency_ns;
+      if (tracer.Finish(&t) && t.status == kStatusOk) {
+        // Retained traces are inspectable in /requestz, so their ids
+        // may honestly serve as exemplars on the per-op histogram the
+        // same service_ns was recorded into.
+        obs::ExemplarStore* store = ExemplarForOp(server->metrics_, t.opcode);
+        if (store != nullptr) store->Offer(t.service_ns, t.trace_id);
+      }
+    }
+    trace_scratch.clear();
+    return alive;
   }
 
   // Executes one pipeline: maximal runs of consecutive well-formed
   // GET/MGET requests coalesce into one backend FindBatch; everything
   // else (writes, lower bounds, stats, errors) executes at its pipeline
   // position, preserving the wire's sequential semantics.
-  void Execute(Conn* c, std::vector<PendingRequest>& pipeline) {
+  // Test hook: stalls the calling worker when the key set touches
+  // options_.test_slow_key, manufacturing one deterministic
+  // slow-threshold breach inside the timed execute region.
+  void MaybeTestStall(const uint64_t* keys, size_t n) {
+    const uint64_t stall_ns = server->options_.test_slow_ns;
+    if (stall_ns == 0) return;
+    for (size_t i = 0; i < n; ++i) {
+      if (keys[i] == server->options_.test_slow_key) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(stall_ns));
+        return;
+      }
+    }
+  }
+
+  void Execute(Conn* c, std::vector<PendingRequest>& pipeline,
+               obs::RequestTrace* traces) {
     NetMetrics& m = server->metrics_;
     m.requests->Add(pipeline.size());
     server->in_flight_.fetch_add(static_cast<int64_t>(pipeline.size()),
                                  std::memory_order_relaxed);
     m.in_flight->Set(static_cast<double>(
         server->in_flight_.load(std::memory_order_relaxed)));
+
+    // Execute-entry timestamp anchors every request's coalesce_wait
+    // span: how long its run sat behind earlier pipeline ops (writes
+    // are barriers, so a read can queue behind a PUT).
+    const uint64_t exec_start = traces != nullptr ? CycleTimer::Now() : 0;
+    const uint64_t exec_start_ns =
+        traces != nullptr ? CyclesToNs(exec_start) : 0;
 
     size_t i = 0;
     while (i < pipeline.size()) {
@@ -316,12 +435,22 @@ struct KvServer::Worker {
         }
         batch_out.assign(batch_keys.size(), std::nullopt);
         obs::SetTraceRequestContext(c->id, pipeline[i].req.request_id);
+        // Arm the thread-local collector so the index wrappers mark
+        // their fan-out/descent sub-phases into it.
+        obs::SpanCollector collector;
+        uint64_t wait_ns = 0;
+        if (traces != nullptr) {
+          wait_ns = ElapsedNs(exec_start);
+          obs::SetActiveSpanCollector(&collector);
+        }
         const uint64_t start = CycleTimer::Now();
+        MaybeTestStall(batch_keys.data(), batch_keys.size());
         if (!batch_keys.empty()) {
           server->backend_->FindBatch(batch_keys.data(), batch_keys.size(),
                                       batch_out.data());
         }
         const uint64_t ns = ElapsedNs(start);
+        if (traces != nullptr) obs::SetActiveSpanCollector(nullptr);
         m.coalesced_batch->Record(batch_keys.size());
         // Scatter results back into one reply per request, in order.
         size_t k = 0;
@@ -352,11 +481,24 @@ struct KvServer::Worker {
             k += n;
             m.op_mget_ns->Record(ns);
           }
+          if (traces != nullptr) {
+            // One coalesced FindBatch served every request of the run;
+            // each carries a copy of the shared fan-out/descent spans
+            // plus the batch size — those cycles were genuinely shared.
+            obs::RequestTrace& t = traces[j];
+            obs::AppendRequestSpan(&t, obs::RequestSpanKind::kCoalesceWait,
+                                   exec_start_ns, wait_ns);
+            AppendCollectedSpans(&t, collector);
+            t.batch_keys = static_cast<uint32_t>(batch_keys.size());
+            t.service_ns = ns;
+            t.status = kStatusOk;
+          }
         }
         i = end;
         continue;
       }
-      ExecuteSingle(c, p);
+      ExecuteSingle(c, p, traces != nullptr ? &traces[i] : nullptr,
+                    exec_start, exec_start_ns);
       ++i;
     }
     obs::ClearTraceRequestContext();
@@ -367,20 +509,30 @@ struct KvServer::Worker {
         server->in_flight_.load(std::memory_order_relaxed)));
   }
 
-  void ExecuteSingle(Conn* c, const PendingRequest& p) {
+  void ExecuteSingle(Conn* c, const PendingRequest& p,
+                     obs::RequestTrace* trace, uint64_t exec_start,
+                     uint64_t exec_start_ns) {
     NetMetrics& m = server->metrics_;
     const Request& r = p.req;
     if (p.rc != DecodeResult::kOk) {
+      const uint8_t status = p.rc == DecodeResult::kUnknownOp
+                                 ? kStatusUnknownOp
+                                 : kStatusMalformed;
       m.malformed->Add();
-      AppendErrorResponse(&c->wbuf, r.opcode,
-                          p.rc == DecodeResult::kUnknownOp
-                              ? kStatusUnknownOp
-                              : kStatusMalformed,
-                          r.request_id);
+      AppendErrorResponse(&c->wbuf, r.opcode, status, r.request_id);
+      if (trace != nullptr) trace->status = status;
       return;
     }
     obs::SetTraceRequestContext(c->id, r.request_id);
+    obs::SpanCollector collector;
+    uint64_t wait_ns = 0;
+    if (trace != nullptr) {
+      wait_ns = ElapsedNs(exec_start);
+      obs::SetActiveSpanCollector(&collector);
+    }
     const uint64_t start = CycleTimer::Now();
+    MaybeTestStall(&r.key, 1);
+    obs::LogHistogram* hist = nullptr;
     switch (r.opcode) {
       case kOpLowerBound: {
         uint64_t out_key = 0, out_value = 0;
@@ -395,23 +547,23 @@ struct KvServer::Worker {
                 PutU64(o, out_value);
               }
             });
-        m.op_lower_bound_ns->Record(ElapsedNs(start));
-        return;
+        hist = m.op_lower_bound_ns;
+        break;
       }
       case kOpPut:
         server->backend_->Put(r.key, r.value);
         AppendResponseFrame(&c->wbuf, kOpPut, kStatusOk, r.request_id, 0,
                             [](std::vector<uint8_t>*) {});
-        m.op_put_ns->Record(ElapsedNs(start));
-        return;
+        hist = m.op_put_ns;
+        break;
       case kOpDel: {
         const bool erased = server->backend_->Del(r.key);
         AppendResponseFrame(&c->wbuf, kOpDel, kStatusOk, r.request_id, 1,
                             [erased](std::vector<uint8_t>* o) {
                               PutU8(o, erased ? 1 : 0);
                             });
-        m.op_del_ns->Record(ElapsedNs(start));
-        return;
+        hist = m.op_del_ns;
+        break;
       }
       case kOpStats: {
         std::string json = server->backend_->StatsJson();
@@ -422,8 +574,8 @@ struct KvServer::Worker {
                             json.size(), [&json](std::vector<uint8_t>* o) {
                               o->insert(o->end(), json.begin(), json.end());
                             });
-        m.op_stats_ns->Record(ElapsedNs(start));
-        return;
+        hist = m.op_stats_ns;
+        break;
       }
       default:
         // DecodeRequest only returns kOk for opcodes it knows; GET/MGET
@@ -431,7 +583,28 @@ struct KvServer::Worker {
         m.malformed->Add();
         AppendErrorResponse(&c->wbuf, r.opcode, kStatusUnknownOp,
                             r.request_id);
+        if (trace != nullptr) {
+          obs::SetActiveSpanCollector(nullptr);
+          trace->status = kStatusUnknownOp;
+        }
         return;
+    }
+    const uint64_t ns = ElapsedNs(start);
+    hist->Record(ns);
+    if (trace != nullptr) {
+      obs::SetActiveSpanCollector(nullptr);
+      obs::AppendRequestSpan(trace, obs::RequestSpanKind::kCoalesceWait,
+                             exec_start_ns, wait_ns);
+      if (collector.count > 0) {
+        AppendCollectedSpans(trace, collector);
+      } else {
+        // Ops without wrapper hooks (single-key writes, stats): the
+        // whole backend call is honestly one descent span.
+        obs::AppendRequestSpan(trace, obs::RequestSpanKind::kDescent,
+                               CyclesToNs(start), ns);
+      }
+      trace->service_ns = ns;
+      trace->status = kStatusOk;
     }
   }
 
@@ -505,6 +678,10 @@ struct KvServer::Worker {
     int64_t drain_deadline = 0;
     epoll_event events[64];
     while (true) {
+      // Continuous-profiler hookup: no-op (one acquire load) unless the
+      // profiler is running; retried per wake so a profiler started
+      // after the server still catches the worker threads.
+      obs::ContinuousProfiler::Global().RegisterCurrentThread();
       if (!draining &&
           !server->running_.load(std::memory_order_acquire)) {
         draining = true;
@@ -579,6 +756,10 @@ bool KvServer::Start(const KvServerOptions& options) {
   options_ = options;
   if (options_.num_workers < 1) options_.num_workers = 1;
   metrics_ = NetMetrics::Register();
+  if (options_.request_sample != 0 || options_.request_slow_ns != 0) {
+    obs::RequestTracer::Global().Configure(options_.request_sample,
+                                           options_.request_slow_ns);
+  }
 
   workers_.clear();
   uint16_t bound_port = options_.port;
@@ -596,6 +777,9 @@ bool KvServer::Start(const KvServerOptions& options) {
   }
   port_ = bound_port;
   in_flight_.store(0, std::memory_order_relaxed);
+  // A successful (re)start is serving again: /healthz recovers from any
+  // earlier drain.
+  obs::SetHealthDraining(false);
   running_.store(true, std::memory_order_release);
   threads_.clear();
   threads_.reserve(workers_.size());
@@ -618,6 +802,10 @@ void KvServer::Stop() {
     workers_.clear();
     return;
   }
+  // Flip /healthz to 503 "draining" BEFORE waking the workers: load
+  // balancers must stop routing new traffic while in-flight pipelines
+  // are still being flushed.
+  obs::SetHealthDraining(true);
   for (auto& worker : workers_) worker->Wake();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();

@@ -38,7 +38,14 @@
 // sizes, per-op service-time histograms, malformed/timeout counts), all
 // exported by the existing /metrics surface. Sampled descents triggered
 // by a connection's requests carry the connection and wire request id
-// (obs::SetTraceRequestContext) into /tracez.
+// (obs::SetTraceRequestContext) into /tracez. When the request tracer
+// (obs/request_trace.h) is armed, every wire request additionally
+// accumulates end-to-end spans — socket_read, coalesce_wait,
+// shard_fanout, descent, write_flush — with tail-based retention into
+// /requestz, and retained trace ids surface as OpenMetrics exemplars on
+// the per-op latency histograms. Stop() flips the process-wide drain
+// flag (obs::SetHealthDraining) before closing listeners, so /healthz
+// turns 503 "draining" while in-flight pipelines finish.
 
 #ifndef SIMDTREE_NET_SERVER_H_
 #define SIMDTREE_NET_SERVER_H_
@@ -51,6 +58,7 @@
 #include <vector>
 
 #include "net/backend.h"
+#include "obs/metrics.h"
 
 namespace simdtree::net {
 
@@ -63,6 +71,21 @@ struct KvServerOptions {
   int idle_timeout_ms = 60000;        // close after this much silence
   int request_timeout_ms = 5000;      // max age of an incomplete frame
   int drain_timeout_ms = 2000;        // graceful-stop flush bound
+
+  // Request-span tail sampling (obs/request_trace.h): a nonzero value
+  // in either field (re)configures the global RequestTracer on Start —
+  // head-sample 1 in request_sample completed requests, always retain
+  // requests slower than request_slow_ns end-to-end. Both zero leaves
+  // the tracer's existing (env-derived) configuration untouched.
+  uint32_t request_sample = 0;
+  uint64_t request_slow_ns = 0;
+
+  // Test hook: when test_slow_ns is nonzero, any request touching
+  // test_slow_key stalls that long inside its timed execute region.
+  // Differential tests use it to manufacture one deterministic
+  // slow-threshold breach; production configs leave it zero.
+  uint64_t test_slow_key = 0;
+  uint64_t test_slow_ns = 0;
 };
 
 // Pre-resolved "net.*" metric pointers (one relaxed atomic op each on
@@ -83,6 +106,15 @@ struct NetMetrics {
   obs::LogHistogram* op_put_ns = nullptr;
   obs::LogHistogram* op_del_ns = nullptr;
   obs::LogHistogram* op_stats_ns = nullptr;
+
+  // Exemplar stores paired with the per-op histograms: trace ids of
+  // tail-retained requests are offered here and surface on /metrics
+  // bucket lines, linking a scrape's p999 bucket to /requestz.
+  obs::ExemplarStore* ex_get = nullptr;
+  obs::ExemplarStore* ex_mget = nullptr;
+  obs::ExemplarStore* ex_lower_bound = nullptr;
+  obs::ExemplarStore* ex_put = nullptr;
+  obs::ExemplarStore* ex_del = nullptr;
 
   static NetMetrics Register();
 };

@@ -1,0 +1,93 @@
+// OpenMetrics exemplars for LogHistogram: one (value, trace id) pair
+// retained per raw histogram bucket, last-writer-wins.
+//
+// An exemplar links a histogram bucket in the /metrics exposition to a
+// concrete inspectable request in /requestz — the operator sees the
+// p999 bucket climb and follows the attached trace id instead of
+// guessing which request class is responsible. The store is sized to
+// the histogram's bucket geometry (obs/histogram.h), so an exemplar
+// offered with the same value that was Record()ed lands in exactly the
+// bucket whose rendered `le` range contains it — the OpenMetrics
+// "exemplar value must be within the bucket's range" rule holds by
+// construction, and the bucket is never empty (the Record that
+// motivated the Offer occupies it).
+//
+// Concurrency: per-slot seqlock with CAS-acquired write brackets.
+// Writers that lose the CAS drop their exemplar (retention is
+// best-effort by design; the histogram itself is the source of truth).
+// Readers reject in-flight or replaced slots by rechecking the seq, so
+// a rendered exemplar is never a torn mix of two requests — which
+// matters, because a torn (value, id) pair could place a trace id in a
+// bucket whose range excludes the value.
+
+#ifndef SIMDTREE_OBS_EXEMPLAR_H_
+#define SIMDTREE_OBS_EXEMPLAR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/histogram.h"
+
+namespace simdtree::obs {
+
+class ExemplarStore {
+ public:
+  struct Exemplar {
+    uint64_t value = 0;
+    uint64_t trace_id = 0;
+  };
+
+  ExemplarStore() = default;
+  ExemplarStore(const ExemplarStore&) = delete;
+  ExemplarStore& operator=(const ExemplarStore&) = delete;
+
+  // Attaches `trace_id` to the bucket that `value` Records into.
+  // Wait-free: one CAS attempt; contention drops the offer.
+  void Offer(uint64_t value, uint64_t trace_id) {
+    Slot& s = slots_[LogHistogram::BucketIndex(value)];
+    uint32_t seq = s.seq.load(std::memory_order_relaxed);
+    if ((seq & 1) != 0) return;  // another writer mid-flight
+    if (!s.seq.compare_exchange_weak(seq, seq + 1,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    s.value.store(value, std::memory_order_relaxed);
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.seq.store(seq + 2, std::memory_order_release);
+  }
+
+  // Reads bucket b's exemplar. False for never-written slots and when
+  // a concurrent Offer made the snapshot torn.
+  bool Read(size_t bucket, Exemplar* out) const {
+    const Slot& s = slots_[bucket];
+    const uint32_t before = s.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) return false;
+    out->value = s.value.load(std::memory_order_relaxed);
+    out->trace_id = s.trace_id.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return s.seq.load(std::memory_order_relaxed) == before;
+  }
+
+  // Test isolation only.
+  void Reset() {
+    for (Slot& s : slots_) {
+      s.seq.store(0, std::memory_order_relaxed);
+      s.value.store(0, std::memory_order_relaxed);
+      s.trace_id.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> value{0};
+    std::atomic<uint64_t> trace_id{0};
+  };
+  Slot slots_[LogHistogram::kBuckets];
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_EXEMPLAR_H_

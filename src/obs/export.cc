@@ -142,14 +142,17 @@ std::vector<CumulativeBucket> CumulativeBuckets(const LogHistogram& hist) {
     // folds into +Inf below.
     if (b + 1 >= LogHistogram::kBuckets) break;
     out.push_back({static_cast<double>(LogHistogram::BucketLow(b + 1)),
-                   cumulative});
+                   cumulative, b});
   }
   // Mandatory closing bucket: everything, including samples in the last
   // raw bucket. Count() and the bucket sums are separately-updated
   // atomics, so mid-record one can lag the other; clamp so the +Inf
   // bucket never undercuts an earlier one (scrapes must stay monotone).
+  // raw_bucket = kBuckets marks "no exemplar slot" — finite-le buckets
+  // carry the exemplars.
   out.push_back({std::numeric_limits<double>::infinity(),
-                 std::max(cumulative, hist.Count())});
+                 std::max(cumulative, hist.Count()),
+                 LogHistogram::kBuckets});
   return out;
 }
 
@@ -166,13 +169,48 @@ std::string RenderOpenMetrics(const MetricsRegistry::Snapshot& snap) {
     out += "# TYPE " + san + " gauge\n";
     out += san + " " + FmtDouble(value) + "\n";
   }
+  for (const auto& [name, labels] : snap.infos) {
+    const std::string san = dedup.Unique(name);
+    out += "# TYPE " + san + " gauge\n";
+    out += san + "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ",";
+      first = false;
+      out += SanitizeMetricName(k) + "=\"" + EscapeLabelValue(v) + "\"";
+    }
+    out += "} 1\n";
+  }
   for (const auto& [name, hist] : snap.histograms) {
     const std::string san = dedup.Unique(name);
+    // Exemplar stores pair with histograms by registry name; both
+    // vectors come sorted from the same map walk.
+    const ExemplarStore* store = nullptr;
+    for (const auto& [ex_name, ex_store] : snap.exemplars) {
+      if (ex_name == name) {
+        store = ex_store;
+        break;
+      }
+    }
     out += "# TYPE " + san + " histogram\n";
     const std::vector<CumulativeBucket> buckets = CumulativeBuckets(*hist);
     for (const CumulativeBucket& b : buckets) {
       out += san + "_bucket{le=\"" + FmtDouble(b.le) + "\"} " +
-             FmtU64(b.count) + "\n";
+             FmtU64(b.count);
+      ExemplarStore::Exemplar ex;
+      if (store != nullptr && b.raw_bucket < LogHistogram::kBuckets &&
+          store->Read(b.raw_bucket, &ex) &&
+          LogHistogram::BucketIndex(ex.value) == b.raw_bucket) {
+        // OpenMetrics exemplar: " # {labels} value". The in-range rule
+        // (value <= le) holds because the store slot IS this raw
+        // bucket and the id+value pair is seqlock-consistent.
+        char id[24];
+        std::snprintf(id, sizeof(id), "%016" PRIx64, ex.trace_id);
+        out += " # {trace_id=\"";
+        out += id;
+        out += "\"} " + FmtDouble(static_cast<double>(ex.value));
+      }
+      out += "\n";
     }
     // _count must equal the +Inf bucket exactly (the spec ties them).
     out += san + "_count " + FmtU64(buckets.back().count) + "\n";
@@ -210,6 +248,64 @@ std::string RenderTracezJson(const Tracer& tracer, size_t max_recent) {
     if (!first) out += ",";
     first = false;
     AppendTraceJson(&out, t);
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+void AppendRequestTraceJson(std::string* out, const RequestTrace& t) {
+  char id[24];
+  std::snprintf(id, sizeof(id), "%016" PRIx64, t.trace_id);
+  *out += "{\"trace_id\":\"";
+  *out += id;
+  *out += "\",\"conn\":" + FmtU64(t.conn_id);
+  *out += ",\"request\":" + FmtU64(t.request_id);
+  *out += ",\"op\":" + FmtU64(t.opcode);
+  *out += ",\"status\":" + FmtU64(t.status);
+  *out += ",\"start_ns\":" + FmtU64(t.start_ns);
+  *out += ",\"latency_ns\":" + FmtU64(t.latency_ns);
+  *out += ",\"service_ns\":" + FmtU64(t.service_ns);
+  *out += ",\"batch_keys\":" + FmtU64(t.batch_keys);
+  *out += ",\"thread\":" + FmtU64(t.thread_id);
+  *out += ",\"slow\":";
+  *out += t.slow ? "true" : "false";
+  *out += ",\"spans\":[";
+  for (int i = 0; i < t.num_spans && i < kMaxRequestSpans; ++i) {
+    const RequestSpan& s = t.spans[i];
+    if (i > 0) *out += ",";
+    *out += "{\"kind\":\"";
+    *out += RequestSpanKindName(s.kind);
+    *out += "\",\"start_ns\":" + FmtU64(s.start_ns);
+    *out += ",\"duration_ns\":" + FmtU64(s.duration_ns);
+    *out += "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string RenderRequestzJson(const RequestTracer& tracer,
+                               size_t max_recent) {
+  std::string out = "{\"head_rate\":" + FmtU64(tracer.head_rate());
+  out += ",\"slow_threshold_ns\":" + FmtU64(tracer.slow_threshold_ns());
+  out += ",\"completed\":" + FmtU64(tracer.completed());
+  out += ",\"retained\":" + FmtU64(tracer.retained());
+  out += ",\"slow_retained\":" + FmtU64(tracer.slow_retained());
+  out += ",\"recent\":[";
+  bool first = true;
+  for (const RequestTrace& t : tracer.Snapshot(max_recent)) {
+    if (!first) out += ",";
+    first = false;
+    AppendRequestTraceJson(&out, t);
+  }
+  out += "],\"slow\":[";
+  first = true;
+  for (const RequestTrace& t : tracer.SlowSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    AppendRequestTraceJson(&out, t);
   }
   out += "]}";
   return out;

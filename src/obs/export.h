@@ -22,6 +22,7 @@
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 
 namespace simdtree::obs {
@@ -42,6 +43,9 @@ std::string EscapeLabelValue(const std::string& value);
 struct CumulativeBucket {
   double le = 0.0;        // upper bound; +Inf for the closing bucket
   uint64_t count = 0;     // cumulative count of samples <= le
+  size_t raw_bucket = 0;  // LogHistogram bucket index this edge closes —
+                          // the exemplar-store slot to join against
+                          // (the +Inf bucket keeps the last raw index)
 };
 
 // Converts a LogHistogram's raw log buckets into cumulative OpenMetrics
@@ -52,8 +56,14 @@ struct CumulativeBucket {
 std::vector<CumulativeBucket> CumulativeBuckets(const LogHistogram& hist);
 
 // Renders a registry snapshot as OpenMetrics text exposition
-// (counters with the `_total` suffix, gauges, histograms as cumulative
-// buckets), terminated by the mandatory "# EOF" line.
+// (counters with the `_total` suffix, gauges, info metrics as labeled
+// constant-1 gauges, histograms as cumulative buckets), terminated by
+// the mandatory "# EOF" line. Histograms with an exemplar store of the
+// same name get `# {trace_id="..."} value` exemplars appended to the
+// bucket lines whose raw bucket holds a retained trace id; an exemplar
+// is only rendered when its value verifiably belongs to that bucket,
+// so the OpenMetrics in-range rule survives races with concurrent
+// Offers.
 std::string RenderOpenMetrics(const MetricsRegistry::Snapshot& snap);
 
 // Same data as one JSON document (the registry's ToJson shape plus the
@@ -66,6 +76,15 @@ std::string RenderMetricsJson(const MetricsRegistry& registry,
 // `max_recent` caps the recent-trace array (0 = TraceRing capacity per
 // thread, i.e. everything retained).
 std::string RenderTracezJson(const Tracer& tracer, size_t max_recent = 0);
+
+// /requestz payload: the request-span recorder's state and both
+// retention tiers, spans expanded with kind names —
+// {"head_rate":..,"slow_threshold_ns":..,"completed":..,"retained":..,
+//  "slow_retained":..,"recent":[request...],"slow":[request...]}.
+// Trace ids render as the same 16-hex-digit strings used by the
+// OpenMetrics exemplars, so the two surfaces join textually.
+std::string RenderRequestzJson(const RequestTracer& tracer,
+                               size_t max_recent = 0);
 
 }  // namespace simdtree::obs
 

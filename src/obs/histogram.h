@@ -106,6 +106,23 @@ class LogHistogram {
     return BucketMid(kBuckets - 1);
   }
 
+  // Samples recorded with value <= threshold — the numerator of a
+  // latency objective ("fraction of requests under X ms", obs/slo.h).
+  // Conservative at the boundary bucket: a bucket is counted only when
+  // its whole range [BucketLow(b), BucketLow(b+1)) lies at or below the
+  // threshold, so the result never overstates objective compliance by
+  // more than one log bucket (relative error <= 2^-kPrecisionBits).
+  uint64_t CountBelow(uint64_t threshold) const {
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const uint64_t upper =
+          b + 1 < kBuckets ? BucketLow(b + 1) - 1 : ~uint64_t{0};
+      if (upper > threshold) break;
+      seen += buckets_[b].load(std::memory_order_relaxed);
+    }
+    return seen;
+  }
+
   // Adds other's counts into this histogram (bucket layouts are
   // identical by construction). Racy-snapshot semantics as for readers.
   void Merge(const LogHistogram& other) {

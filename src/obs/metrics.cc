@@ -1,13 +1,20 @@
 #include "obs/metrics.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
 #include "core/olc.h"
+#include "simd/dispatch.h"
 
 namespace simdtree::obs {
 
 namespace {
+
+// Captured at static initialization so process_uptime_seconds measures
+// from load, not from the first scrape.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
 
 // Minimal escaping for metric names (quotes and backslashes only; names
 // are ASCII identifiers by convention).
@@ -61,6 +68,19 @@ LogHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+ExemplarStore* MetricsRegistry::GetExemplars(
+    const std::string& histogram_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = exemplars_[histogram_name];
+  if (slot == nullptr) slot = std::make_unique<ExemplarStore>();
+  return slot.get();
+}
+
+void MetricsRegistry::SetInfo(const std::string& name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos_[name] = std::move(labels);
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
@@ -92,7 +112,28 @@ std::string MetricsRegistry::ToJson() const {
     out += ",\"max\":" + FmtU64(hist->Max());
     out += "}";
   }
-  out += "}}";
+  out += "}";
+  // Info metrics render as label-set objects. Emitted only when
+  // present, so documents from registries that never call SetInfo keep
+  // their historical shape.
+  if (!infos_.empty()) {
+    out += ",\"infos\":{";
+    first = true;
+    for (const auto& [name, labels] : infos_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(name) + "\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
@@ -111,6 +152,14 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.emplace_back(name, hist.get());
   }
+  snap.exemplars.reserve(exemplars_.size());
+  for (const auto& [name, store] : exemplars_) {
+    snap.exemplars.emplace_back(name, store.get());
+  }
+  snap.infos.reserve(infos_.size());
+  for (const auto& [name, labels] : infos_) {
+    snap.infos.emplace_back(name, labels);
+  }
   return snap;
 }
 
@@ -119,6 +168,8 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  exemplars_.clear();
+  infos_.clear();
 }
 
 IndexMetrics IndexMetrics::Register(const std::string& prefix) {
@@ -152,6 +203,28 @@ OlcMetrics OlcMetrics::Register() {
   m.epoch_deferred_slabs = reg.GetGauge("epoch.deferred_slabs");
   m.epoch_deferred_blocks = reg.GetGauge("epoch.deferred_blocks");
   return m;
+}
+
+void PublishBuildInfo() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const simd::DispatchDecision& d = simd::ActiveDispatch();
+  char bits[16];
+  std::snprintf(bits, sizeof(bits), "%d", d.register_bits);
+#if defined(SIMDTREE_GIT_SHA)
+  const char* sha = SIMDTREE_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+  reg.SetInfo("simdtree_build_info",
+              {{"git_sha", sha},
+               {"backend", simd::DispatchLevelName(d.level)},
+               {"simd_register_bits", bits},
+               {"hugepages", mem::HugepagesEnabled() ? "1" : "0"}});
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_process_start)
+          .count();
+  reg.GetGauge("process_uptime_seconds")->Set(uptime);
 }
 
 void PublishEpochStats() {

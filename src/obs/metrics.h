@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "mem/arena.h"
+#include "obs/exemplar.h"
 #include "obs/histogram.h"
 #include "util/cycle_timer.h"
 
@@ -74,6 +75,18 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   LogHistogram* GetHistogram(const std::string& name);
 
+  // Exemplar store attached to the histogram of the same name (the
+  // exporter joins them when rendering buckets). Get-or-create like the
+  // metrics; a store without a matching histogram is simply never
+  // rendered.
+  ExemplarStore* GetExemplars(const std::string& histogram_name);
+
+  // Info metric: a constant gauge of value 1 whose payload is its label
+  // set (e.g. simdtree_build_info{git_sha="...",backend="avx2"} 1).
+  // Replaces any previous label set under the name.
+  using LabelSet = std::vector<std::pair<std::string, std::string>>;
+  void SetInfo(const std::string& name, LabelSet labels);
+
   // One JSON document over everything registered:
   //   {"counters":{...},"gauges":{...},
   //    "histograms":{"name":{"count":..,"mean":..,"p50":..,"p95":..,
@@ -92,6 +105,8 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, const LogHistogram*>> histograms;
+    std::vector<std::pair<std::string, const ExemplarStore*>> exemplars;
+    std::vector<std::pair<std::string, LabelSet>> infos;
   };
   Snapshot Snap() const;
 
@@ -104,6 +119,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ExemplarStore>> exemplars_;
+  std::map<std::string, LabelSet> infos_;
 };
 
 // The metric set an instrumented index wrapper records into —
@@ -188,6 +205,13 @@ struct OlcMetrics {
 // stats server calls this before rendering /metrics so scrapes see
 // current reclamation state without a hot-path publisher.
 void PublishEpochStats();
+
+// Publishes the self-describing process metrics into the global
+// registry: the simdtree_build_info info metric (git sha, runtime
+// dispatch backend, SIMD register width, hugepage availability) and the
+// process_uptime_seconds gauge. The stats server calls this per scrape
+// (uptime moves); benches may call it once before emitting JSON.
+void PublishBuildInfo();
 
 }  // namespace simdtree::obs
 

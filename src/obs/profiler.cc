@@ -1,0 +1,318 @@
+#include "obs/profiler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace simdtree::obs {
+
+namespace {
+
+bool DisabledByEnv() {
+  const char* env = std::getenv("SIMDTREE_DISABLE_PERF");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#if defined(__linux__)
+
+// 2^3 data pages per thread ring: 32 KiB holds hundreds of callchain
+// samples between collections at the default 99 Hz.
+constexpr size_t kRingDataPages = 8;
+constexpr uint64_t kMaxCallchainDepth = 64;
+
+void FillSamplingAttr(perf_event_attr* attr, int freq_hz) {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  attr->type = PERF_TYPE_SOFTWARE;
+  attr->config = PERF_COUNT_SW_CPU_CLOCK;
+  attr->freq = 1;
+  attr->sample_freq = static_cast<uint64_t>(freq_hz);
+  attr->sample_type = PERF_SAMPLE_IP | PERF_SAMPLE_CALLCHAIN;
+  attr->exclude_kernel = 1;
+  attr->exclude_hv = 1;
+  attr->exclude_callchain_kernel = 1;
+  attr->sample_max_stack = static_cast<uint16_t>(kMaxCallchainDepth);
+}
+
+int OpenSamplingEvent(int freq_hz) {
+  perf_event_attr attr;
+  FillSamplingAttr(&attr, freq_hz);
+  // pid = 0, cpu = -1: the calling thread, on whatever CPU it runs.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+bool ProbeSamplingOnce() {
+  // Counting mode being permitted does not imply sampling mode is
+  // (perf_event_paranoid and seccomp policies distinguish them), so the
+  // probe opens a real sampling event.
+  const int fd = OpenSamplingEvent(99);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+#if defined(__linux__)
+
+struct ContinuousProfiler::ThreadRing {
+  int fd = -1;
+  uint8_t* base = nullptr;  // mmap: 1 metadata page + kRingDataPages
+  size_t mmap_len = 0;
+  size_t data_size = 0;
+
+  ~ThreadRing() {
+    if (base != nullptr) munmap(base, mmap_len);
+    if (fd >= 0) close(fd);
+  }
+};
+
+#else
+
+struct ContinuousProfiler::ThreadRing {};
+
+#endif  // __linux__
+
+ContinuousProfiler& ContinuousProfiler::Global() {
+  // Leaked: worker threads may be sampled until process exit.
+  static ContinuousProfiler* instance = new ContinuousProfiler();
+  return *instance;
+}
+
+ContinuousProfiler::~ContinuousProfiler() { Stop(); }
+
+bool ContinuousProfiler::Available() {
+  if (DisabledByEnv()) return false;
+#if defined(__linux__)
+  static const bool probed = ProbeSamplingOnce();
+  return probed;
+#else
+  return false;
+#endif
+}
+
+bool ContinuousProfiler::Start(int freq_hz) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (freq_hz <= 0) freq_hz = 99;
+  if (!Available()) {
+    error_ = DisabledByEnv()
+                 ? "disabled by SIMDTREE_DISABLE_PERF"
+                 : "perf_event_open sampling denied (perf_event_paranoid?)";
+    return false;
+  }
+  error_.clear();
+  freq_hz_ = freq_hz;
+  generation_.fetch_add(1, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void ContinuousProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_.exchange(false)) return;
+  DrainLocked();  // keep the final window's samples
+  for (ThreadRing* r : rings_) delete r;
+  rings_.clear();
+}
+
+bool ContinuousProfiler::RegisterCurrentThread() {
+#if defined(__linux__)
+  if (!running_.load(std::memory_order_acquire)) return false;
+  // Idempotent per Start() generation: re-registering after a
+  // Stop/Start cycle opens a fresh ring, within one it is a no-op.
+  thread_local uint64_t registered_gen = 0;
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (registered_gen == gen) return true;
+
+  const int fd = OpenSamplingEvent(freq_hz_);
+  if (fd < 0) return false;
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t len = page * (1 + kRingDataPages);
+  void* base = mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    close(fd);
+    return false;
+  }
+  auto* ring = new ThreadRing();
+  ring->fd = fd;
+  ring->base = static_cast<uint8_t*>(base);
+  ring->mmap_len = len;
+  ring->data_size = page * kRingDataPages;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      delete ring;
+      return false;
+    }
+    rings_.push_back(ring);
+  }
+  registered_gen = gen;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ContinuousProfiler::DrainLocked() {
+#if defined(__linux__)
+  for (ThreadRing* r : rings_) {
+    auto* meta = reinterpret_cast<perf_event_mmap_page*>(r->base);
+    const uint8_t* data = r->base + r->mmap_len - r->data_size;
+    const uint64_t head = __atomic_load_n(&meta->data_head, __ATOMIC_ACQUIRE);
+    uint64_t tail = meta->data_tail;
+    while (tail < head) {
+      // Records can wrap the ring edge; copy the header, then the
+      // payload, each with modular addressing.
+      perf_event_header hdr;
+      for (size_t i = 0; i < sizeof(hdr); ++i) {
+        reinterpret_cast<uint8_t*>(&hdr)[i] =
+            data[(tail + i) % r->data_size];
+      }
+      if (hdr.size == 0) break;  // corrupt ring; stop rather than spin
+      std::vector<uint8_t> payload(hdr.size);
+      for (size_t i = 0; i < hdr.size; ++i) {
+        payload[i] = data[(tail + i) % r->data_size];
+      }
+      tail += hdr.size;
+      const uint8_t* p = payload.data() + sizeof(hdr);
+      const uint8_t* end = payload.data() + payload.size();
+      if (hdr.type == PERF_RECORD_LOST) {
+        if (p + 16 <= end) {
+          uint64_t lost;
+          std::memcpy(&lost, p + 8, 8);
+          lost_ += lost;
+        }
+        continue;
+      }
+      if (hdr.type != PERF_RECORD_SAMPLE) continue;
+      // Layout per sample_type order: ip, then nr + ips[nr].
+      if (p + 16 > end) continue;
+      uint64_t ip, nr;
+      std::memcpy(&ip, p, 8);
+      std::memcpy(&nr, p + 8, 8);
+      p += 16;
+      if (nr > kMaxCallchainDepth ||
+          p + nr * 8 > end) {
+        continue;
+      }
+      // Callchain arrives leaf-first with PERF_CONTEXT_* markers
+      // interleaved; folded format wants root-first, markers dropped.
+      std::vector<uint64_t> frames;
+      frames.reserve(nr);
+      for (uint64_t i = 0; i < nr; ++i) {
+        uint64_t addr;
+        std::memcpy(&addr, p + i * 8, 8);
+        if (addr >= PERF_CONTEXT_MAX) continue;  // context marker
+        frames.push_back(addr);
+      }
+      if (frames.empty()) frames.push_back(ip);
+      std::string folded;
+      for (size_t i = frames.size(); i-- > 0;) {
+        auto it = symbols_.find(frames[i]);
+        if (it == symbols_.end()) {
+          char buf[128];
+          Dl_info info;
+          if (dladdr(reinterpret_cast<void*>(frames[i]), &info) != 0 &&
+              info.dli_sname != nullptr) {
+            int status = 0;
+            char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                                  nullptr, &status);
+            std::string name =
+                status == 0 && demangled != nullptr ? demangled
+                                                    : info.dli_sname;
+            std::free(demangled);
+            // Folded-format separators are ; and space; scrub them.
+            for (char& c : name) {
+              if (c == ';' || c == ' ' || c == '\n') c = '_';
+            }
+            it = symbols_.emplace(frames[i], std::move(name)).first;
+          } else if (dladdr(reinterpret_cast<void*>(frames[i]), &info) !=
+                         0 &&
+                     info.dli_fname != nullptr) {
+            const char* slash = std::strrchr(info.dli_fname, '/');
+            std::snprintf(
+                buf, sizeof(buf), "%s+0x%llx",
+                slash != nullptr ? slash + 1 : info.dli_fname,
+                static_cast<unsigned long long>(
+                    frames[i] -
+                    reinterpret_cast<uint64_t>(info.dli_fbase)));
+            it = symbols_.emplace(frames[i], buf).first;
+          } else {
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(frames[i]));
+            it = symbols_.emplace(frames[i], buf).first;
+          }
+        }
+        if (!folded.empty()) folded.push_back(';');
+        folded += it->second;
+      }
+      ++profile_[folded];
+      ++samples_;
+    }
+    __atomic_store_n(&meta->data_tail, tail, __ATOMIC_RELEASE);
+  }
+#endif
+}
+
+std::string ContinuousProfiler::Collect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  if (!running_.load(std::memory_order_acquire) && profile_.empty()) {
+    out = "# profiler not running";
+    if (!error_.empty()) {
+      out += ": ";
+      out += error_;
+    } else if (!Available()) {
+      out += ": perf sampling unavailable on this host";
+    }
+    out += "\n";
+    return out;
+  }
+  DrainLocked();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "# on-CPU profile: %llu samples, %llu lost, %zu threads, "
+                "%d Hz\n",
+                static_cast<unsigned long long>(samples_),
+                static_cast<unsigned long long>(lost_), rings_.size(),
+                freq_hz_);
+  out += buf;
+  for (const auto& [stack, count] : profile_) {
+    out += stack;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+ContinuousProfiler::Stats ContinuousProfiler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{samples_, lost_, rings_.size()};
+}
+
+void ContinuousProfiler::Reset() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_.clear();
+  symbols_.clear();
+  samples_ = 0;
+  lost_ = 0;
+  error_.clear();
+}
+
+}  // namespace simdtree::obs

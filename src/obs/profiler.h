@@ -1,0 +1,115 @@
+// Continuous on-CPU profiler: perf_event_open sampling mode.
+//
+// PerfCounterGroup (obs/perf_counters.h) answers "how many cycles and
+// misses did this bounded region cost" — counting mode, start/stop
+// around a bench loop. This profiler answers the production question
+// "where is the CPU time going RIGHT NOW" with no bounded region:
+// each registered thread opens a software CPU-clock event in frequency
+// sampling mode with PERF_SAMPLE_CALLCHAIN and an mmap ring; the kernel
+// appends a user-space callchain every ~1/freq seconds of on-CPU time,
+// costing the profiled thread nothing but the PMU interrupt. Collect()
+// drains every ring, folds the callchains into "sym;sym;sym count"
+// lines (the flamegraph folded-stack format), and resolves symbols
+// best-effort through dladdr — static functions fall back to
+// "module+0xoffset", which flamegraph tooling renders fine.
+//
+// Graceful degradation, same contract as PerfCounterGroup: when
+// perf_event_open is denied (seccomp'd CI runner, hardened
+// perf_event_paranoid) or SIMDTREE_DISABLE_PERF is set, Start()
+// returns false with the reason in error(), RegisterCurrentThread() is
+// a no-op, and Collect() reports unavailability instead of failing the
+// serving path. The /profilez endpoint (obs/stats_server.cc) and
+// `simdtree_cli profile --continuous` both render whatever Collect()
+// returns.
+//
+// Threading: registration and collection take a mutex; the sampled
+// threads themselves never touch it after registering (the kernel
+// writes their rings). One collector at a time drains the rings
+// (data_tail is advanced under the mutex).
+
+#ifndef SIMDTREE_OBS_PROFILER_H_
+#define SIMDTREE_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simdtree::obs {
+
+class ContinuousProfiler {
+ public:
+  static ContinuousProfiler& Global();
+
+  ContinuousProfiler() = default;
+  ~ContinuousProfiler();
+  ContinuousProfiler(const ContinuousProfiler&) = delete;
+  ContinuousProfiler& operator=(const ContinuousProfiler&) = delete;
+
+  // True when the kernel permits a sampling CPU-clock event (probed
+  // once) and SIMDTREE_DISABLE_PERF is unset.
+  static bool Available();
+
+  // Arms the profiler at `freq_hz` samples/second of on-CPU time per
+  // thread. Threads registered afterwards (and the calling thread, if
+  // it registers) start sampling immediately. Returns false with the
+  // reason in error() when sampling is unavailable. Idempotent while
+  // running (freq changes require Stop() first).
+  bool Start(int freq_hz);
+
+  // Detaches and closes every per-thread event. Safe while profiled
+  // threads are still alive — they simply stop being sampled.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int freq_hz() const { return freq_hz_; }
+  const std::string& error() const { return error_; }
+
+  // Opens this thread's sampling event + ring. No-op (returns false)
+  // when the profiler is not running or sampling is unavailable;
+  // idempotent per thread per Start() generation.
+  bool RegisterCurrentThread();
+
+  // Drains every ring and appends the folded callchains into the
+  // cumulative profile, then renders it: one "sym;sym;sym count" line
+  // per distinct stack, leaf last, preceded by "# " comment lines with
+  // sample/loss counts. When unavailable, the output is a single
+  // comment line saying why — never an error, so scrape pipelines stay
+  // green on denied-PMU hosts.
+  std::string Collect();
+
+  struct Stats {
+    uint64_t samples = 0;  // callchain samples folded so far
+    uint64_t lost = 0;     // kernel-reported dropped records
+    uint64_t threads = 0;  // rings currently open
+  };
+  Stats stats() const;
+
+  // Test isolation: Stop() + clears the cumulative profile.
+  void Reset();
+
+ private:
+  struct ThreadRing;  // defined in profiler.cc (linux-only innards)
+
+  void DrainLocked();
+
+  mutable std::mutex mutex_;
+  std::vector<ThreadRing*> rings_;
+  // Folded stack -> sample count, accumulated across Collect() calls.
+  std::map<std::string, uint64_t> profile_;
+  // ip -> rendered frame, so repeated Collects symbolize each address
+  // once.
+  std::map<uint64_t, std::string> symbols_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> generation_{0};  // bumps per Start()
+  int freq_hz_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t lost_ = 0;
+  std::string error_;
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_PROFILER_H_

@@ -1,0 +1,88 @@
+// Lock-free single-writer ring of seqlock slots, generic over any
+// trivially-copyable payload whose size is a multiple of 8 bytes.
+//
+// Extracted from the descent-trace flight recorder (obs/trace.h) so the
+// request-span recorder (obs/request_trace.h) can reuse the exact same
+// memory protocol: the owning thread writes payloads word-wise through
+// relaxed atomics inside an odd/even seq bracket; any thread may take a
+// racy snapshot and rejects torn slots by rechecking the seq. All
+// cross-thread accesses go through atomics, so the scheme is race-free
+// by construction (and clean under ThreadSanitizer).
+
+#ifndef SIMDTREE_OBS_SEQLOCK_RING_H_
+#define SIMDTREE_OBS_SEQLOCK_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace simdtree::obs {
+
+template <typename T, size_t kCap>
+class SeqlockRing {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % sizeof(uint64_t) == 0);
+
+ public:
+  static constexpr size_t kCapacity = kCap;
+  static constexpr size_t kWords = sizeof(T) / sizeof(uint64_t);
+
+  SeqlockRing() = default;
+  SeqlockRing(const SeqlockRing&) = delete;
+  SeqlockRing& operator=(const SeqlockRing&) = delete;
+
+  // Owner thread only. Wait-free: one odd/even seq bracket around
+  // word-wise relaxed stores of the payload.
+  void Write(const T& t) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h % kCapacity];
+    s.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+    uint64_t words[kWords];
+    std::memcpy(words, &t, sizeof(t));
+    for (size_t w = 0; w < kWords; ++w) {
+      s.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    s.seq.fetch_add(1, std::memory_order_release);  // even: committed
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Any thread. Returns false for never-written or mid-write slots, or
+  // when the writer lapped the read (torn snapshot rejected by the seq
+  // recheck).
+  bool TryRead(size_t slot, T* out) const {
+    const Slot& s = slots_[slot % kCapacity];
+    const uint32_t before = s.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) return false;
+    uint64_t words[kWords];
+    for (size_t w = 0; w < kWords; ++w) {
+      words[w] = s.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != before) return false;
+    std::memcpy(out, words, sizeof(*out));
+    return true;
+  }
+
+  // Total payloads ever written to this ring (>= kCapacity once wrapped).
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+
+  // Test isolation only: requires the owning thread to be quiescent.
+  void ResetForTest() {
+    for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> words[kWords];
+  };
+  Slot slots_[kCapacity];
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_SEQLOCK_RING_H_

@@ -1,0 +1,201 @@
+#include "obs/slo.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace simdtree::obs {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Burn for one objective: observed miss rate / budgeted miss rate.
+double Burn(uint64_t misses, uint64_t total, double target) {
+  if (total == 0) return 0.0;
+  const double miss_rate =
+      static_cast<double>(misses) / static_cast<double>(total);
+  const double budget = 1.0 - target;
+  if (budget <= 0.0) {
+    // Zero budget: any miss is an infinite burn.
+    return misses == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return miss_rate / budget;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";  // JSON-parsable inf
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+SloReport EvaluateSlo(const SloConfig& config, const SloWindowDelta& d) {
+  SloReport r;
+  r.requests = d.requests;
+  r.seconds = d.seconds;
+  if (d.requests == 0 && d.latency_samples == 0) return r;
+  r.valid = true;
+  if (d.requests > 0) {
+    const uint64_t errors = d.errors > d.requests ? d.requests : d.errors;
+    r.availability = 1.0 - static_cast<double>(errors) /
+                               static_cast<double>(d.requests);
+    r.availability_burn =
+        Burn(errors, d.requests, config.availability_target);
+  }
+  if (d.latency_samples > 0) {
+    // Racy cumulative snapshots can transiently report under > total;
+    // clamp so the miss count never underflows.
+    const uint64_t under = d.under_threshold > d.latency_samples
+                               ? d.latency_samples
+                               : d.under_threshold;
+    r.latency_ok_fraction = static_cast<double>(under) /
+                            static_cast<double>(d.latency_samples);
+    r.latency_burn = Burn(d.latency_samples - under, d.latency_samples,
+                          config.latency_target);
+  }
+  return r;
+}
+
+SloMonitor& SloMonitor::Global() {
+  // Leaked like the registry: the ticker may race process teardown.
+  static SloMonitor* instance = new SloMonitor();
+  return *instance;
+}
+
+void SloMonitor::Configure(const SloConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  ring_.clear();  // thresholds changed; old under_threshold counts lie
+}
+
+SloConfig SloMonitor::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+void SloMonitor::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  ticker_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      Tick();
+      for (int i = 0; i < 10 && running_.load(std::memory_order_acquire);
+           ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  });
+}
+
+void SloMonitor::Stop() {
+  if (!running_.exchange(false)) return;
+  if (ticker_.joinable()) ticker_.join();
+}
+
+SloMonitor::Sample SloMonitor::Collect() const {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Sample s;
+  s.t = MonotonicSeconds();
+  s.requests = reg.GetCounter("net.requests")->Get();
+  s.errors = reg.GetCounter("net.malformed")->Get() +
+             reg.GetCounter("net.timeouts")->Get();
+  const uint64_t threshold = [this] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_.latency_threshold_ns;
+  }();
+  static const char* kOpHists[] = {
+      "net.op_get_ns", "net.op_mget_ns", "net.op_lower_bound_ns",
+      "net.op_put_ns", "net.op_del_ns"};
+  for (const char* name : kOpHists) {
+    const LogHistogram* h = reg.GetHistogram(name);
+    s.under_threshold += h->CountBelow(threshold);
+    s.latency_samples += h->Count();
+  }
+  return s;
+}
+
+void SloMonitor::Tick() {
+  const Sample s = Collect();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(s);
+  // Keep one sample older than the window so the delta spans >= the
+  // window once enough history exists.
+  while (ring_.size() > 2 &&
+         s.t - ring_[1].t >= config_.window_s) {
+    ring_.pop_front();
+  }
+  const SloReport r = ReportLocked();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("slo.availability")->Set(r.availability);
+  reg.GetGauge("slo.availability_burn_rate")->Set(r.availability_burn);
+  reg.GetGauge("slo.latency_ok_fraction")->Set(r.latency_ok_fraction);
+  reg.GetGauge("slo.latency_burn_rate")->Set(r.latency_burn);
+  reg.GetGauge("slo.window_requests")
+      ->Set(static_cast<double>(r.requests));
+  reg.GetGauge("slo.window_seconds")->Set(r.seconds);
+}
+
+SloReport SloMonitor::ReportLocked() const {
+  if (ring_.size() < 2) return SloReport{};
+  const Sample& oldest = ring_.front();
+  const Sample& newest = ring_.back();
+  SloWindowDelta d;
+  d.requests = newest.requests - oldest.requests;
+  d.errors = newest.errors - oldest.errors;
+  d.under_threshold = newest.under_threshold - oldest.under_threshold;
+  d.latency_samples = newest.latency_samples - oldest.latency_samples;
+  d.seconds = newest.t - oldest.t;
+  return EvaluateSlo(config_, d);
+}
+
+SloReport SloMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReportLocked();
+}
+
+std::string SloMonitor::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SloReport r = ReportLocked();
+  std::string out = "{\"config\":{";
+  out += "\"availability_target\":" + FmtDouble(config_.availability_target);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(config_.latency_threshold_ns));
+  out += ",\"latency_threshold_ns\":";
+  out += buf;
+  out += ",\"latency_target\":" + FmtDouble(config_.latency_target);
+  out += ",\"window_s\":" + FmtDouble(config_.window_s);
+  out += "},\"report\":{";
+  out += std::string("\"valid\":") + (r.valid ? "true" : "false");
+  out += ",\"availability\":" + FmtDouble(r.availability);
+  out += ",\"availability_burn_rate\":" + FmtDouble(r.availability_burn);
+  out += ",\"latency_ok_fraction\":" + FmtDouble(r.latency_ok_fraction);
+  out += ",\"latency_burn_rate\":" + FmtDouble(r.latency_burn);
+  out += ",\"max_burn\":" + FmtDouble(r.max_burn());
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(r.requests));
+  out += ",\"window_requests\":";
+  out += buf;
+  out += ",\"window_seconds\":" + FmtDouble(r.seconds);
+  out += "}}";
+  return out;
+}
+
+void SloMonitor::Reset() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+}  // namespace simdtree::obs

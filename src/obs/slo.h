@@ -1,0 +1,130 @@
+// SLO burn-rate monitoring over the serving metrics.
+//
+// An SLO here is two objectives over a rolling window:
+//
+//   availability: at least `availability_target` of requests complete
+//                 without a server-side error;
+//   latency:      at least `latency_target` of requests complete within
+//                 `latency_threshold_ns`.
+//
+// The operative quantity is the BURN RATE — the rate at which the
+// error budget is being consumed, normalized so 1.0 means "spending the
+// budget exactly as fast as the objective allows". With a 99.9%
+// availability target the budget is 0.1%; observing a 0.5% error rate
+// burns at 5x. Burn > 1 sustained over the window means the objective
+// is being violated *now*; alerting on burn rather than raw error rate
+// is what makes tight targets actionable (a 0.02% error rate is
+// invisible on a graph but burns a 99.99% budget at 2x).
+//
+// Two layers:
+//   EvaluateSlo   pure arithmetic over a window delta — unit-testable,
+//                 reused by bb_serve's client-side --slo-target gate.
+//   SloMonitor    server-side: snapshots the cumulative net.* metrics
+//                 (request/error counters, merged per-op latency
+//                 histograms via LogHistogram::CountBelow) into a
+//                 timestamped ring, reports deltas over the configured
+//                 window, and publishes slo.* gauges. Ticks are driven
+//                 by an optional 1s background thread or by scrapes of
+//                 the /slo endpoint (obs/stats_server.cc) — either way
+//                 the ring only ever grows by whole snapshots, so a
+//                 report is always a consistent delta.
+
+#ifndef SIMDTREE_OBS_SLO_H_
+#define SIMDTREE_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace simdtree::obs {
+
+struct SloConfig {
+  double availability_target = 0.999;  // min fraction of non-error requests
+  uint64_t latency_threshold_ns = 5'000'000;  // objective latency bound
+  double latency_target = 0.99;  // min fraction under the bound
+  double window_s = 60.0;        // rolling evaluation window
+};
+
+// What happened during one window: cumulative-counter deltas.
+struct SloWindowDelta {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t under_threshold = 0;  // latency samples <= threshold
+  uint64_t latency_samples = 0;  // total latency samples in the window
+  double seconds = 0.0;
+};
+
+struct SloReport {
+  bool valid = false;  // false until the window holds >= 1 request
+  double availability = 1.0;         // observed non-error fraction
+  double availability_burn = 0.0;    // error rate / error budget
+  double latency_ok_fraction = 1.0;  // observed under-threshold fraction
+  double latency_burn = 0.0;         // miss rate / miss budget
+  uint64_t requests = 0;
+  double seconds = 0.0;
+
+  // Worst of the two objectives — the headline number and the gate.
+  double max_burn() const {
+    return availability_burn > latency_burn ? availability_burn
+                                            : latency_burn;
+  }
+};
+
+// Pure burn-rate arithmetic. A target of 1.0 (zero budget) reports
+// burn 0 while the objective holds and +inf on the first miss.
+SloReport EvaluateSlo(const SloConfig& config, const SloWindowDelta& d);
+
+// Server-side monitor over the global MetricsRegistry's net.* metrics.
+class SloMonitor {
+ public:
+  static SloMonitor& Global();
+
+  SloMonitor() = default;
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  void Configure(const SloConfig& config);
+  SloConfig config() const;
+
+  // Starts the 1s background ticker (idempotent). Without it, Tick()
+  // calls from /slo scrapes drive the window.
+  void Start();
+  void Stop();
+
+  // Takes one snapshot of the cumulative serving metrics, trims the
+  // ring to the window, and refreshes the slo.* gauges.
+  void Tick();
+
+  // Burn rates over the retained window (newest vs. oldest snapshot).
+  SloReport Report() const;
+
+  // The /slo payload: config + current report as one JSON object.
+  std::string ToJson() const;
+
+  // Test isolation only.
+  void Reset();
+
+ private:
+  struct Sample {
+    double t = 0.0;  // seconds, monotonic
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    uint64_t under_threshold = 0;
+    uint64_t latency_samples = 0;
+  };
+  Sample Collect() const;
+  SloReport ReportLocked() const;
+
+  mutable std::mutex mutex_;
+  SloConfig config_;
+  std::deque<Sample> ring_;
+  std::thread ticker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace simdtree::obs
+
+#endif  // SIMDTREE_OBS_SLO_H_

@@ -13,10 +13,27 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "simd/dispatch.h"
 
 namespace simdtree::obs {
+
+namespace {
+
+std::atomic<bool> g_health_draining{false};
+
+}  // namespace
+
+void SetHealthDraining(bool draining) {
+  g_health_draining.store(draining, std::memory_order_release);
+}
+
+bool HealthDraining() {
+  return g_health_draining.load(std::memory_order_acquire);
+}
 
 namespace {
 
@@ -93,6 +110,7 @@ std::string StatsServer::HandleRequest(const std::string& path) {
   const std::string route = path.substr(0, path.find('?'));
   PublishDispatchMetrics();
   PublishEpochStats();
+  PublishBuildInfo();
   if (route == "/metrics") {
     return HttpResponse(
         200, "OK",
@@ -108,7 +126,28 @@ std::string StatsServer::HandleRequest(const std::string& path) {
     return HttpResponse(200, "OK", "application/json",
                         RenderTracezJson(Tracer::Global()));
   }
+  if (route == "/requestz") {
+    return HttpResponse(200, "OK", "application/json",
+                        RenderRequestzJson(RequestTracer::Global()));
+  }
+  if (route == "/profilez") {
+    // Always 200: on denied-PMU hosts the body is a comment line
+    // explaining why, and scrape pipelines stay green.
+    return HttpResponse(200, "OK", "text/plain",
+                        ContinuousProfiler::Global().Collect());
+  }
+  if (route == "/slo") {
+    // Scrape-driven ticking: every /slo poll extends the window, so
+    // the monitor works without its background thread.
+    SloMonitor::Global().Tick();
+    return HttpResponse(200, "OK", "application/json",
+                        SloMonitor::Global().ToJson());
+  }
   if (route == "/healthz") {
+    if (HealthDraining()) {
+      return HttpResponse(503, "Service Unavailable", "text/plain",
+                          "draining\n");
+    }
     return HttpResponse(200, "OK", "text/plain", "ok\n");
   }
   return HttpResponse(404, "Not Found", "text/plain", "not found\n");

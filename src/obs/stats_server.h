@@ -1,10 +1,16 @@
 // Minimal background-thread HTTP server for metric and trace scraping.
 //
-// Serves four GET routes, all rendered by obs/export.h:
-//   /metrics       OpenMetrics text exposition (Prometheus-scrapable)
+// Serves the observability GET routes:
+//   /metrics       OpenMetrics text exposition (Prometheus-scrapable,
+//                  with exemplars on the serving-latency buckets)
 //   /metrics.json  the same registry as one JSON document
 //   /tracez        recent + slow descent traces as JSON
-//   /healthz       liveness probe ("ok")
+//   /requestz      recent + slow end-to-end request spans as JSON
+//   /profilez      continuous on-CPU profile, folded-stack text
+//   /slo           SLO config + windowed burn-rate report as JSON
+//                  (each scrape also ticks the monitor's window)
+//   /healthz       readiness probe: "ok", or 503 "draining" once a
+//                  graceful drain has begun (SetHealthDraining)
 //
 // Deliberately not a web framework: one acceptor thread, serial
 // request handling, HTTP/1.1 with Connection: close, bound to
@@ -24,6 +30,14 @@
 #include <thread>
 
 namespace simdtree::obs {
+
+// Process-wide drain flag feeding /healthz: once a serving component
+// begins graceful drain (KvServer::Stop), load balancers must see 503
+// "draining" and stop routing new traffic BEFORE the listener closes.
+// Set by net/server.cc; cleared on the next Start so in-process
+// restarts (tests, rolling config reloads) recover.
+void SetHealthDraining(bool draining);
+bool HealthDraining();
 
 class StatsServer {
  public:

@@ -45,6 +45,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/seqlock_ring.h"
 #include "util/counters.h"
 #include "util/cycle_timer.h"
 
@@ -187,68 +188,9 @@ inline bool TraceShouldSample() {
 void EnableTracing(uint32_t rate);
 uint32_t TraceSampleRate();
 
-// Lock-free single-writer ring of seqlock slots. The owning thread
-// writes; any thread may read a racy snapshot. All shared state is
-// atomic, so concurrent use is race-free by construction (and under
-// TSan).
-class TraceRing {
- public:
-  static constexpr size_t kCapacity = 256;  // traces retained per thread
-  static constexpr size_t kWords = sizeof(DescentTrace) / sizeof(uint64_t);
-
-  TraceRing() = default;
-  TraceRing(const TraceRing&) = delete;
-  TraceRing& operator=(const TraceRing&) = delete;
-
-  // Owner thread only. Wait-free: one odd/even seq bracket around
-  // word-wise relaxed stores of the payload.
-  void Write(const DescentTrace& t) {
-    const uint64_t h = head_.load(std::memory_order_relaxed);
-    Slot& s = slots_[h % kCapacity];
-    s.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
-    uint64_t words[kWords];
-    std::memcpy(words, &t, sizeof(t));
-    for (size_t w = 0; w < kWords; ++w) {
-      s.words[w].store(words[w], std::memory_order_relaxed);
-    }
-    s.seq.fetch_add(1, std::memory_order_release);  // even: committed
-    head_.store(h + 1, std::memory_order_release);
-  }
-
-  // Any thread. Returns false for never-written or mid-write slots, or
-  // when the writer lapped the read (torn snapshot rejected by the seq
-  // recheck).
-  bool TryRead(size_t slot, DescentTrace* out) const {
-    const Slot& s = slots_[slot % kCapacity];
-    const uint32_t before = s.seq.load(std::memory_order_acquire);
-    if (before == 0 || (before & 1) != 0) return false;
-    uint64_t words[kWords];
-    for (size_t w = 0; w < kWords; ++w) {
-      words[w] = s.words[w].load(std::memory_order_relaxed);
-    }
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (s.seq.load(std::memory_order_relaxed) != before) return false;
-    std::memcpy(out, words, sizeof(*out));
-    return true;
-  }
-
-  // Total traces ever written to this ring (>= kCapacity once wrapped).
-  uint64_t head() const { return head_.load(std::memory_order_acquire); }
-
-  // Test isolation only: requires the owning thread to be quiescent.
-  void ResetForTest() {
-    for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
-    head_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  struct Slot {
-    std::atomic<uint32_t> seq{0};
-    std::atomic<uint64_t> words[kWords];
-  };
-  Slot slots_[kCapacity];
-  std::atomic<uint64_t> head_{0};
-};
+// Per-thread descent-trace ring: 256 seqlock slots (obs/seqlock_ring.h
+// holds the memory protocol; the request-span recorder shares it).
+using TraceRing = SeqlockRing<DescentTrace, 256>;
 
 // Process-wide trace sink: owns the per-thread rings and the slow-query
 // retention buffer. Like MetricsRegistry, the global instance is never

@@ -7,9 +7,11 @@
 // concurrent index wrappers.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -378,6 +380,170 @@ TEST(IndexMetricsHookTest, ShardedIndexRecordsImbalance) {
   std::vector<std::optional<uint64_t>> out2(skew.size());
   index.FindBatch(skew.data(), skew.size(), out2.data());
   EXPECT_DOUBLE_EQ(m.shard_imbalance->Get(), 4.0);
+}
+
+// --- exemplars ------------------------------------------------------------
+
+TEST(ExemplarStoreTest, OfferLandsInTheValueBucket) {
+  obs::ExemplarStore store;
+  store.Offer(12345, 0xabcdef);
+  obs::ExemplarStore::Exemplar ex;
+  ASSERT_TRUE(store.Read(LogHistogram::BucketIndex(12345), &ex));
+  EXPECT_EQ(ex.value, 12345u);
+  EXPECT_EQ(ex.trace_id, 0xabcdefu);
+  // Other buckets stay empty.
+  EXPECT_FALSE(store.Read(LogHistogram::BucketIndex(12345) + 1, &ex));
+}
+
+TEST(ExemplarStoreTest, LastWriterWinsPerBucket) {
+  obs::ExemplarStore store;
+  // Two values in the same raw bucket (deep geometric region).
+  const uint64_t a = 1 << 20;
+  const size_t bucket = LogHistogram::BucketIndex(a);
+  uint64_t b = a + 1;
+  while (LogHistogram::BucketIndex(b) != bucket) ++b;
+  store.Offer(a, 1);
+  store.Offer(b, 2);
+  obs::ExemplarStore::Exemplar ex;
+  ASSERT_TRUE(store.Read(bucket, &ex));
+  EXPECT_EQ(ex.value, b);
+  EXPECT_EQ(ex.trace_id, 2u);
+}
+
+TEST(ExemplarStoreTest, ConcurrentOffersNeverTearValueIdPairs) {
+  obs::ExemplarStore store;
+  // Writers hammer one bucket with matched (value, id) pairs; any torn
+  // read would pair one writer's value with another's id. Reads that
+  // race an in-flight write may legitimately fail (the seqlock rejects
+  // them) — the invariant is that a SUCCESSFUL read is never torn.
+  const uint64_t base = 1 << 20;
+  const size_t bucket = LogHistogram::BucketIndex(base);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&store, base, t] {
+      for (int i = 0; i < 100000; ++i) {
+        // id encodes the value, so a reader can verify the pairing.
+        store.Offer(base + static_cast<uint64_t>(t),
+                    base + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  obs::ExemplarStore::Exemplar ex;
+  for (int i = 0; i < 200000; ++i) {
+    if (store.Read(bucket, &ex)) {
+      ASSERT_EQ(ex.value, ex.trace_id) << "torn exemplar";
+    }
+  }
+  for (auto& th : writers) th.join();
+  // Quiescent store: the read must now succeed, untorn.
+  ASSERT_TRUE(store.Read(bucket, &ex));
+  EXPECT_EQ(ex.value, ex.trace_id);
+  EXPECT_GE(ex.value, base);
+  EXPECT_LT(ex.value, base + 3);
+}
+
+// --- OpenMetrics exposition under concurrency -----------------------------
+
+TEST(OpenMetricsExportTest, BuildInfoAndUptimeArePublished) {
+  obs::PublishBuildInfo();
+  const std::string om =
+      obs::RenderOpenMetrics(obs::MetricsRegistry::Global().Snap());
+  EXPECT_NE(om.find("simdtree_build_info{"), std::string::npos) << om;
+  EXPECT_NE(om.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(om.find("backend=\""), std::string::npos);
+  EXPECT_NE(om.find("simd_register_bits=\""), std::string::npos);
+  EXPECT_NE(om.find("hugepages=\""), std::string::npos);
+  EXPECT_NE(om.find("process_uptime_seconds"), std::string::npos);
+}
+
+TEST(OpenMetricsExportTest, ExemplarRendersOnTheMatchingBucketLine) {
+  auto& reg = obs::MetricsRegistry::Global();
+  LogHistogram* h = reg.GetHistogram("obs_test.ex_ns");
+  obs::ExemplarStore* ex = reg.GetExemplars("obs_test.ex_ns");
+  h->Record(500);
+  h->Record(70000);
+  ex->Offer(70000, 0x1122334455667788ULL);
+
+  const std::string om = obs::RenderOpenMetrics(reg.Snap());
+  const size_t pos = om.find("trace_id=\"1122334455667788\"");
+  ASSERT_NE(pos, std::string::npos) << om;
+  const size_t line_start = om.rfind('\n', pos) + 1;
+  const std::string line =
+      om.substr(line_start, om.find('\n', pos) - line_start);
+  // On a bucket line of the right family, value appended after the pair.
+  EXPECT_EQ(line.rfind("obs_test_ex_ns_bucket{le=\"", 0), 0u) << line;
+  EXPECT_NE(line.find("} 70000"), std::string::npos) << line;
+  // The 500 sample's bucket has no exemplar: exactly one rendered.
+  EXPECT_EQ(om.find("trace_id=\"", pos + 1), std::string::npos);
+}
+
+TEST(OpenMetricsExportTest, ScrapeWhileRecordingStaysWellFormed) {
+  auto& reg = obs::MetricsRegistry::Global();
+  LogHistogram* h = reg.GetHistogram("obs_test.scrape_ns");
+  obs::ExemplarStore* ex = reg.GetExemplars("obs_test.scrape_ns");
+  obs::Counter* c = reg.GetCounter("obs_test.scrape_total");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(42 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t v = (rng.Next() % 100000) + 1;
+        h->Record(v);
+        ex->Offer(v, rng.Next() | 1);
+        c->Add();
+      }
+    });
+  }
+
+  // Concurrent scrapes: every rendered exposition must be structurally
+  // sound — buckets cumulative per family, terminated by # EOF, and
+  // every exemplar value within its bucket's le (the lint contract
+  // scripts/lint_openmetrics.py enforces in CI).
+  for (int scrape = 0; scrape < 20; ++scrape) {
+    const std::string om = obs::RenderOpenMetrics(reg.Snap());
+    ASSERT_GE(om.size(), 6u);
+    EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+
+    double prev_le = -1.0;
+    uint64_t prev_count = 0;
+    std::string prev_family;
+    size_t start = 0;
+    while (start < om.size()) {
+      const size_t end = om.find('\n', start);
+      const std::string line = om.substr(start, end - start);
+      start = end + 1;
+      const size_t bpos = line.find("_bucket{le=\"");
+      if (bpos == std::string::npos) continue;
+      const std::string family = line.substr(0, bpos);
+      if (family != prev_family) {
+        prev_family = family;
+        prev_le = -1.0;
+        prev_count = 0;
+      }
+      const char* le_str = line.c_str() + bpos + 12;
+      const double le = line.compare(bpos + 12, 4, "+Inf") == 0
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(le_str, nullptr);
+      const size_t vpos = line.find("\"} ");
+      ASSERT_NE(vpos, std::string::npos) << line;
+      const uint64_t count = std::strtoull(line.c_str() + vpos + 3,
+                                           nullptr, 10);
+      ASSERT_GT(le, prev_le) << line;
+      ASSERT_GE(count, prev_count) << line;
+      prev_le = le;
+      prev_count = count;
+      const size_t epos = line.find("# {trace_id=");
+      if (epos != std::string::npos) {
+        const double ex_value =
+            std::strtod(line.c_str() + line.rfind(' ') + 1, nullptr);
+        ASSERT_LE(ex_value, le) << line;
+      }
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
 }
 
 }  // namespace

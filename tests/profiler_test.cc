@@ -1,0 +1,101 @@
+// Continuous-profiler tests (obs/profiler.h): graceful degradation when
+// perf_event_open sampling is denied, start/stop/idempotent-register
+// lifecycle, and — when the host permits sampling — an end-to-end smoke
+// that a busy loop produces folded on-CPU stacks.
+
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace simdtree::obs {
+namespace {
+
+TEST(ProfilerTest, DisableEnvForcesGracefulUnavailable) {
+  setenv("SIMDTREE_DISABLE_PERF", "1", 1);
+  ContinuousProfiler profiler;
+  EXPECT_FALSE(profiler.Start(99));
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(profiler.error().empty());
+  EXPECT_FALSE(profiler.RegisterCurrentThread());
+  // Collect never errors: the scrape surface stays green, explaining
+  // itself in a comment line.
+  const std::string out = profiler.Collect();
+  EXPECT_EQ(out.rfind("# ", 0), 0u) << out;
+  EXPECT_NE(out.find("SIMDTREE_DISABLE_PERF"), std::string::npos) << out;
+  unsetenv("SIMDTREE_DISABLE_PERF");
+}
+
+TEST(ProfilerTest, RegisterWithoutStartIsANoOp) {
+  unsetenv("SIMDTREE_DISABLE_PERF");
+  ContinuousProfiler profiler;
+  EXPECT_FALSE(profiler.RegisterCurrentThread());
+  EXPECT_EQ(profiler.stats().threads, 0u);
+  profiler.Stop();  // stop before start: harmless
+}
+
+TEST(ProfilerTest, SamplingSmokeProducesFoldedStacks) {
+  unsetenv("SIMDTREE_DISABLE_PERF");
+  if (!ContinuousProfiler::Available()) {
+    GTEST_SKIP() << "perf_event_open sampling denied on this host";
+  }
+  ContinuousProfiler profiler;
+  ASSERT_TRUE(profiler.Start(997)) << profiler.error();
+  EXPECT_TRUE(profiler.running());
+  EXPECT_EQ(profiler.freq_hz(), 997);
+  ASSERT_TRUE(profiler.RegisterCurrentThread());
+  // Second registration of the same thread in the same generation is
+  // an idempotent no-op (the serving loop calls it every iteration).
+  EXPECT_TRUE(profiler.RegisterCurrentThread());
+  EXPECT_EQ(profiler.stats().threads, 1u);
+
+  // Burn CPU long enough for the kernel to take samples at 997 Hz.
+  volatile uint64_t sink = 0;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+
+  const std::string out = profiler.Collect();
+  const auto stats = profiler.stats();
+  EXPECT_GT(stats.samples, 0u) << out;
+  // Folded format: "# " header comments, then "frame;frame count" lines.
+  EXPECT_EQ(out.rfind("# on-CPU profile:", 0), 0u) << out.substr(0, 200);
+  const size_t body = out.find('\n') + 1;
+  ASSERT_NE(out.find(' ', body), std::string::npos);
+  // At least one stack line ends in a positive count.
+  bool saw_stack = false;
+  size_t start = body;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const std::string line =
+        out.substr(start, end == std::string::npos ? end : end - start);
+    start = end == std::string::npos ? out.size() : end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::strtoull(line.c_str() + sp + 1, nullptr, 10), 0u)
+        << line;
+    saw_stack = true;
+  }
+  EXPECT_TRUE(saw_stack) << out;
+
+  // Stop closes every ring; a fresh Start() bumps the generation so
+  // threads re-register.
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.stats().threads, 0u);
+  ASSERT_TRUE(profiler.Start(499)) << profiler.error();
+  EXPECT_TRUE(profiler.RegisterCurrentThread());
+  EXPECT_EQ(profiler.stats().threads, 1u);
+  profiler.Reset();
+  EXPECT_EQ(profiler.stats().samples, 0u);
+}
+
+}  // namespace
+}  // namespace simdtree::obs

@@ -1,0 +1,192 @@
+// SLO burn-rate tests (obs/slo.h): the pure EvaluateSlo arithmetic
+// (budget normalization, zero-budget edge, racy-snapshot clamps), the
+// LogHistogram::CountBelow primitive the monitor is built on, and the
+// SloMonitor's windowed ticks over the net.* serving metrics.
+
+#include "obs/slo.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace simdtree::obs {
+namespace {
+
+TEST(EvaluateSloTest, EmptyWindowIsInvalid) {
+  const SloReport r = EvaluateSlo(SloConfig{}, SloWindowDelta{});
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.max_burn(), 0.0);
+}
+
+TEST(EvaluateSloTest, AvailabilityBurnNormalizesToBudget) {
+  SloConfig cfg;
+  cfg.availability_target = 0.999;  // budget: 0.1% errors
+  SloWindowDelta d;
+  d.requests = 1000;
+  d.errors = 5;  // 0.5% observed -> burning 5x the budget
+  const SloReport r = EvaluateSlo(cfg, d);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.availability, 0.995, 1e-12);
+  EXPECT_NEAR(r.availability_burn, 5.0, 1e-9);
+  EXPECT_NEAR(r.max_burn(), 5.0, 1e-9);
+}
+
+TEST(EvaluateSloTest, LatencyBurnNormalizesToBudget) {
+  SloConfig cfg;
+  cfg.latency_target = 0.99;  // budget: 1% over-threshold
+  SloWindowDelta d;
+  d.requests = 1000;
+  d.latency_samples = 1000;
+  d.under_threshold = 980;  // 2% misses -> 2x burn
+  const SloReport r = EvaluateSlo(cfg, d);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.latency_ok_fraction, 0.98, 1e-12);
+  EXPECT_NEAR(r.latency_burn, 2.0, 1e-9);
+}
+
+TEST(EvaluateSloTest, BurnExactlyOneAtBudgetBoundary) {
+  SloConfig cfg;
+  cfg.availability_target = 0.99;
+  SloWindowDelta d;
+  d.requests = 1000;
+  d.errors = 10;  // exactly the 1% budget
+  EXPECT_NEAR(EvaluateSlo(cfg, d).availability_burn, 1.0, 1e-9);
+}
+
+TEST(EvaluateSloTest, ZeroBudgetBurnsZeroOrInfinity) {
+  SloConfig cfg;
+  cfg.availability_target = 1.0;  // no error budget at all
+  SloWindowDelta clean;
+  clean.requests = 1000;
+  EXPECT_EQ(EvaluateSlo(cfg, clean).availability_burn, 0.0);
+
+  SloWindowDelta dirty = clean;
+  dirty.errors = 1;
+  EXPECT_TRUE(std::isinf(EvaluateSlo(cfg, dirty).availability_burn));
+  EXPECT_TRUE(std::isinf(EvaluateSlo(cfg, dirty).max_burn()));
+}
+
+TEST(EvaluateSloTest, RacySnapshotsAreClamped) {
+  SloConfig cfg;
+  SloWindowDelta d;
+  d.requests = 100;
+  d.errors = 150;  // cumulative-counter race: more errors than requests
+  const SloReport r = EvaluateSlo(cfg, d);
+  EXPECT_EQ(r.availability, 0.0);  // clamped, not negative
+
+  SloWindowDelta d2;
+  d2.requests = 100;
+  d2.latency_samples = 100;
+  d2.under_threshold = 120;  // race the other way
+  const SloReport r2 = EvaluateSlo(cfg, d2);
+  EXPECT_EQ(r2.latency_ok_fraction, 1.0);
+  EXPECT_EQ(r2.latency_burn, 0.0);
+}
+
+TEST(CountBelowTest, CountsSamplesAtOrUnderThreshold) {
+  LogHistogram h;
+  for (uint64_t v : {10u, 100u, 1000u, 10000u, 100000u}) h.Record(v);
+  EXPECT_EQ(h.CountBelow(0), 0u);
+  // Bucket quantization may round the boundary up, never down past a
+  // bucket edge — a generous threshold must count everything below it.
+  EXPECT_EQ(h.CountBelow(1'000'000), 5u);
+  EXPECT_GE(h.CountBelow(10000), 3u);
+  EXPECT_LE(h.CountBelow(50), h.CountBelow(5000));
+}
+
+TEST(CountBelowTest, LastBucketAndSaturation) {
+  LogHistogram h;
+  h.Record(~0ULL);  // saturates into the final bucket
+  EXPECT_EQ(h.CountBelow(~0ULL), 1u);
+  EXPECT_EQ(h.CountBelow(1), 0u);
+}
+
+TEST(SloMonitorTest, TicksProduceWindowedReportAndGauges) {
+  auto& monitor = SloMonitor::Global();
+  monitor.Reset();
+  SloConfig cfg;
+  cfg.latency_threshold_ns = 1'000'000;
+  cfg.window_s = 3600.0;  // never trimmed during the test
+  monitor.Configure(cfg);
+
+  // First tick: baseline snapshot, no delta yet.
+  monitor.Tick();
+  EXPECT_FALSE(monitor.Report().valid);
+
+  // Traffic between ticks: 200 requests, all fast.
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("net.requests")->Add(200);
+  auto* hist = reg.GetHistogram("net.op_get_ns");
+  for (int i = 0; i < 200; ++i) hist->Record(50'000);  // 50 us
+  monitor.Tick();
+
+  const SloReport r = monitor.Report();
+  ASSERT_TRUE(r.valid);
+  EXPECT_GE(r.requests, 200u);
+  EXPECT_EQ(r.availability_burn, 0.0);
+  EXPECT_NEAR(r.latency_ok_fraction, 1.0, 1e-9);
+  EXPECT_EQ(r.latency_burn, 0.0);
+
+  // The slo.* gauges mirror the report after a tick.
+  EXPECT_NEAR(reg.GetGauge("slo.availability")->Get(), r.availability,
+              1e-12);
+  EXPECT_GE(reg.GetGauge("slo.window_requests")->Get(), 200.0);
+
+  const std::string json = monitor.ToJson();
+  EXPECT_NE(json.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"availability_burn_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_burn\""), std::string::npos);
+  monitor.Reset();
+}
+
+TEST(SloMonitorTest, BreachIsVisibleInBurnRate) {
+  auto& monitor = SloMonitor::Global();
+  monitor.Reset();
+  SloConfig cfg;
+  cfg.latency_threshold_ns = 1'000'000;  // 1 ms objective
+  cfg.latency_target = 0.99;
+  cfg.window_s = 3600.0;
+  monitor.Configure(cfg);
+  monitor.Tick();
+
+  // 100 requests, 10% of them blowing the latency objective: a 10x
+  // burn against the 1% budget.
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("net.requests")->Add(100);
+  auto* hist = reg.GetHistogram("net.op_get_ns");
+  for (int i = 0; i < 90; ++i) hist->Record(100'000);
+  for (int i = 0; i < 10; ++i) hist->Record(50'000'000);
+  monitor.Tick();
+
+  const SloReport r = monitor.Report();
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.latency_burn, 5.0);
+  EXPECT_GT(r.max_burn(), 1.0);  // the bb_serve --slo-target gate fires
+  monitor.Reset();
+}
+
+TEST(SloMonitorTest, ConfigureClearsStaleWindow) {
+  auto& monitor = SloMonitor::Global();
+  monitor.Reset();
+  SloConfig cfg;
+  cfg.window_s = 3600.0;
+  monitor.Configure(cfg);
+  monitor.Tick();
+  MetricsRegistry::Global().GetCounter("net.requests")->Add(10);
+  monitor.Tick();
+  ASSERT_TRUE(monitor.Report().valid);
+
+  // A threshold change invalidates accumulated under-threshold counts;
+  // the ring restarts.
+  cfg.latency_threshold_ns = 123;
+  monitor.Configure(cfg);
+  EXPECT_FALSE(monitor.Report().valid);
+  monitor.Reset();
+}
+
+}  // namespace
+}  // namespace simdtree::obs

@@ -27,12 +27,18 @@
 //   simdtree_cli stats <index.stix>
 //       Blob header + rebuilt-structure statistics.
 //   simdtree_cli profile <index.stix> <keys.txt> [--passes=N] [--json]
+//       [--continuous] [--hz=N]
 //       Profiles point lookups of all keys in the file against the
 //       loaded index: per-lookup latency percentiles (lock-free
 //       LogHistogram), hardware counters per lookup (perf_event_open;
 //       reported as "hw": null when the syscall is denied), and the
 //       instrumented wrapper's metrics registry. --json replaces the
-//       human summary with one JSON document on stdout.
+//       human summary with one JSON document on stdout. --continuous
+//       additionally arms the sampling profiler (obs/profiler.h,
+//       perf_event_open CPU-clock at --hz, default 997) over the run
+//       and prints the folded on-CPU stacks after the summary — the
+//       offline twin of the /profilez endpoint; degrades to a comment
+//       line when the PMU is denied.
 //   simdtree_cli serve <index.stix> [--port=N] [--bind=ADDR]
 //       [--trace-sample=N] [--slow-us=N] [--probes=keys.txt]
 //       [--duration-s=N]
@@ -50,6 +56,9 @@
 //   simdtree_cli serve-kv <index.stix> [--port=N] [--threads=N]
 //       [--shards=N] [--bind=ADDR] [--stats-port=N] [--stats-bind=ADDR]
 //       [--trace-sample=N] [--slow-us=N] [--duration-s=N]
+//       [--request-sample=N] [--request-slow-us=N] [--profile-hz=N]
+//       [--slo-window-s=N] [--slo-availability=F] [--slo-latency-ms=F]
+//       [--slo-latency-target=F]
 //       The end-to-end query service: loads the index, redistributes it
 //       into a range-partitioned ShardedIndex (splitters at the stored
 //       keys' quantiles, --shards, default 8), and serves the pipelined
@@ -57,10 +66,21 @@
 //       PUT / DEL / STATS) with --threads epoll workers (default 2),
 //       coalescing each connection's in-flight pipeline into grouped
 //       FindBatch descents. The observability HTTP surface (/metrics,
-//       /tracez, ...) runs alongside on --stats-port (default 9100;
-//       --stats-port=-1 disables). --port=0 picks an ephemeral KV port
-//       (printed as "kv port: N"). SIGINT/SIGTERM (or --duration-s)
-//       drains gracefully: in-flight pipelines finish and replies flush
+//       /tracez, /requestz, /profilez, /slo, ...) runs alongside on
+//       --stats-port (default 9100; --stats-port=-1 disables).
+//       Request-level spans with tail sampling: --request-sample=N
+//       keeps 1-in-N completed requests (0 disables, default 64) and
+//       --request-slow-us promotes every request slower than N
+//       microseconds regardless of the sample (default 10000); both
+//       feed /requestz and histogram exemplars. --profile-hz=N arms
+//       the continuous on-CPU profiler at N samples/s/thread (0
+//       disables; /profilez shows the folded stacks). The /slo window
+//       is shaped by --slo-window-s (default 60), --slo-availability
+//       (default 0.999), --slo-latency-ms (default 5), and
+//       --slo-latency-target (default 0.99). --port=0 picks an
+//       ephemeral KV port (printed as "kv port: N"). SIGINT/SIGTERM
+//       (or --duration-s) drains gracefully: /healthz flips to 503
+//       "draining", in-flight pipelines finish and replies flush
 //       before the sockets close. Drive it with bench/bb_serve.
 //   simdtree_cli tracez <index.stix> <keys.txt> [--trace-sample=N]
 //       [--slow-us=N] [--max=N]
@@ -94,6 +114,9 @@
 #include "net/backend.h"
 #include "net/server.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "simd/dispatch.h"
@@ -124,6 +147,9 @@ int Usage() {
                "       simdtree_cli stats <index.stix>\n"
                "       simdtree_cli profile <index.stix> <keys.txt> "
                "[--passes=N] [--json]\n"
+               "         [--continuous] [--hz=N]\n"
+               "         (--continuous: folded on-CPU stacks from the\n"
+               "          sampling profiler, default 997 Hz)\n"
                "       simdtree_cli serve <index.stix> [--port=N] "
                "[--bind=ADDR] [--trace-sample=N]\n"
                "         [--slow-us=N] [--probes=keys.txt] [--duration-s=N]\n"
@@ -131,10 +157,19 @@ int Usage() {
                "[--threads=N] [--shards=N]\n"
                "         [--bind=ADDR] [--stats-port=N] [--stats-bind=ADDR]\n"
                "         [--trace-sample=N] [--slow-us=N] [--duration-s=N]\n"
+               "         [--request-sample=N] [--request-slow-us=N] "
+               "[--profile-hz=N]\n"
+               "         [--slo-window-s=N] [--slo-availability=F]\n"
+               "         [--slo-latency-ms=F] [--slo-latency-target=F]\n"
                "         (pipelined binary KV protocol over a sharded "
                "index;\n"
                "          --stats-port=-1 disables the HTTP /metrics "
-               "surface)\n"
+               "surface;\n"
+               "          --request-sample/--request-slow-us arm tail-"
+               "sampled\n"
+               "          request spans for /requestz + exemplars;\n"
+               "          --profile-hz arms the continuous profiler for "
+               "/profilez)\n"
                "       simdtree_cli tracez <index.stix> <keys.txt> "
                "[--trace-sample=N] [--slow-us=N] [--max=N]\n"
                "       simdtree_cli dispatch [--json]\n"
@@ -394,12 +429,19 @@ int CmdProfile(int argc, char** argv) {
   if (argc < 4) return Usage();
   int passes = 3;
   bool json = false;
+  bool continuous = false;
+  int hz = 997;  // prime frequency, avoids lockstep with periodic work
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--passes=", 9) == 0) {
       passes = std::atoi(argv[i] + 9);
       if (passes < 1) passes = 1;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--continuous") == 0) {
+      continuous = true;
+    } else if (std::strncmp(argv[i], "--hz=", 5) == 0) {
+      hz = std::atoi(argv[i] + 5);
+      if (hz < 1) hz = 1;
     }
   }
   auto tree = LoadIndex(argv[2]);
@@ -419,6 +461,14 @@ int CmdProfile(int argc, char** argv) {
   simdtree::obs::PerfCounterGroup group;  // degrades to no-ops when denied
   size_t hits = 0;
 
+  auto& profiler = simdtree::obs::ContinuousProfiler::Global();
+  if (continuous) {
+    // Arm the sampling profiler over the measurement loop; a denied
+    // PMU degrades to a comment line in the folded output, not a
+    // failure.
+    if (profiler.Start(hz)) profiler.RegisterCurrentThread();
+  }
+
   group.Start();
   for (int pass = 0; pass < passes; ++pass) {
     for (const uint64_t key : probes) {
@@ -433,6 +483,21 @@ int CmdProfile(int argc, char** argv) {
   const simdtree::obs::HwCounts hw = group.Stop();
   const double ops = static_cast<double>(probes.size()) *
                      static_cast<double>(passes);
+
+  // Folded on-CPU stacks, drained after the loop so the whole run is
+  // covered. Printed after the summary (or the JSON document — the
+  // document stays line 1; folded lines never start with '{').
+  std::string folded;
+  if (continuous) {
+    folded = profiler.Collect();
+    const auto pstats = profiler.stats();
+    profiler.Stop();
+    std::fprintf(stderr, "continuous profile: %llu samples at %d Hz "
+                 "(%llu lost, %llu threads)\n",
+                 static_cast<unsigned long long>(pstats.samples), hz,
+                 static_cast<unsigned long long>(pstats.lost),
+                 static_cast<unsigned long long>(pstats.threads));
+  }
 
   if (json) {
     std::printf("{\"index\":\"%s\",\"probes\":%zu,\"passes\":%d,"
@@ -460,6 +525,7 @@ int CmdProfile(int argc, char** argv) {
     }
     std::printf("\"registry\":%s}\n",
                 simdtree::obs::MetricsRegistry::Global().ToJson().c_str());
+    if (continuous) std::printf("%s", folded.c_str());
     return 0;
   }
 
@@ -485,6 +551,7 @@ int CmdProfile(int argc, char** argv) {
     std::printf("hw: unavailable (perf_event_open denied or "
                 "SIMDTREE_DISABLE_PERF set)\n");
   }
+  if (continuous) std::printf("%s", folded.c_str());
   return 0;
 }
 
@@ -585,6 +652,13 @@ int CmdServeKv(int argc, char** argv) {
   long sample = 64;
   long slow_us = -1;
   long duration_s = 0;
+  long request_sample = 64;
+  long request_slow_us = 10'000;
+  long profile_hz = 0;
+  double slo_window_s = 60.0;
+  double slo_availability = 0.999;
+  double slo_latency_ms = 5.0;
+  double slo_latency_target = 0.99;
   std::string bind_addr = "127.0.0.1";
   std::string stats_bind = "127.0.0.1";
   for (int i = 3; i < argc; ++i) {
@@ -606,12 +680,27 @@ int CmdServeKv(int argc, char** argv) {
       slow_us = std::atol(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--duration-s=", 13) == 0) {
       duration_s = std::atol(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--request-sample=", 17) == 0) {
+      request_sample = std::atol(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--request-slow-us=", 18) == 0) {
+      request_slow_us = std::atol(argv[i] + 18);
+    } else if (std::strncmp(argv[i], "--profile-hz=", 13) == 0) {
+      profile_hz = std::atol(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--slo-window-s=", 15) == 0) {
+      slo_window_s = std::atof(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--slo-availability=", 19) == 0) {
+      slo_availability = std::atof(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--slo-latency-ms=", 17) == 0) {
+      slo_latency_ms = std::atof(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--slo-latency-target=", 21) == 0) {
+      slo_latency_target = std::atof(argv[i] + 21);
     } else {
       return Usage();
     }
   }
   if (port < 0 || port > 65535 || threads < 1 || shards < 1 ||
-      stats_port > 65535 || sample < 0) {
+      stats_port > 65535 || sample < 0 || request_sample < 0 ||
+      request_slow_us < 0 || profile_hz < 0 || slo_window_s <= 0) {
     return Usage();
   }
   auto tree = LoadIndex(argv[2]);
@@ -650,10 +739,34 @@ int CmdServeKv(int argc, char** argv) {
   opts.port = static_cast<uint16_t>(port);
   opts.bind_addr = bind_addr;
   opts.num_workers = static_cast<int>(threads);
+  opts.request_sample = static_cast<uint32_t>(request_sample);
+  opts.request_slow_ns = static_cast<uint64_t>(request_slow_us) * 1000;
   if (!server.Start(opts)) {
     std::fprintf(stderr, "cannot start kv server: %s\n",
                  server.error().c_str());
     return 1;
+  }
+
+  // The /slo window over the net.* serving metrics; scrapes of /slo
+  // drive the ticks (no background thread needed for a CLI server).
+  simdtree::obs::SloConfig slo_config;
+  slo_config.availability_target = slo_availability;
+  slo_config.latency_threshold_ns =
+      static_cast<uint64_t>(slo_latency_ms * 1e6);
+  slo_config.latency_target = slo_latency_target;
+  slo_config.window_s = slo_window_s;
+  simdtree::obs::SloMonitor::Global().Configure(slo_config);
+
+  if (profile_hz > 0) {
+    auto& profiler = simdtree::obs::ContinuousProfiler::Global();
+    if (profiler.Start(static_cast<int>(profile_hz))) {
+      // Workers self-register on their next epoll iteration.
+      std::printf("continuous profiler armed at %ld Hz (/profilez)\n",
+                  profile_hz);
+    } else {
+      std::fprintf(stderr, "continuous profiler unavailable: %s\n",
+                   profiler.error().c_str());
+    }
   }
 
   simdtree::obs::StatsServer stats;
@@ -689,13 +802,17 @@ int CmdServeKv(int argc, char** argv) {
 
   server.Stop();  // graceful drain: pipelines finish, replies flush
   stats.Stop();
+  simdtree::obs::ContinuousProfiler::Global().Stop();
   auto& reg = simdtree::obs::MetricsRegistry::Global();
+  auto& tracer = simdtree::obs::RequestTracer::Global();
   std::printf("drained: %llu connections accepted, %llu requests "
-              "served\n",
+              "served, %llu request traces retained (%llu slow)\n",
               static_cast<unsigned long long>(
                   reg.GetCounter("net.accepted")->Get()),
               static_cast<unsigned long long>(
-                  reg.GetCounter("net.requests")->Get()));
+                  reg.GetCounter("net.requests")->Get()),
+              static_cast<unsigned long long>(tracer.retained()),
+              static_cast<unsigned long long>(tracer.slow_retained()));
   return 0;
 }
 
